@@ -1,0 +1,42 @@
+// Command codegen runs the pattern→Go translator (the paper's §VI future
+// work): it prints a standalone Go source file implementing the chosen
+// library pattern with direct AM++-style messaging, equivalent to the
+// interpretive engine but without plan-dispatch overhead.
+//
+// Usage:
+//
+//	codegen -pattern SSSP -package ssspgen > internal/ssspgen/ssspgen.go
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"declpat/internal/algorithms"
+	"declpat/internal/pattern"
+)
+
+func main() {
+	name := flag.String("pattern", "SSSP", "library pattern to translate (SSSP, BFS, Widest, Degree)")
+	pkg := flag.String("package", "gen", "package name for the generated file")
+	flag.Parse()
+
+	library := map[string]func() *pattern.Pattern{
+		"SSSP":   algorithms.SSSPPattern,
+		"BFS":    algorithms.BFSPattern,
+		"Widest": algorithms.WidestPattern,
+		"Degree": algorithms.DegreePattern,
+	}
+	mk, ok := library[*name]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown or untranslatable pattern %q\n", *name)
+		os.Exit(2)
+	}
+	src, err := pattern.GenerateGo(mk(), pattern.DefaultPlanOptions(), *pkg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Print(src)
+}

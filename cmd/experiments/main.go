@@ -1,0 +1,49 @@
+// Command experiments runs the full reproduction suite (E1–E11, see
+// DESIGN.md) and prints every table. EXPERIMENTS.md records one run of this
+// command.
+//
+// Usage:
+//
+//	experiments [-scale N] [-edgefactor N] [-seed N] [-only E5,E8]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"declpat/internal/experiments"
+)
+
+func main() {
+	scale := flag.Int("scale", 12, "RMAT scale (2^scale vertices)")
+	ef := flag.Int("edgefactor", 8, "edges per vertex")
+	seed := flag.Uint64("seed", 42, "generator seed")
+	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(strings.ToUpper(id))] = true
+		}
+	}
+	sc := experiments.Scale{RMATScale: *scale, EdgeFactor: *ef, Seed: *seed}
+	fmt.Printf("# Experiment suite — RMAT scale %d, edge factor %d, seed %d\n\n", *scale, *ef, *seed)
+	total := time.Now()
+	for _, ex := range experiments.All() {
+		if len(want) > 0 && !want[ex.ID] {
+			continue
+		}
+		fmt.Printf("# %s: %s\n\n", ex.ID, ex.Title)
+		start := time.Now()
+		tables := ex.Run(sc)
+		for _, t := range tables {
+			t.Fprint(os.Stdout)
+		}
+		fmt.Printf("(%s in %s)\n\n", ex.ID, time.Since(start).Round(time.Millisecond))
+	}
+	fmt.Printf("# total: %s\n", time.Since(total).Round(time.Millisecond))
+}

@@ -1,0 +1,98 @@
+// Command plan prints the library patterns in the paper's concrete syntax
+// (§III) together with their compiled message plans (§IV), under a chosen
+// set of planner options — a developer tool for inspecting what
+// communication a pattern turns into.
+//
+// Usage:
+//
+//	plan [-merge=false] [-fold=false] [-naive] [-earlyexit=false] [SSSP|CC|BFS|Widest|Degree|PageRankPush|PageRankPull]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"declpat/internal/algorithms"
+	"declpat/internal/am"
+	"declpat/internal/distgraph"
+	"declpat/internal/pattern"
+	"declpat/internal/pmap"
+)
+
+func main() {
+	merge := flag.Bool("merge", true, "merge condition evaluation with the first modification (§IV-A)")
+	fold := flag.Bool("fold", true, "fold local subexpressions into payload temporaries (Fig. 6)")
+	naive := flag.Bool("naive", false, "naive depth-first gather order with backtracking (Fig. 5)")
+	earlyExit := flag.Bool("earlyexit", true, "evaluate entry-decidable test conjuncts before sending")
+	dot := flag.Bool("dot", false, "emit Graphviz digraphs of the plans instead of text")
+	flag.Parse()
+
+	library := map[string]func() *pattern.Pattern{
+		"SSSP":         algorithms.SSSPPattern,
+		"CC":           algorithms.CCPattern,
+		"BFS":          algorithms.BFSPattern,
+		"Widest":       algorithms.WidestPattern,
+		"Degree":       algorithms.DegreePattern,
+		"BFSTree":      algorithms.BFSTreePattern,
+		"PageRankPush": algorithms.PageRankPushPattern,
+		"PageRankPull": algorithms.PageRankPullPattern,
+		"LightHeavy":   func() *pattern.Pattern { return algorithms.SSSPLightHeavyPattern(32) },
+		"KCore":        func() *pattern.Pattern { return algorithms.KCorePattern(3) },
+	}
+	names := flag.Args()
+	if len(names) == 0 {
+		names = []string{"SSSP", "CC", "BFS", "Widest", "Degree", "BFSTree", "PageRankPush", "PageRankPull", "LightHeavy", "KCore"}
+	}
+	opts := pattern.PlanOptions{Merge: *merge, Fold: *fold, NaiveDFS: *naive, EarlyExit: *earlyExit}
+	fmt.Printf("planner options: %+v\n\n", opts)
+	for _, name := range names {
+		mk, ok := library[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown pattern %q\n", name)
+			os.Exit(2)
+		}
+		p := mk()
+		if *dot {
+			for _, pi := range compile(p, opts) {
+				fmt.Print(pi.Dot())
+			}
+			continue
+		}
+		fmt.Print(p.String())
+		for _, pi := range compile(p, opts) {
+			fmt.Print(pi)
+		}
+		fmt.Println()
+	}
+}
+
+// compile binds p against throwaway storage to obtain plans.
+func compile(p *pattern.Pattern, opts pattern.PlanOptions) []pattern.PlanInfo {
+	u := am.NewUniverse(am.Config{Ranks: 1})
+	d := distgraph.NewBlockDist(2, 1)
+	g := distgraph.Build(d, []distgraph.Edge{{Src: 0, Dst: 1, W: 1}}, distgraph.Options{Bidirectional: true})
+	lm := pmap.NewLockMap(d, 1)
+	eng := pattern.NewEngine(u, g, lm, opts)
+	binds := pattern.Bindings{}
+	for _, pr := range p.Props {
+		switch pr.Kind {
+		case pattern.VertexWordProp:
+			binds[pr.Name] = pmap.NewVertexWord(d, 0)
+		case pattern.EdgeWordProp:
+			binds[pr.Name] = pmap.WeightMap(g)
+		case pattern.VertexSetProp:
+			binds[pr.Name] = pmap.NewVertexSet(d, lm)
+		}
+	}
+	bound, err := eng.Bind(p, binds)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "compile %s: %v\n", p.Name, err)
+		os.Exit(1)
+	}
+	var out []pattern.PlanInfo
+	for _, a := range p.Actions {
+		out = append(out, bound.Action(a.Name).PlanInfo())
+	}
+	return out
+}

@@ -1,0 +1,368 @@
+// Package declpat is a Go implementation of "Declarative Patterns for
+// Imperative Distributed Graph Algorithms" (Zalewski, Edmonds, Lumsdaine,
+// IPDPS Workshops 2015): graph algorithms are written as declarative
+// patterns — property-map declarations plus actions made of a generator and
+// condition-guarded modifications — whose communication is derived
+// automatically, and driven by imperative strategies (fixed_point, once,
+// Δ-stepping) running in epochs over an AM++-style active-message substrate.
+//
+// This package is the public facade: it re-exports the user-facing surface
+// of the internal packages. A minimal SSSP looks like:
+//
+//	u := declpat.NewUniverse(declpat.Config{Ranks: 4, ThreadsPerRank: 2})
+//	dist := declpat.NewBlockDist(n, 4)
+//	g := declpat.BuildGraph(dist, edges, declpat.GraphOptions{})
+//	eng := declpat.NewEngine(u, g, declpat.NewLockMap(dist, 1), declpat.DefaultPlanOptions())
+//	sssp := declpat.NewSSSP(eng)
+//	u.Run(func(r *declpat.Rank) { sssp.Run(r, src) })
+//	distances := sssp.Dist.Gather()
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// reproduced experiments.
+package declpat
+
+import (
+	"declpat/internal/algorithms"
+	"declpat/internal/am"
+	"declpat/internal/distgraph"
+	"declpat/internal/gen"
+	"declpat/internal/pattern"
+	"declpat/internal/pmap"
+	"declpat/internal/strategy"
+)
+
+// Messaging substrate (internal/am).
+type (
+	// Universe is a simulated distributed machine of message-connected
+	// ranks.
+	Universe = am.Universe
+	// Config configures ranks, handler threads, coalescing, and the
+	// termination detector.
+	Config = am.Config
+	// Rank is one simulated node; SPMD bodies receive theirs from Run.
+	Rank = am.Rank
+	// EpochHandle is the in-epoch handle (Flush, TryFinish, AuxAdd).
+	EpochHandle = am.Epoch
+	// DetectorKind selects the termination-detection protocol.
+	DetectorKind = am.DetectorKind
+	// MessageStats is the universe-wide message accounting.
+	MessageStats = am.Stats
+)
+
+// Termination detectors.
+const (
+	DetectorAtomic      = am.DetectorAtomic
+	DetectorFourCounter = am.DetectorFourCounter
+)
+
+// NewUniverse creates a simulated machine.
+func NewUniverse(cfg Config) *Universe { return am.NewUniverse(cfg) }
+
+// Distributed graph (internal/distgraph).
+type (
+	// Vertex is a global vertex id.
+	Vertex = distgraph.Vertex
+	// Edge is a weighted input edge.
+	Edge = distgraph.Edge
+	// EdgeRef identifies a stored edge copy.
+	EdgeRef = distgraph.EdgeRef
+	// Graph is a distributed CSR graph.
+	Graph = distgraph.Graph
+	// GraphOptions selects symmetrization and bidirectional storage.
+	GraphOptions = distgraph.Options
+	// Distribution maps vertices to owning ranks.
+	Distribution = distgraph.Distribution
+)
+
+// NilVertex is the "no vertex" sentinel (the paper's NULL).
+const NilVertex = distgraph.NilVertex
+
+// NewBlockDist distributes n vertices in contiguous blocks over ranks.
+func NewBlockDist(n, ranks int) Distribution { return distgraph.NewBlockDist(n, ranks) }
+
+// NewCyclicDist distributes n vertices round-robin over ranks.
+func NewCyclicDist(n, ranks int) Distribution { return distgraph.NewCyclicDist(n, ranks) }
+
+// NewHashDist distributes n vertices by hashed blocks over ranks.
+func NewHashDist(n, ranks int, seed uint64) Distribution {
+	return distgraph.NewHashDist(n, ranks, seed)
+}
+
+// BuildGraph constructs a distributed graph from an edge list.
+func BuildGraph(d Distribution, edges []Edge, opts GraphOptions) *Graph {
+	return distgraph.Build(d, edges, opts)
+}
+
+// Property maps (internal/pmap).
+type (
+	// VertexWordMap is a word-valued distributed vertex property map.
+	VertexWordMap = pmap.VertexWord
+	// EdgeWordMap is a word-valued distributed edge property map.
+	EdgeWordMap = pmap.EdgeWord
+	// VertexSetMap is a set-of-vertices vertex property map.
+	VertexSetMap = pmap.VertexSet
+	// LockMap is the §IV-B lock-map abstraction.
+	LockMap = pmap.LockMap
+)
+
+// NewVertexWordMap allocates a vertex word map with initial value init.
+func NewVertexWordMap(d Distribution, init int64) *VertexWordMap { return pmap.NewVertexWord(d, init) }
+
+// NewEdgeWordMap allocates an edge word map with initial value init.
+func NewEdgeWordMap(g *Graph, init int64) *EdgeWordMap { return pmap.NewEdgeWord(g, init) }
+
+// WeightMap views the graph's built-in weights as an edge property map.
+func WeightMap(g *Graph) *EdgeWordMap { return pmap.WeightMap(g) }
+
+// NewVertexSetMap allocates a set-valued vertex map synchronized by locks.
+func NewVertexSetMap(d Distribution, locks *LockMap) *VertexSetMap {
+	return pmap.NewVertexSet(d, locks)
+}
+
+// NewLockMap creates a lock map with the given vertices-per-lock
+// granularity.
+func NewLockMap(d Distribution, granularity int) *LockMap { return pmap.NewLockMap(d, granularity) }
+
+// Patterns (internal/pattern).
+type (
+	// Pattern is a declarative graph-access pattern (§III).
+	Pattern = pattern.Pattern
+	// PatternProp is a property declaration inside a pattern.
+	PatternProp = pattern.Prop
+	// PatternAction is one action of a pattern.
+	PatternAction = pattern.Action
+	// Expr is a pattern expression.
+	Expr = pattern.Expr
+	// Generator selects an action's fan-out.
+	Generator = pattern.Generator
+	// PlanOptions toggles the §IV planning optimizations.
+	PlanOptions = pattern.PlanOptions
+	// Engine executes compiled patterns over a universe and graph.
+	Engine = pattern.Engine
+	// Bindings maps pattern property names to storage.
+	Bindings = pattern.Bindings
+	// BoundAction is an action bound to storage, ready to invoke.
+	BoundAction = pattern.BoundAction
+	// PlanInfo describes an action's compiled message plan.
+	PlanInfo = pattern.PlanInfo
+)
+
+// Word-level constants.
+const (
+	// Inf is the conventional "unreached" value.
+	Inf = pattern.Inf
+	// NilWord encodes NULL vertices in word maps.
+	NilWord = pattern.NilWord
+)
+
+// NewPattern creates an empty pattern.
+func NewPattern(name string) *Pattern { return pattern.New(name) }
+
+// DefaultPlanOptions returns the paper's configuration (merge + fold).
+func DefaultPlanOptions() PlanOptions { return pattern.DefaultPlanOptions() }
+
+// NewEngine creates a pattern engine; call before Universe.Run.
+func NewEngine(u *Universe, g *Graph, lm *LockMap, opts PlanOptions) *Engine {
+	return pattern.NewEngine(u, g, lm, opts)
+}
+
+// Generator constructors.
+var (
+	// GenNone runs the action at the input vertex only.
+	GenNone = pattern.None
+	// GenOutEdges fans out over out-edges.
+	GenOutEdges = pattern.OutEdges
+	// GenInEdges fans out over in-edges.
+	GenInEdges = pattern.InEdges
+	// GenAdj fans out over out-neighbours.
+	GenAdj = pattern.Adj
+	// GenSetOf fans out over a set-valued property's members.
+	GenSetOf = pattern.SetOf
+)
+
+// Locality designators (Def. 1).
+var (
+	// AtV designates the input vertex.
+	AtV = pattern.V
+	// AtU designates the generated vertex.
+	AtU = pattern.U
+	// AtTrg designates the generated edge's target.
+	AtTrg = pattern.Trg
+	// AtSrc designates the generated edge's source.
+	AtSrc = pattern.Src
+	// AtE designates the generated edge.
+	AtE = pattern.E
+)
+
+// Expression combinators.
+var (
+	C   = pattern.C
+	Vtx = pattern.Vtx
+	Add = pattern.Add
+	Sub = pattern.Sub
+	Mul = pattern.Mul
+	Min = pattern.MinE
+	Max = pattern.MaxE
+	Lt  = pattern.Lt
+	Le  = pattern.Le
+	Gt  = pattern.Gt
+	Ge  = pattern.Ge
+	Eq  = pattern.Eq
+	Ne  = pattern.Ne
+	And = pattern.And
+	Or  = pattern.Or
+	Not = pattern.Not
+)
+
+// Strategies (internal/strategy).
+type (
+	// FixedPointStrategy reruns the action at dependent vertices until
+	// global quiescence.
+	FixedPointStrategy = strategy.FixedPoint
+	// DeltaStrategy is bucketed Δ-stepping.
+	DeltaStrategy = strategy.Delta
+	// DeltaDistributedStrategy uses per-thread buckets and try_finish.
+	DeltaDistributedStrategy = strategy.DeltaDistributed
+	// Buckets is the thread-safe Δ-stepping bucket structure.
+	Buckets = strategy.Buckets
+)
+
+// NewFixedPoint installs the rerun-on-dependency hook; call before Run.
+func NewFixedPoint(a *BoundAction) *FixedPointStrategy { return strategy.NewFixedPoint(a) }
+
+// NewDelta installs the bucket-insert hook; call before Run.
+func NewDelta(u *Universe, a *BoundAction, keys *VertexWordMap, delta int64) *DeltaStrategy {
+	return strategy.NewDelta(u, a, keys, delta)
+}
+
+// NewDeltaDistributed installs the per-thread bucket hook; call before Run.
+func NewDeltaDistributed(u *Universe, a *BoundAction, keys *VertexWordMap, delta int64, threads int) *DeltaDistributedStrategy {
+	return strategy.NewDeltaDistributed(u, a, keys, delta, threads)
+}
+
+// Once applies the action to a vertex set in one epoch and reports whether
+// anything changed anywhere. Collective.
+func Once(r *Rank, a *BoundAction, vs []Vertex) bool { return strategy.Once(r, a, vs) }
+
+// Algorithms (internal/algorithms).
+type (
+	// SSSP is the pattern-based single-source shortest paths solver.
+	SSSP = algorithms.SSSP
+	// CC is the parallel-search connected-components solver.
+	CC = algorithms.CC
+	// BFS is the pattern-based breadth-first level solver.
+	BFS = algorithms.BFS
+	// BFSTree is the Graph500-style parent-tree BFS.
+	BFSTree = algorithms.BFSTree
+	// Widest is the pattern-based widest-path solver.
+	Widest = algorithms.Widest
+	// PageRank is the fixed-point PageRank solver (push or pull).
+	PageRank = algorithms.PageRank
+	// PageRankMode selects push (out-edges) or pull (in-edges).
+	PageRankMode = algorithms.PageRankMode
+	// KCore is the chained-action k-core peeler.
+	KCore = algorithms.KCore
+	// DegreeCount computes in-degrees by remote atomic adds.
+	DegreeCount = algorithms.DegreeCount
+	// MIS is the Luby-style maximal-independent-set solver.
+	MIS = algorithms.MIS
+	// Betweenness is the Brandes betweenness-centrality solver.
+	Betweenness = algorithms.Betweenness
+)
+
+// PageRank modes.
+const (
+	PageRankPush = algorithms.PageRankPush
+	PageRankPull = algorithms.PageRankPull
+)
+
+// PRScaleConst is the fixed-point scale of PageRank values.
+const PRScaleConst = algorithms.PRScale
+
+// NewSSSP binds the paper's SSSP pattern; call before Universe.Run.
+func NewSSSP(eng *Engine) *SSSP { return algorithms.NewSSSP(eng) }
+
+// NewCC binds the §II-B CC pattern; the graph must be symmetrized.
+func NewCC(eng *Engine, lm *LockMap) *CC { return algorithms.NewCC(eng, lm) }
+
+// NewBFS binds the BFS pattern; call before Universe.Run.
+func NewBFS(eng *Engine) *BFS { return algorithms.NewBFS(eng) }
+
+// NewBFSTree binds the parent-tree BFS pattern; call before Universe.Run.
+func NewBFSTree(eng *Engine) *BFSTree { return algorithms.NewBFSTree(eng) }
+
+// NewWidest binds the widest-path pattern; call before Universe.Run.
+func NewWidest(eng *Engine) *Widest { return algorithms.NewWidest(eng) }
+
+// NewPageRank binds a PageRank pattern (pull mode needs a bidirectional
+// graph); call before Universe.Run.
+func NewPageRank(eng *Engine, mode PageRankMode) *PageRank { return algorithms.NewPageRank(eng, mode) }
+
+// NewKCore binds the k-core pattern over a symmetrized graph; call before
+// Universe.Run.
+func NewKCore(eng *Engine, k int64) *KCore { return algorithms.NewKCore(eng, k) }
+
+// NewDegreeCount binds the degree pattern; call before Universe.Run.
+func NewDegreeCount(eng *Engine) *DegreeCount { return algorithms.NewDegreeCount(eng) }
+
+// NewMIS binds the MIS pattern over a symmetrized graph; call before
+// Universe.Run.
+func NewMIS(eng *Engine) *MIS { return algorithms.NewMIS(eng) }
+
+// NewBetweenness binds the Brandes pattern over a bidirectional graph; call
+// before Universe.Run.
+func NewBetweenness(eng *Engine) *Betweenness { return algorithms.NewBetweenness(eng) }
+
+// GenerateGo translates a pattern into standalone Go messaging code (the
+// paper's §VI translator); see cmd/codegen.
+func GenerateGo(p *Pattern, opts PlanOptions, pkg string) (string, error) {
+	return pattern.GenerateGo(p, opts, pkg)
+}
+
+// BuildGraphParallel is BuildGraph with one construction worker per rank
+// (identical layout, parallel build).
+func BuildGraphParallel(d Distribution, edges []Edge, opts GraphOptions) *Graph {
+	return distgraph.BuildParallel(d, edges, opts)
+}
+
+// GraphStats summarizes an edge list.
+type GraphStats = gen.GraphStats
+
+// StatsOf computes summary statistics of an edge list over n vertices.
+func StatsOf(n int, edges []Edge) GraphStats { return gen.Stats(n, edges) }
+
+// SmallWorld generates a Watts–Strogatz small-world graph.
+func SmallWorld(n, k int, beta float64, w WeightSpec, seed uint64) []Edge {
+	return gen.SmallWorld(n, k, beta, w, seed)
+}
+
+// SSSPPattern returns the paper's Fig. 2 pattern.
+func SSSPPattern() *Pattern { return algorithms.SSSPPattern() }
+
+// CCPattern returns the §II-B connected-components pattern.
+func CCPattern() *Pattern { return algorithms.CCPattern() }
+
+// LocalVertices lists the vertices owned by r.
+func LocalVertices(g *Graph, r *Rank) []Vertex { return algorithms.LocalVertices(g, r) }
+
+// Generators (internal/gen).
+type (
+	// WeightSpec configures edge-weight generation.
+	WeightSpec = gen.Weights
+)
+
+// RMAT generates a Graph500-parameter RMAT graph.
+func RMAT(scale, edgeFactor int, w WeightSpec, seed uint64) (n int, edges []Edge) {
+	return gen.RMAT(scale, edgeFactor, w, seed)
+}
+
+// ER generates an Erdős–Rényi G(n, m) multigraph.
+func ER(n, m int, w WeightSpec, seed uint64) []Edge { return gen.ER(n, m, w, seed) }
+
+// Torus2D generates a directed 2D torus.
+func Torus2D(rows, cols int, w WeightSpec, seed uint64) (n int, edges []Edge) {
+	return gen.Torus2D(rows, cols, w, seed)
+}
+
+// PathGraph generates the directed path 0→1→…→n-1.
+func PathGraph(n int, w WeightSpec, seed uint64) []Edge { return gen.Path(n, w, seed) }

@@ -1,0 +1,3 @@
+module declpat
+
+go 1.24

@@ -1,0 +1,65 @@
+package algorithms
+
+import (
+	"fmt"
+
+	"declpat/internal/am"
+	"declpat/internal/distgraph"
+	"declpat/internal/pattern"
+	"declpat/internal/pmap"
+	"declpat/internal/strategy"
+)
+
+// BFSPattern builds a breadth-first level-label pattern: the relax shape
+// with an implicit unit weight, demonstrating pattern reuse across
+// algorithms (the paper's point that algorithms "share their core
+// operations").
+//
+//	bfs(vertex v) {
+//	  generator: e in out_edges;
+//	  if (lvl[v] + 1 < lvl[trg(e)]) lvl[trg(e)] = lvl[v] + 1;
+//	}
+func BFSPattern() *pattern.Pattern {
+	p := pattern.New("BFS")
+	lvl := p.VertexProp("lvl")
+	bfs := p.Action("bfs", pattern.OutEdges())
+	d := pattern.Add(lvl.At(pattern.V()), pattern.C(1))
+	bfs.If(pattern.Lt(d, lvl.At(pattern.Trg()))).Set(lvl.At(pattern.Trg()), d)
+	return p
+}
+
+// BFS computes hop counts from a source using the fixed_point strategy.
+type BFS struct {
+	G     *distgraph.Graph
+	Level *pmap.VertexWord
+	Visit *pattern.BoundAction
+
+	fp *strategy.FixedPoint
+}
+
+// NewBFS binds the BFS pattern over eng's graph. Call before Universe.Run.
+func NewBFS(eng *pattern.Engine) *BFS {
+	g := eng.Graph()
+	b := &BFS{G: g, Level: pmap.NewVertexWord(g.Dist(), pattern.Inf)}
+	bound, err := eng.Bind(BFSPattern(), pattern.Bindings{"lvl": b.Level})
+	if err != nil {
+		panic(fmt.Sprintf("algorithms: BFS bind: %v", err))
+	}
+	b.Visit = bound.Action("bfs")
+	b.fp = strategy.NewFixedPoint(b.Visit)
+	return b
+}
+
+// Run computes levels from src. Collective.
+func (b *BFS) Run(r *am.Rank, src distgraph.Vertex) {
+	b.Level.ForEachLocal(r.ID(), func(v distgraph.Vertex, _ int64) {
+		b.Level.Set(r.ID(), v, pattern.Inf)
+	})
+	var seeds []distgraph.Vertex
+	if b.G.Owner(src) == r.ID() {
+		b.Level.Set(r.ID(), src, 0)
+		seeds = []distgraph.Vertex{src}
+	}
+	r.Barrier()
+	b.fp.Run(r, seeds)
+}

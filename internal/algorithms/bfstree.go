@@ -1,0 +1,109 @@
+package algorithms
+
+import (
+	"fmt"
+
+	"declpat/internal/am"
+	"declpat/internal/distgraph"
+	"declpat/internal/pattern"
+	"declpat/internal/pmap"
+	"declpat/internal/strategy"
+)
+
+// BFSTreePattern builds a Graph500-style parent-tree BFS: every vertex is
+// claimed once by the first arriving search edge.
+//
+//	visit(vertex v) {
+//	  generator: e in out_edges;
+//	  if (parent[trg(e)] == NULL) parent[trg(e)] = v;
+//	}
+func BFSTreePattern() *pattern.Pattern {
+	p := pattern.New("BFSTree")
+	parent := p.VertexProp("parent")
+	visit := p.Action("visit", pattern.OutEdges())
+	visit.If(pattern.Eq(parent.At(pattern.Trg()), pattern.C(pattern.NilWord))).
+		Set(parent.At(pattern.Trg()), pattern.Vtx(pattern.V()))
+	return p
+}
+
+// BFSTree computes a BFS parent tree (the Graph500 kernel-2 output shape:
+// any valid search tree, not necessarily level-minimal, since claims race).
+type BFSTree struct {
+	G      *distgraph.Graph
+	Parent *pmap.VertexWord
+	Visit  *pattern.BoundAction
+
+	fp *strategy.FixedPoint
+}
+
+// NewBFSTree binds the parent-tree pattern over eng's graph. Call before
+// Universe.Run.
+func NewBFSTree(eng *pattern.Engine) *BFSTree {
+	g := eng.Graph()
+	b := &BFSTree{G: g, Parent: pmap.NewVertexWord(g.Dist(), pattern.NilWord)}
+	bound, err := eng.Bind(BFSTreePattern(), pattern.Bindings{"parent": b.Parent})
+	if err != nil {
+		panic(fmt.Sprintf("algorithms: BFSTree bind: %v", err))
+	}
+	b.Visit = bound.Action("visit")
+	b.fp = strategy.NewFixedPoint(b.Visit)
+	return b
+}
+
+// Run builds a search tree from src (whose parent is itself). Collective.
+func (b *BFSTree) Run(r *am.Rank, src distgraph.Vertex) {
+	b.Parent.ForEachLocal(r.ID(), func(v distgraph.Vertex, _ int64) {
+		b.Parent.Set(r.ID(), v, pattern.NilWord)
+	})
+	var seeds []distgraph.Vertex
+	if b.G.Owner(src) == r.ID() {
+		b.Parent.Set(r.ID(), src, int64(src))
+		seeds = []distgraph.Vertex{src}
+	}
+	r.Barrier()
+	b.fp.Run(r, seeds)
+}
+
+// ValidateTree checks the Graph500-style tree invariants against the edge
+// list: (1) the root is its own parent, (2) every parent edge exists in the
+// graph, (3) the parent relation is acyclic (chases terminate at the root),
+// and (4) exactly the vertices reachable in reference are in the tree.
+// Returns an error describing the first violation.
+func ValidateTree(n int, edges []distgraph.Edge, src distgraph.Vertex, parent []int64, reachable []bool) error {
+	if parent[src] != int64(src) {
+		return fmt.Errorf("root %d has parent %d", src, parent[src])
+	}
+	edgeSet := make(map[[2]distgraph.Vertex]bool, len(edges))
+	for _, e := range edges {
+		edgeSet[[2]distgraph.Vertex{e.Src, e.Dst}] = true
+	}
+	for v := 0; v < n; v++ {
+		pv := parent[v]
+		if pv == int64(pattern.NilWord) || pv < 0 {
+			if reachable[v] {
+				return fmt.Errorf("reachable vertex %d has no parent", v)
+			}
+			continue
+		}
+		if !reachable[v] {
+			return fmt.Errorf("unreachable vertex %d has parent %d", v, pv)
+		}
+		if distgraph.Vertex(v) != src && !edgeSet[[2]distgraph.Vertex{distgraph.Vertex(pv), distgraph.Vertex(v)}] {
+			return fmt.Errorf("tree edge %d->%d not in graph", pv, v)
+		}
+	}
+	// Acyclicity: chase each vertex to the root within n steps.
+	for v := 0; v < n; v++ {
+		if parent[v] == int64(pattern.NilWord) {
+			continue
+		}
+		cur := distgraph.Vertex(v)
+		for steps := 0; cur != src; steps++ {
+			if steps > n {
+				return fmt.Errorf("parent chain from %d does not reach the root", v)
+			}
+			cur = distgraph.Vertex(parent[cur])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,13 @@
+// Package algorithms implements the paper's example algorithms on top of
+// patterns and strategies — SSSP (§II-A) with the fixed_point, Δ-stepping,
+// and distributed Δ-stepping strategies, and connected components (§II-B)
+// via parallel search with conflict recording and pointer jumping — plus two
+// further pattern-based algorithms (BFS levels and widest path) matching the
+// paper's plan to "experiment with more algorithms to check if the current
+// abstraction is powerful enough", and hand-written AM++ equivalents of SSSP
+// and BFS used as abstraction-overhead baselines (experiment E9).
+//
+// Each algorithm is constructed before Universe.Run (pattern binding and
+// work-hook installation register message types) and then executed SPMD via
+// its Run method from every rank's body.
+package algorithms

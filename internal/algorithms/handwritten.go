@@ -1,0 +1,109 @@
+package algorithms
+
+import (
+	"declpat/internal/am"
+	"declpat/internal/distgraph"
+	"declpat/internal/pattern"
+	"declpat/internal/pmap"
+)
+
+// HandSSSP is a hand-written AM++ SSSP: the messaging a programmer would
+// write directly against the substrate, without the pattern engine. It is
+// the abstraction-overhead baseline of experiment E9 — the pattern engine
+// should produce the same message pattern (one coalesced relax message per
+// improving edge) with only interpretation overhead on top.
+type HandSSSP struct {
+	G    *distgraph.Graph
+	Dist *pmap.VertexWord
+	mt   *am.MsgType[relaxMsg]
+}
+
+type relaxMsg struct {
+	T distgraph.Vertex
+	D int64
+}
+
+// NewHandSSSP registers the relax message type on u. Call before
+// Universe.Run.
+func NewHandSSSP(u *am.Universe, g *distgraph.Graph) *HandSSSP {
+	h := &HandSSSP{G: g, Dist: pmap.NewVertexWord(g.Dist(), pattern.Inf)}
+	h.mt = am.Register(u, "hand-relax", func(r *am.Rank, m relaxMsg) {
+		if h.Dist.Min(r.ID(), m.T, m.D) {
+			g.ForOutEdges(r.ID(), m.T, func(e distgraph.EdgeRef) {
+				h.mt.Send(r, relaxMsg{T: e.Trg(), D: m.D + g.Weight(r.ID(), e)})
+			})
+		}
+	}).WithAddresser(func(m relaxMsg) int { return g.Owner(m.T) })
+	return h
+}
+
+// MsgType exposes the relax message type (for reduction-cache experiments).
+func (h *HandSSSP) MsgType() *am.MsgType[relaxMsg] { return h.mt }
+
+// WithReductionCache installs AM++'s caching layer on the relax message:
+// while a relaxation for a target is buffered, further relaxations for the
+// same target combine into the minimum (experiment E6).
+func (h *HandSSSP) WithReductionCache() *HandSSSP {
+	h.mt.WithReduction(
+		func(m relaxMsg) uint64 { return uint64(m.T) },
+		func(old, in relaxMsg) (relaxMsg, bool) {
+			if in.D < old.D {
+				return in, true
+			}
+			return old, false
+		},
+	)
+	return h
+}
+
+// Run solves SSSP from src. Collective.
+func (h *HandSSSP) Run(r *am.Rank, src distgraph.Vertex) {
+	h.Dist.ForEachLocal(r.ID(), func(v distgraph.Vertex, _ int64) {
+		h.Dist.Set(r.ID(), v, pattern.Inf)
+	})
+	r.Barrier()
+	r.Epoch(func(ep *am.Epoch) {
+		if h.G.Owner(src) == r.ID() {
+			h.mt.Send(r, relaxMsg{T: src, D: 0})
+		}
+	})
+}
+
+// HandBFS is the hand-written AM++ BFS baseline.
+type HandBFS struct {
+	G     *distgraph.Graph
+	Level *pmap.VertexWord
+	mt    *am.MsgType[visitMsg]
+}
+
+type visitMsg struct {
+	T distgraph.Vertex
+	L int64
+}
+
+// NewHandBFS registers the visit message type on u. Call before
+// Universe.Run.
+func NewHandBFS(u *am.Universe, g *distgraph.Graph) *HandBFS {
+	h := &HandBFS{G: g, Level: pmap.NewVertexWord(g.Dist(), pattern.Inf)}
+	h.mt = am.Register(u, "hand-visit", func(r *am.Rank, m visitMsg) {
+		if h.Level.Min(r.ID(), m.T, m.L) {
+			g.ForOutEdges(r.ID(), m.T, func(e distgraph.EdgeRef) {
+				h.mt.Send(r, visitMsg{T: e.Trg(), L: m.L + 1})
+			})
+		}
+	}).WithAddresser(func(m visitMsg) int { return g.Owner(m.T) })
+	return h
+}
+
+// Run computes levels from src. Collective.
+func (h *HandBFS) Run(r *am.Rank, src distgraph.Vertex) {
+	h.Level.ForEachLocal(r.ID(), func(v distgraph.Vertex, _ int64) {
+		h.Level.Set(r.ID(), v, pattern.Inf)
+	})
+	r.Barrier()
+	r.Epoch(func(ep *am.Epoch) {
+		if h.G.Owner(src) == r.ID() {
+			h.mt.Send(r, visitMsg{T: src, L: 0})
+		}
+	})
+}

@@ -1,0 +1,16 @@
+package algorithms
+
+import (
+	"declpat/internal/am"
+	"declpat/internal/distgraph"
+)
+
+// LocalVertices returns the vertices owned by rank r of g, in local order.
+func LocalVertices(g *distgraph.Graph, r *am.Rank) []distgraph.Vertex {
+	lg := g.Local(r.ID())
+	out := make([]distgraph.Vertex, lg.NumLocal())
+	for li := range out {
+		out[li] = g.Dist().Global(r.ID(), li)
+	}
+	return out
+}

@@ -1,0 +1,90 @@
+package algorithms
+
+import (
+	"fmt"
+
+	"declpat/internal/am"
+	"declpat/internal/distgraph"
+	"declpat/internal/pattern"
+	"declpat/internal/pmap"
+)
+
+// KCorePattern builds a k-core peeling pattern: two actions chained through
+// their work hooks (the abstract's "chaining patterns in an arbitrary way").
+//
+//	check(vertex v) {                 // dies when degree drops below k
+//	  if (alive[v] == 1 && deg[v] < k) alive[v] = 0;
+//	}
+//	notify(vertex v) {                // a death decrements neighbours
+//	  generator: u in adj;
+//	  deg[u] += -1;
+//	}
+//
+// The strategy wires check's dependency (alive changed) to invoke notify at
+// the dead vertex, and notify's dependency (deg changed) to re-invoke check
+// at the neighbour — a fixed point across two patterns.
+func KCorePattern(k int64) *pattern.Pattern {
+	p := pattern.New(fmt.Sprintf("KCore-%d", k))
+	alive := p.VertexProp("alive")
+	deg := p.VertexProp("deg")
+
+	check := p.Action("check", pattern.None())
+	check.If(pattern.And(
+		pattern.Eq(alive.At(pattern.V()), pattern.C(1)),
+		pattern.Lt(deg.At(pattern.V()), pattern.C(k)),
+	)).Set(alive.At(pattern.V()), pattern.C(0))
+
+	notify := p.Action("notify", pattern.Adj())
+	notify.Do().AddTo(deg.At(pattern.U()), pattern.C(-1))
+	return p
+}
+
+// KCore computes the k-core of an undirected (symmetrized) graph: the
+// maximal subgraph in which every vertex has degree >= k. Alive[v] == 1
+// after Run iff v is in the k-core.
+type KCore struct {
+	G     *distgraph.Graph
+	K     int64
+	Alive *pmap.VertexWord
+	Deg   *pmap.VertexWord
+
+	Check, Notify *pattern.BoundAction
+}
+
+// NewKCore binds the k-core pattern over eng's (symmetrized) graph and
+// chains the two actions' work hooks. Call before Universe.Run.
+func NewKCore(eng *pattern.Engine, k int64) *KCore {
+	g := eng.Graph()
+	kc := &KCore{
+		G: g, K: k,
+		Alive: pmap.NewVertexWord(g.Dist(), 1),
+		Deg:   pmap.NewVertexWord(g.Dist(), 0),
+	}
+	bound, err := eng.Bind(KCorePattern(k), pattern.Bindings{
+		"alive": kc.Alive, "deg": kc.Deg,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("algorithms: KCore bind: %v", err))
+	}
+	kc.Check = bound.Action("check")
+	kc.Notify = bound.Action("notify")
+	kc.Check.SetWork(func(r *am.Rank, v distgraph.Vertex) { kc.Notify.InvokeAsync(r, v) })
+	kc.Notify.SetWork(func(r *am.Rank, v distgraph.Vertex) { kc.Check.InvokeAsync(r, v) })
+	return kc
+}
+
+// Run peels to the k-core. Collective.
+func (kc *KCore) Run(r *am.Rank) {
+	rid := r.ID()
+	locals := LocalVertices(kc.G, r)
+	for _, v := range locals {
+		kc.Alive.Set(rid, v, 1)
+		kc.Deg.Set(rid, v, int64(kc.G.OutDegree(rid, v)))
+	}
+	r.Barrier()
+	r.Epoch(func(ep *am.Epoch) {
+		for _, v := range locals {
+			kc.Check.Invoke(r, v)
+		}
+	})
+}

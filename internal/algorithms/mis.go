@@ -1,0 +1,160 @@
+package algorithms
+
+import (
+	"fmt"
+
+	"declpat/internal/am"
+	"declpat/internal/distgraph"
+	"declpat/internal/pattern"
+	"declpat/internal/pmap"
+)
+
+// MIS state values.
+const (
+	misUndecided = 0
+	misIn        = 1
+	misOut       = 2
+)
+
+// MISPattern builds a Luby-style maximal-independent-set round:
+//
+//	block(vertex v) {                        // v loses to a better neighbour
+//	  generator: u in adj;
+//	  if (state[v] == 0 && state[u] == 0 && prio[u] < prio[v])
+//	    blocked[v] = max(blocked[v], 1);
+//	}
+//	exclude(vertex v) {                      // MIS members exclude neighbours
+//	  generator: u in adj;
+//	  if (state[v] == 1 && state[u] == 0)
+//	    state[u] = 2;
+//	}
+//
+// The strategy alternates epochs of these actions with local joins (an
+// undecided, unblocked vertex enters the MIS) — the paper's mixture of
+// declarative patterns and imperative support code.
+func MISPattern() *pattern.Pattern {
+	p := pattern.New("MIS")
+	prio := p.VertexProp("prio")
+	state := p.VertexProp("state")
+	blocked := p.VertexProp("blocked")
+
+	block := p.Action("block", pattern.Adj())
+	block.If(pattern.And(
+		pattern.Eq(state.At(pattern.V()), pattern.C(misUndecided)),
+		pattern.And(
+			pattern.Eq(state.At(pattern.U()), pattern.C(misUndecided)),
+			pattern.Lt(prio.At(pattern.U()), prio.At(pattern.V())),
+		),
+	)).SetMax(blocked.At(pattern.V()), pattern.C(1))
+
+	exclude := p.Action("exclude", pattern.Adj())
+	exclude.If(pattern.And(
+		pattern.Eq(state.At(pattern.V()), pattern.C(misIn)),
+		pattern.Eq(state.At(pattern.U()), pattern.C(misUndecided)),
+	)).Set(state.At(pattern.U()), pattern.C(misOut))
+
+	return p
+}
+
+// MIS computes a maximal independent set of a symmetrized graph using
+// deterministic hash priorities (ties broken by vertex id, so the result is
+// machine-independent).
+type MIS struct {
+	G *distgraph.Graph
+	// State[v] after Run: 1 = in the MIS, 2 = excluded.
+	State *pmap.VertexWord
+
+	prio, blocked  *pmap.VertexWord
+	Block, Exclude *pattern.BoundAction
+
+	// Rounds reports the Luby rounds of the last Run (written by rank 0).
+	Rounds int
+}
+
+// NewMIS binds the MIS pattern over eng's (symmetrized) graph. Call before
+// Universe.Run.
+func NewMIS(eng *pattern.Engine) *MIS {
+	g := eng.Graph()
+	m := &MIS{
+		G:       g,
+		State:   pmap.NewVertexWord(g.Dist(), misUndecided),
+		prio:    pmap.NewVertexWord(g.Dist(), 0),
+		blocked: pmap.NewVertexWord(g.Dist(), 0),
+	}
+	bound, err := eng.Bind(MISPattern(), pattern.Bindings{
+		"prio": m.prio, "state": m.State, "blocked": m.blocked,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("algorithms: MIS bind: %v", err))
+	}
+	m.Block = bound.Action("block")
+	m.Exclude = bound.Action("exclude")
+	return m
+}
+
+// misPrio gives every vertex a deterministic pseudo-random priority with no
+// ties: the low 22 bits are the vertex id itself, so priorities are unique
+// for graphs up to 2^22 vertices (far beyond the simulated scales).
+func misPrio(v distgraph.Vertex) int64 {
+	x := uint64(v)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+	x ^= x >> 33
+	return int64((x%(1<<40))<<22) | int64(v&((1<<22)-1))
+}
+
+// Run computes the MIS. Collective.
+func (m *MIS) Run(r *am.Rank) {
+	g := m.G
+	rid := r.ID()
+	locals := LocalVertices(g, r)
+	for _, v := range locals {
+		m.State.Set(rid, v, misUndecided)
+		m.prio.Set(rid, v, misPrio(v))
+		m.blocked.Set(rid, v, 0)
+	}
+	r.Barrier()
+	rounds := 0
+	for {
+		rounds++
+		// Phase 1 (declarative): find blocked vertices.
+		r.Epoch(func(ep *am.Epoch) {
+			for _, v := range locals {
+				if m.State.Get(rid, v) == misUndecided {
+					m.Block.Invoke(r, v)
+				}
+			}
+		})
+		// Phase 2 (local): unblocked undecided vertices join the MIS.
+		joined := int64(0)
+		for _, v := range locals {
+			if m.State.Get(rid, v) == misUndecided && m.blocked.Get(rid, v) == 0 {
+				m.State.Set(rid, v, misIn)
+				joined++
+			}
+			m.blocked.Set(rid, v, 0)
+		}
+		// Phase 3 (declarative): new members exclude their neighbours.
+		r.Epoch(func(ep *am.Epoch) {
+			for _, v := range locals {
+				if m.State.Get(rid, v) == misIn {
+					m.Exclude.Invoke(r, v)
+				}
+			}
+		})
+		undecided := int64(0)
+		for _, v := range locals {
+			if m.State.Get(rid, v) == misUndecided {
+				undecided++
+			}
+		}
+		if r.AllReduceSum(undecided) == 0 {
+			break
+		}
+		if rounds > 64 {
+			panic("algorithms: MIS did not converge")
+		}
+	}
+	if rid == 0 {
+		m.Rounds = rounds
+	}
+	r.Barrier()
+}

@@ -1,0 +1,184 @@
+package algorithms
+
+import (
+	"fmt"
+
+	"declpat/internal/am"
+	"declpat/internal/distgraph"
+	"declpat/internal/pattern"
+	"declpat/internal/pmap"
+)
+
+// PRScale is the fixed-point scale of PageRank values (rank 1.0 == PRScale).
+// Words are the engine's value type, so ranks are Q34.30 fixed point.
+const PRScale = int64(1) << 30
+
+// PageRankPushPattern spreads each vertex's per-round contribution to its
+// out-neighbours with remote atomic adds:
+//
+//	spread(vertex v) {
+//	  generator: e in out_edges;
+//	  next[trg(e)] += contrib[v];
+//	}
+//
+// One message per edge; the contribution is entry-local payload.
+func PageRankPushPattern() *pattern.Pattern {
+	p := pattern.New("PageRank-push")
+	contrib := p.VertexProp("contrib")
+	next := p.VertexProp("next")
+	spread := p.Action("spread", pattern.OutEdges())
+	spread.Do().AddTo(next.At(pattern.Trg()), contrib.At(pattern.V()))
+	return p
+}
+
+// PageRankPullPattern gathers contributions over in-edges (the generator the
+// bidirectional storage model exists for): the contribution lives at the
+// remote source, so the plan is a two-hop request/response per edge —
+// the push/pull message asymmetry measured by experiment E13.
+//
+//	gather(vertex v) {
+//	  generator: e in in_edges;
+//	  next[v] += contrib[src(e)];
+//	}
+func PageRankPullPattern() *pattern.Pattern {
+	p := pattern.New("PageRank-pull")
+	contrib := p.VertexProp("contrib")
+	next := p.VertexProp("next")
+	gather := p.Action("gather", pattern.InEdges())
+	gather.Do().AddTo(next.At(pattern.V()), contrib.At(pattern.Src()))
+	return p
+}
+
+// PageRankMode selects the communication direction.
+type PageRankMode int
+
+const (
+	// PageRankPush scatters contributions over out-edges.
+	PageRankPush PageRankMode = iota
+	// PageRankPull gathers contributions over in-edges (requires a
+	// bidirectional graph).
+	PageRankPull
+)
+
+// PageRank is a damped PageRank solver over patterns, iterated in one epoch
+// per round with local recomputation between epochs (the paper's imperative
+// support code around declarative patterns).
+type PageRank struct {
+	G *distgraph.Graph
+	// Rank holds the fixed-point ranks (scale PRScale) after Run.
+	Rank *pmap.VertexWord
+	// Action is the bound spread/gather action.
+	Action *pattern.BoundAction
+
+	contrib *pmap.VertexWord
+	next    *pmap.VertexWord
+	outdeg  *pmap.VertexWord
+	mode    PageRankMode
+
+	// Damping is the damping factor in fixed-point scale (default
+	// 0.85 * PRScale).
+	Damping int64
+	// MaxIters bounds the rounds (default 50).
+	MaxIters int
+	// Tolerance stops iteration when the total absolute rank change per
+	// round falls below it (fixed-point; default PRScale/1e6).
+	Tolerance int64
+	// Rounds reports the rounds executed by the last Run.
+	Rounds int
+}
+
+// NewPageRank binds the chosen PageRank pattern over eng's graph. Pull mode
+// requires a bidirectional graph. Call before Universe.Run.
+func NewPageRank(eng *pattern.Engine, mode PageRankMode) *PageRank {
+	g := eng.Graph()
+	pr := &PageRank{
+		G:         g,
+		Rank:      pmap.NewVertexWord(g.Dist(), 0),
+		contrib:   pmap.NewVertexWord(g.Dist(), 0),
+		next:      pmap.NewVertexWord(g.Dist(), 0),
+		outdeg:    pmap.NewVertexWord(g.Dist(), 0),
+		mode:      mode,
+		Damping:   85 * PRScale / 100,
+		MaxIters:  50,
+		Tolerance: PRScale / 1_000_000,
+	}
+	var pat *pattern.Pattern
+	var actionName string
+	if mode == PageRankPush {
+		pat, actionName = PageRankPushPattern(), "spread"
+	} else {
+		pat, actionName = PageRankPullPattern(), "gather"
+	}
+	bound, err := eng.Bind(pat, pattern.Bindings{"contrib": pr.contrib, "next": pr.next})
+	if err != nil {
+		panic(fmt.Sprintf("algorithms: PageRank bind: %v", err))
+	}
+	pr.Action = bound.Action(actionName)
+	return pr
+}
+
+// Run iterates PageRank to tolerance or MaxIters. Collective.
+func (pr *PageRank) Run(r *am.Rank) {
+	g := pr.G
+	rid := r.ID()
+	n := int64(g.NumVertices())
+	locals := LocalVertices(g, r)
+
+	for _, v := range locals {
+		pr.Rank.Set(rid, v, PRScale/n)
+		pr.outdeg.Set(rid, v, int64(g.OutDegree(rid, v)))
+	}
+	r.Barrier()
+
+	base := (PRScale - pr.Damping) / n
+	rounds := 0
+	for iter := 0; iter < pr.MaxIters; iter++ {
+		rounds++
+		// Local pre-round: contributions and dangling mass.
+		var dangling int64
+		for _, v := range locals {
+			rank := pr.Rank.GetRelaxed(rid, v)
+			deg := pr.outdeg.GetRelaxed(rid, v)
+			if deg == 0 {
+				dangling += rank
+				pr.contrib.SetRelaxed(rid, v, 0)
+			} else {
+				pr.contrib.SetRelaxed(rid, v, mulScale(pr.Damping, rank)/deg)
+			}
+			pr.next.SetRelaxed(rid, v, 0)
+		}
+		danglingAll := r.AllReduceSum(dangling)
+		danglingShare := mulScale(pr.Damping, danglingAll) / n
+
+		// The declarative part: one epoch of spreads/gathers.
+		r.Epoch(func(ep *am.Epoch) {
+			for _, v := range locals {
+				pr.Action.Invoke(r, v)
+			}
+		})
+
+		// Local post-round: fold in base + dangling, measure change.
+		var delta int64
+		for _, v := range locals {
+			nv := base + danglingShare + pr.next.GetRelaxed(rid, v)
+			ov := pr.Rank.GetRelaxed(rid, v)
+			if nv > ov {
+				delta += nv - ov
+			} else {
+				delta += ov - nv
+			}
+			pr.Rank.SetRelaxed(rid, v, nv)
+		}
+		if r.AllReduceSum(delta) < pr.Tolerance {
+			break
+		}
+	}
+	if rid == 0 {
+		pr.Rounds = rounds
+	}
+	r.Barrier()
+}
+
+// mulScale computes (a/PRScale)*b. Operands are bounded by PRScale (total
+// rank mass is 1.0), so the product fits in an int64 (2^60 < 2^63).
+func mulScale(a, b int64) int64 { return a * b / PRScale }

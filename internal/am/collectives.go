@@ -1,0 +1,114 @@
+package am
+
+import "sync"
+
+// Barrier is a reusable barrier for n participants (the rank main
+// goroutines). It creates the happens-before edges the collectives rely on.
+type Barrier struct {
+	n     int
+	mu    sync.Mutex
+	cv    *sync.Cond
+	count int
+	gen   uint64
+}
+
+// NewBarrier creates a barrier for n participants.
+func NewBarrier(n int) *Barrier {
+	b := &Barrier{n: n}
+	b.cv = sync.NewCond(&b.mu)
+	return b
+}
+
+// Wait blocks until all n participants have called Wait for the current
+// generation.
+func (b *Barrier) Wait() {
+	b.mu.Lock()
+	gen := b.gen
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.gen++
+		b.mu.Unlock()
+		b.cv.Broadcast()
+		return
+	}
+	for b.gen == gen {
+		b.cv.Wait()
+	}
+	b.mu.Unlock()
+}
+
+// collectives holds the scratch space for rank collectives.
+type collectives struct {
+	vals []int64
+}
+
+func (c *collectives) init(n int) {
+	c.vals = make([]int64, n)
+}
+
+// Barrier synchronizes all rank main goroutines. Collective: every rank must
+// call it. Must not be called from message handlers or extra body threads.
+func (r *Rank) Barrier() { r.u.barrier.Wait() }
+
+// AllReduceInt64 reduces one int64 contribution per rank with op and returns
+// the result on every rank. Collective.
+func (r *Rank) AllReduceInt64(x int64, op func(a, b int64) int64) int64 {
+	u := r.u
+	u.coll.vals[r.id] = x
+	r.Barrier()
+	acc := u.coll.vals[0]
+	for i := 1; i < u.cfg.Ranks; i++ {
+		acc = op(acc, u.coll.vals[i])
+	}
+	r.Barrier()
+	return acc
+}
+
+// AllReduceSum returns the sum of every rank's contribution. Collective.
+func (r *Rank) AllReduceSum(x int64) int64 {
+	return r.AllReduceInt64(x, func(a, b int64) int64 { return a + b })
+}
+
+// AllReduceMin returns the minimum of every rank's contribution. Collective.
+func (r *Rank) AllReduceMin(x int64) int64 {
+	return r.AllReduceInt64(x, func(a, b int64) int64 {
+		if a < b {
+			return a
+		}
+		return b
+	})
+}
+
+// AllReduceMax returns the maximum of every rank's contribution. Collective.
+func (r *Rank) AllReduceMax(x int64) int64 {
+	return r.AllReduceInt64(x, func(a, b int64) int64 {
+		if a > b {
+			return a
+		}
+		return b
+	})
+}
+
+// AllReduceOr returns the logical OR of every rank's contribution.
+// Collective. Used by the paper's `once` strategy to learn whether any rank
+// performed a property-map modification.
+func (r *Rank) AllReduceOr(x bool) bool {
+	var v int64
+	if x {
+		v = 1
+	}
+	return r.AllReduceMax(v) != 0
+}
+
+// AllGatherInt64 gathers one contribution per rank; index i of the result is
+// rank i's value. Collective.
+func (r *Rank) AllGatherInt64(x int64) []int64 {
+	u := r.u
+	u.coll.vals[r.id] = x
+	r.Barrier()
+	out := make([]int64, u.cfg.Ranks)
+	copy(out, u.coll.vals)
+	r.Barrier()
+	return out
+}

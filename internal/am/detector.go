@@ -1,0 +1,100 @@
+package am
+
+import "sync"
+
+// atomicQuiesced reports whether the universe is quiescent according to the
+// shared-counter detector: every epoch-body participant idle, no message
+// pending (sent but not fully handled), and no registered deferred work.
+//
+// Once true, the condition is stable: no body is running, no handler is
+// running (pending counts messages through handler completion), and work can
+// only be created by bodies or handlers. The idle counters are re-read after
+// pending to close the window where a body went back to work because it saw
+// a pending message that has since been handled (see DESIGN.md).
+func (u *Universe) atomicQuiesced() bool {
+	if !u.bodiesIdle() {
+		return false
+	}
+	if u.pending.Load() != 0 || u.totalAux() != 0 {
+		return false
+	}
+	if !u.bodiesIdle() {
+		return false
+	}
+	return u.pending.Load() == 0 && u.totalAux() == 0
+}
+
+func (u *Universe) bodiesIdle() bool {
+	for _, r := range u.ranks {
+		if r.idleBodies.Load() < r.totalBodies.Load() {
+			return false
+		}
+	}
+	return true
+}
+
+// ctrlProbe is a termination-detection control message; the receiving rank
+// replies with a snapshot of its counters.
+type ctrlProbe struct {
+	reply chan ctrlReply
+}
+
+type ctrlReply struct {
+	sent, recv, aux int64
+	active          int32
+	idle, total     int32
+}
+
+// fourCounterDriver implements Mattern-style four-counter termination
+// detection. Rank 0 owns the driver for the duration of one epoch; wave()
+// probes every rank and reports termination after two consecutive identical
+// quiescent snapshots (the second wave proves no message was in flight
+// during the first).
+type fourCounterDriver struct {
+	u                  *Universe
+	mu                 sync.Mutex
+	replyCh            chan ctrlReply
+	prevSent, prevRecv int64
+	havePrev           bool
+}
+
+func newFourCounterDriver(u *Universe) *fourCounterDriver {
+	return &fourCounterDriver{u: u, replyCh: make(chan ctrlReply, u.cfg.Ranks)}
+}
+
+// wave runs one probe wave and reports whether the epoch has terminated.
+// Safe for concurrent callers (waves serialize).
+func (d *fourCounterDriver) wave() bool {
+	u := d.u
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if u.epochDone.Load() {
+		return true
+	}
+	u.Stats.TDWaves.Add(1)
+	for _, r := range u.ranks {
+		r.ctrl <- ctrlProbe{reply: d.replyCh}
+	}
+	var sent, recv, aux int64
+	var active int32
+	quiet := true
+	for i := 0; i < u.cfg.Ranks; i++ {
+		rep := <-d.replyCh
+		sent += rep.sent
+		recv += rep.recv
+		aux += rep.aux
+		active += rep.active
+		if rep.idle < rep.total {
+			quiet = false
+		}
+	}
+	ok := quiet && active == 0 && aux == 0 && sent == recv &&
+		d.havePrev && sent == d.prevSent && recv == d.prevRecv
+	d.prevSent, d.prevRecv, d.havePrev = sent, recv, true
+	if ok {
+		u.trace(0, TraceTDWave, 1, sent)
+	} else {
+		u.trace(0, TraceTDWave, 0, sent)
+	}
+	return ok
+}

@@ -1,0 +1,202 @@
+package am
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Epoch is the handle an epoch body uses to interact with the messaging
+// layer: flushing, cooperative progress, and early-termination attempts.
+// One Epoch value is passed to each body participant (rank thread).
+type Epoch struct {
+	r   *Rank
+	tid int
+}
+
+// Rank returns the rank this epoch participant runs on.
+func (ep *Epoch) Rank() *Rank { return ep.r }
+
+// Thread returns this participant's thread id within its rank (0 for plain
+// Epoch bodies).
+func (ep *Epoch) Thread() int { return ep.tid }
+
+// Epoch runs body inside a collective epoch: every rank of the universe must
+// call Epoch "at the same time" (same sequence of collective calls). The
+// call returns on every rank only after all messages sent by any body or any
+// handler — transitively — have been handled everywhere (the paper's epoch
+// guarantee, §II and §III-D).
+func (r *Rank) Epoch(body func(ep *Epoch)) {
+	r.EpochThreaded(1, func(_ int, ep *Epoch) { body(ep) })
+}
+
+// EpochThreaded is Epoch with nthreads body participants per rank, used by
+// strategies that subdivide rank-local work across threads (the distributed
+// Δ-stepping of §III-D). Each participant may call Flush and TryFinish on
+// its own Epoch handle.
+//
+// Contract for TryFinish users: any rank-local deferred work (e.g. bucket
+// contents) must be registered with AuxAdd before the message that created
+// it finishes handling, and unregistered when consumed; otherwise the epoch
+// can terminate while work remains.
+func (r *Rank) EpochThreaded(nthreads int, body func(tid int, ep *Epoch)) {
+	if nthreads < 1 {
+		panic("am: EpochThreaded needs at least one body thread")
+	}
+	u := r.u
+	r.totalBodies.Store(int32(nthreads))
+	r.idleBodies.Store(0)
+	r.inEpoch.Store(true)
+	if u.cfg.Detector == DetectorFourCounter && r.id == 0 {
+		r.fc = newFourCounterDriver(u)
+	}
+	u.trace(r.id, TraceEpochBegin, u.epochSeq.Load(), int64(nthreads))
+	r.Barrier() // all ranks registered before anyone can quiesce
+
+	if nthreads == 1 {
+		body(0, &Epoch{r: r, tid: 0})
+		r.idleBodies.Add(1)
+	} else {
+		var wg sync.WaitGroup
+		for t := 0; t < nthreads; t++ {
+			wg.Add(1)
+			go func(t int) {
+				defer wg.Done()
+				body(t, &Epoch{r: r, tid: t})
+				r.idleBodies.Add(1)
+			}(t)
+		}
+		// The rank main participates in progress while bodies run.
+		r.progressUntilDone()
+		wg.Wait()
+	}
+	// Keep making progress until the whole universe is quiescent.
+	r.progressUntilDone()
+
+	r.Barrier()
+	u.trace(r.id, TraceEpochEnd, u.epochSeq.Load(), 0)
+	// All ranks observed epochDone and stopped sending; rank 0 resets the
+	// shared flag between the two barriers so the next epoch starts clean.
+	if r.id == 0 {
+		u.epochDone.Store(false)
+		u.epochSeq.Add(1)
+		u.Stats.Epochs.Add(1)
+	}
+	r.inEpoch.Store(false)
+	r.auxWork.Store(0)
+	r.totalBodies.Store(0)
+	r.idleBodies.Store(0)
+	r.fc = nil
+	r.Barrier()
+}
+
+// progressUntilDone flushes, delivers, and participates in termination
+// detection until the epoch is globally finished.
+func (r *Rank) progressUntilDone() {
+	u := r.u
+	for !u.epochDone.Load() {
+		flushed := r.flushAll()
+		worked := r.drainSome(64)
+		if flushed || worked {
+			continue
+		}
+		switch u.cfg.Detector {
+		case DetectorAtomic:
+			if u.atomicQuiesced() {
+				u.epochDone.Store(true)
+			}
+		case DetectorFourCounter:
+			if r.fc != nil && r.fc.wave() {
+				u.epochDone.Store(true)
+			}
+		}
+		runtime.Gosched()
+	}
+	// Drain leftovers addressed to us that raced with the done flag: by
+	// the detector's guarantee there are none, but a final sweep keeps the
+	// inbox empty for the next epoch even if a future detector is lossy.
+	for r.drainSome(64) {
+	}
+}
+
+// Flush implements the paper's epoch_flush: ship all locally buffered
+// messages and perform as much pending local work as possible before
+// returning control to the body.
+func (ep *Epoch) Flush() {
+	r := ep.r
+	r.u.Stats.Flushes.Add(1)
+	r.u.trace(r.id, TraceFlush, 0, 0)
+	for {
+		flushed := r.flushAll()
+		worked := r.drainSome(1 << 30)
+		if !flushed && !worked {
+			return
+		}
+	}
+}
+
+// AuxAdd registers n units of rank-local deferred work (e.g. items inserted
+// into Δ-stepping buckets) with the termination detector. Call with negative
+// n when work is consumed. Work must be registered on the rank that owns it.
+func (ep *Epoch) AuxAdd(n int64) { ep.r.auxWork.Add(n) }
+
+// AuxAdd on the rank is the handler-side equivalent of Epoch.AuxAdd; message
+// handlers run without an Epoch handle but may create rank-local work.
+func (r *Rank) AuxAdd(n int64) { r.auxWork.Add(n) }
+
+// tryFinishSpins bounds the idle confirmation loop inside TryFinish.
+const tryFinishSpins = 32
+
+// TryFinish implements the paper's try_finish: flush, help with pending
+// work, and attempt to end the epoch. It returns true when the epoch has
+// terminated globally (the caller must then leave the body); false means
+// more work may exist (possibly the caller's own, newly arrived) and the
+// body should continue.
+//
+// The caller must have drained its own deferred work (AuxAdd balance of its
+// contributions zero) before calling.
+func (ep *Epoch) TryFinish() bool {
+	r := ep.r
+	u := r.u
+	r.flushAll()
+	r.drainSome(1 << 30)
+	if u.epochDone.Load() {
+		return true
+	}
+	r.idleBodies.Add(1)
+	for i := 0; i < tryFinishSpins; i++ {
+		if u.epochDone.Load() {
+			// Stay counted as idle: the epoch is over.
+			return true
+		}
+		switch u.cfg.Detector {
+		case DetectorAtomic:
+			if u.atomicQuiesced() {
+				u.epochDone.Store(true)
+				return true
+			}
+			if u.pending.Load() > 0 || u.totalAux() > 0 {
+				i = tryFinishSpins // real work exists somewhere
+			}
+		case DetectorFourCounter:
+			// Rank 0 drives waves itself so a body that only ever
+			// loops on TryFinish still terminates; other ranks
+			// wait for the outcome while idle.
+			if r.fc != nil && r.fc.wave() {
+				u.epochDone.Store(true)
+				return true
+			}
+		}
+		runtime.Gosched()
+	}
+	r.idleBodies.Add(-1)
+	return false
+}
+
+// totalAux sums the per-rank deferred-work counters.
+func (u *Universe) totalAux() int64 {
+	var s int64
+	for _, r := range u.ranks {
+		s += r.auxWork.Load()
+	}
+	return s
+}

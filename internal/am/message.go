@@ -1,0 +1,290 @@
+package am
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"reflect"
+	"sync"
+	"sync/atomic"
+)
+
+// msgType is the type-erased registration record for one message type.
+type msgType struct {
+	id      int32
+	name    string
+	size    int64 // payload bytes per message
+	deliver func(r *Rank, data any)
+	// flushRank ships all non-empty buffers owned by r for this type.
+	flushRank func(r *Rank) bool
+	// newBufs allocates the per-rank typed coalescing buffers.
+	newBufs func(nranks int) any
+	// batchLen reports the number of messages in an envelope payload.
+	batchLen func(data any) int
+
+	// per-type counters.
+	sent, handled, envelopes atomic.Int64
+}
+
+// TypeStats reports one message type's traffic.
+type TypeStats struct {
+	Name      string
+	Size      int64
+	Sent      int64
+	Handled   int64
+	Envelopes int64
+}
+
+// TypeStats returns per-message-type traffic counters, in registration
+// order. Read at quiescent points.
+func (u *Universe) TypeStats() []TypeStats {
+	out := make([]TypeStats, len(u.types))
+	for i, mt := range u.types {
+		out[i] = TypeStats{
+			Name:      mt.name,
+			Size:      mt.size,
+			Sent:      mt.sent.Load(),
+			Handled:   mt.handled.Load(),
+			Envelopes: mt.envelopes.Load(),
+		}
+	}
+	return out
+}
+
+// MsgType is a registered active-message type with payload T. The handler
+// runs on the destination rank, possibly concurrently on several handler
+// threads; handlers may freely send further messages of any type (the AM++
+// property the paper depends on).
+type MsgType[T any] struct {
+	u        *Universe
+	id       int32
+	name     string
+	size     int64
+	handler  func(r *Rank, m T)
+	addr     func(m T) int
+	coalesce int
+	gobWire  bool
+	rec      *msgType
+
+	// reduction layer (nil key disables it).
+	key     func(m T) uint64
+	combine func(old, incoming T) (merged T, changed bool)
+}
+
+// typedBufs holds one rank's per-destination coalescing buffers for one
+// message type. Buffers are locked per destination because the rank's body
+// thread and its handler threads send concurrently.
+type typedBufs[T any] struct {
+	mu   []sync.Mutex
+	buf  [][]T
+	keys []map[uint64]int // reduction index; nil when reduction disabled
+}
+
+// Register declares a new message type on u with the given handler. It must
+// be called before Universe.Run. The handler must not be nil.
+func Register[T any](u *Universe, name string, handler func(r *Rank, m T)) *MsgType[T] {
+	if u.frozen.Load() {
+		panic("am: Register after Run")
+	}
+	if handler == nil {
+		panic("am: nil handler for message type " + name)
+	}
+	var zero T
+	mt := &MsgType[T]{
+		u:        u,
+		id:       int32(len(u.types)),
+		name:     name,
+		size:     int64(reflect.TypeOf(zero).Size()),
+		handler:  handler,
+		coalesce: u.cfg.CoalesceSize,
+	}
+	rec := &msgType{
+		id:   mt.id,
+		name: name,
+		size: mt.size,
+		deliver: func(r *Rank, data any) {
+			batch := data.([]T)
+			for _, m := range batch {
+				mt.handler(r, m)
+				r.u.Stats.HandlersRun.Add(1)
+				mt.rec.handled.Add(1)
+				r.recvC.Add(1)
+				r.u.pending.Add(-1)
+			}
+		},
+		flushRank: func(r *Rank) bool { return mt.flushBuffers(r) },
+		batchLen:  func(data any) int { return len(data.([]T)) },
+		newBufs: func(nranks int) any {
+			tb := &typedBufs[T]{
+				mu:  make([]sync.Mutex, nranks),
+				buf: make([][]T, nranks),
+			}
+			if mt.key != nil {
+				tb.keys = make([]map[uint64]int, nranks)
+			}
+			return tb
+		},
+	}
+	mt.rec = rec
+	u.types = append(u.types, rec)
+	return mt
+}
+
+// WithAddresser installs an object-based address function: Send computes the
+// destination rank from the payload (paper §IV-D). Returns the receiver for
+// chaining.
+func (t *MsgType[T]) WithAddresser(f func(m T) int) *MsgType[T] {
+	t.addr = f
+	return t
+}
+
+// WithCoalescing overrides the universe-default coalescing factor for this
+// type. n == 1 disables coalescing (every message ships immediately).
+func (t *MsgType[T]) WithCoalescing(n int) *MsgType[T] {
+	if n < 1 {
+		n = 1
+	}
+	t.coalesce = n
+	return t
+}
+
+// WithReduction installs the caching/reduction layer: while a message with
+// the same key is still buffered, an incoming message is combined into it
+// instead of being enqueued. combine receives the buffered message and the
+// incoming one and returns the merged payload plus whether the buffer entry
+// should be overwritten. Either way the incoming message is counted as
+// suppressed; it will never reach a handler by itself.
+func (t *MsgType[T]) WithReduction(key func(m T) uint64, combine func(old, incoming T) (T, bool)) *MsgType[T] {
+	if t.u.frozen.Load() {
+		panic("am: WithReduction after Run")
+	}
+	t.key = key
+	t.combine = combine
+	return t
+}
+
+// WithGobTransport routes this type's envelopes through a real
+// serialization round trip (encoding/gob): every shipped batch is encoded to
+// bytes, accounted in Stats.WireBytes, and decoded on arrival. This both
+// validates that the message type is wire-safe (a distributed deployment
+// could ship it as-is) and measures true serialized sizes. Payload type T
+// must be gob-encodable (exported fields).
+func (t *MsgType[T]) WithGobTransport() *MsgType[T] {
+	t.gobWire = true
+	return t
+}
+
+// Name returns the registration name.
+func (t *MsgType[T]) Name() string { return t.name }
+
+// Size returns the payload size in bytes.
+func (t *MsgType[T]) Size() int64 { return t.size }
+
+// Send routes m using the type's address function. It panics if no address
+// function was installed or if the sender is not inside an epoch.
+func (t *MsgType[T]) Send(r *Rank, m T) {
+	if t.addr == nil {
+		panic("am: Send on type " + t.name + " without addresser; use SendTo")
+	}
+	t.SendTo(r, t.addr(m), m)
+}
+
+// SendTo sends m to rank dest. Must be called inside an epoch (from an epoch
+// body or from a handler).
+func (t *MsgType[T]) SendTo(r *Rank, dest int, m T) {
+	if dest < 0 || dest >= r.u.cfg.Ranks {
+		panic(fmt.Sprintf("am: SendTo(%s): destination %d out of range [0,%d)", t.name, dest, r.u.cfg.Ranks))
+	}
+	if !r.inEpoch.Load() {
+		panic("am: SendTo(" + t.name + ") outside an epoch")
+	}
+	tb := r.bufs[t.id].(*typedBufs[T])
+	tb.mu[dest].Lock()
+	if t.key != nil {
+		k := t.key(m)
+		km := tb.keys[dest]
+		if km == nil {
+			km = make(map[uint64]int, t.coalesce)
+			tb.keys[dest] = km
+		}
+		if i, ok := km[k]; ok {
+			merged, changed := t.combine(tb.buf[dest][i], m)
+			if changed {
+				tb.buf[dest][i] = merged
+				r.u.Stats.MsgsCombined.Add(1)
+			}
+			tb.mu[dest].Unlock()
+			r.u.Stats.MsgsSuppressed.Add(1)
+			return
+		}
+		km[k] = len(tb.buf[dest])
+	}
+	if tb.buf[dest] == nil {
+		tb.buf[dest] = make([]T, 0, t.coalesce)
+	}
+	tb.buf[dest] = append(tb.buf[dest], m)
+	r.u.Stats.MsgsSent.Add(1)
+	t.rec.sent.Add(1)
+	r.sentC.Add(1)
+	r.u.pending.Add(1)
+	var ship []T
+	if len(tb.buf[dest]) >= t.coalesce {
+		ship = tb.buf[dest]
+		tb.buf[dest] = nil
+		if tb.keys != nil {
+			tb.keys[dest] = nil
+		}
+	}
+	tb.mu[dest].Unlock()
+	if ship != nil {
+		t.ship(r, dest, ship)
+	}
+}
+
+// ship moves a finished batch onto the destination rank's inbox, optionally
+// through a serialization round trip.
+func (t *MsgType[T]) ship(r *Rank, dest int, batch []T) {
+	r.u.Stats.Envelopes.Add(1)
+	t.rec.envelopes.Add(1)
+	r.u.Stats.BytesSent.Add(t.size*int64(len(batch)) + envelopeHeaderBytes)
+	r.u.trace(r.id, TraceShip, int64(t.id), int64(len(batch)))
+	if t.gobWire {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(batch); err != nil {
+			panic(fmt.Sprintf("am: gob encode %s: %v", t.name, err))
+		}
+		r.u.Stats.WireBytes.Add(int64(buf.Len()))
+		var decoded []T
+		if err := gob.NewDecoder(&buf).Decode(&decoded); err != nil {
+			panic(fmt.Sprintf("am: gob decode %s: %v", t.name, err))
+		}
+		batch = decoded
+	}
+	r.u.ranks[dest].inbox.Push(envelope{typeID: t.id, data: batch})
+}
+
+// envelopeHeaderBytes models the fixed per-envelope wire overhead (type id,
+// count, routing) included in the byte accounting.
+const envelopeHeaderBytes = 16
+
+// flushBuffers ships every non-empty buffer r owns for this type.
+func (t *MsgType[T]) flushBuffers(r *Rank) bool {
+	tb := r.bufs[t.id].(*typedBufs[T])
+	worked := false
+	for dest := range tb.buf {
+		tb.mu[dest].Lock()
+		batch := tb.buf[dest]
+		if len(batch) == 0 {
+			tb.mu[dest].Unlock()
+			continue
+		}
+		tb.buf[dest] = nil
+		if tb.keys != nil {
+			tb.keys[dest] = nil
+		}
+		tb.mu[dest].Unlock()
+		t.ship(r, dest, batch)
+		worked = true
+	}
+	return worked
+}

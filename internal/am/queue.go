@@ -1,0 +1,98 @@
+package am
+
+import "sync"
+
+// queue is an unbounded multi-producer multi-consumer FIFO of envelopes.
+//
+// Unboundedness matters: handlers send messages, and a bounded inbox could
+// deadlock when all handler threads block sending into full inboxes. AM++
+// avoids this with its own buffering; we use a growable ring.
+type queue struct {
+	mu     sync.Mutex
+	nonEmp sync.Cond
+	buf    []envelope
+	head   int // index of first element
+	n      int // number of elements
+	closed bool
+}
+
+func newQueue() *queue {
+	q := &queue{buf: make([]envelope, 64)}
+	q.nonEmp.L = &q.mu
+	return q
+}
+
+// Push appends e. It never blocks.
+func (q *queue) Push(e envelope) {
+	q.mu.Lock()
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = e
+	q.n++
+	q.mu.Unlock()
+	q.nonEmp.Signal()
+}
+
+func (q *queue) grow() {
+	nb := make([]envelope, 2*len(q.buf))
+	for i := 0; i < q.n; i++ {
+		nb[i] = q.buf[(q.head+i)%len(q.buf)]
+	}
+	q.buf = nb
+	q.head = 0
+}
+
+// Pop removes and returns the oldest envelope, blocking until one is
+// available or the queue is closed. ok is false iff the queue was closed and
+// drained.
+func (q *queue) Pop() (e envelope, ok bool) {
+	q.mu.Lock()
+	for q.n == 0 && !q.closed {
+		q.nonEmp.Wait()
+	}
+	if q.n == 0 {
+		q.mu.Unlock()
+		return envelope{}, false
+	}
+	e = q.take()
+	q.mu.Unlock()
+	return e, true
+}
+
+// TryPop removes and returns the oldest envelope without blocking.
+func (q *queue) TryPop() (e envelope, ok bool) {
+	q.mu.Lock()
+	if q.n == 0 {
+		q.mu.Unlock()
+		return envelope{}, false
+	}
+	e = q.take()
+	q.mu.Unlock()
+	return e, true
+}
+
+func (q *queue) take() envelope {
+	e := q.buf[q.head]
+	q.buf[q.head] = envelope{} // release payload for GC
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	return e
+}
+
+// Len reports the current number of queued envelopes.
+func (q *queue) Len() int {
+	q.mu.Lock()
+	n := q.n
+	q.mu.Unlock()
+	return n
+}
+
+// Close wakes all blocked consumers; subsequent Pops drain and then report
+// !ok.
+func (q *queue) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.nonEmp.Broadcast()
+}

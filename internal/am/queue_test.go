@@ -1,0 +1,129 @@
+package am
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestQueueFIFO(t *testing.T) {
+	q := newQueue()
+	for i := 0; i < 1000; i++ {
+		q.Push(envelope{typeID: int32(i)})
+	}
+	for i := 0; i < 1000; i++ {
+		e, ok := q.TryPop()
+		if !ok {
+			t.Fatalf("TryPop %d: empty", i)
+		}
+		if e.typeID != int32(i) {
+			t.Fatalf("TryPop %d: got typeID %d", i, e.typeID)
+		}
+	}
+	if _, ok := q.TryPop(); ok {
+		t.Fatal("queue should be empty")
+	}
+}
+
+func TestQueueGrowPreservesOrder(t *testing.T) {
+	// Exercise wrap-around + grow: interleave pushes and pops so head is
+	// in the middle of the ring when growth happens.
+	f := func(ops []bool) bool {
+		q := newQueue()
+		next, expect := int32(0), int32(0)
+		for _, push := range ops {
+			if push {
+				q.Push(envelope{typeID: next})
+				next++
+			} else if e, ok := q.TryPop(); ok {
+				if e.typeID != expect {
+					return false
+				}
+				expect++
+			}
+		}
+		for {
+			e, ok := q.TryPop()
+			if !ok {
+				break
+			}
+			if e.typeID != expect {
+				return false
+			}
+			expect++
+		}
+		return expect == next
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueueConcurrent(t *testing.T) {
+	q := newQueue()
+	const producers, perProducer, consumers = 8, 2000, 4
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				q.Push(envelope{typeID: 1})
+			}
+		}()
+	}
+	got := make(chan int, consumers)
+	var cg sync.WaitGroup
+	for c := 0; c < consumers; c++ {
+		cg.Add(1)
+		go func() {
+			defer cg.Done()
+			n := 0
+			for {
+				_, ok := q.Pop()
+				if !ok {
+					break
+				}
+				n++
+			}
+			got <- n
+		}()
+	}
+	wg.Wait()
+	q.Close()
+	cg.Wait()
+	close(got)
+	total := 0
+	for n := range got {
+		total += n
+	}
+	if total != producers*perProducer {
+		t.Fatalf("consumed %d, want %d", total, producers*perProducer)
+	}
+}
+
+func TestQueuePopBlocksUntilPush(t *testing.T) {
+	q := newQueue()
+	done := make(chan envelope)
+	go func() {
+		e, _ := q.Pop()
+		done <- e
+	}()
+	q.Push(envelope{typeID: 7})
+	if e := <-done; e.typeID != 7 {
+		t.Fatalf("got typeID %d, want 7", e.typeID)
+	}
+}
+
+func TestQueueCloseUnblocks(t *testing.T) {
+	q := newQueue()
+	done := make(chan bool)
+	go func() {
+		_, ok := q.Pop()
+		done <- ok
+	}()
+	q.Close()
+	if ok := <-done; ok {
+		t.Fatal("Pop after Close on empty queue should report !ok")
+	}
+}

@@ -1,0 +1,81 @@
+package am
+
+import "sync/atomic"
+
+// Stats holds the universe-wide message accounting. All counters are updated
+// atomically by every rank and handler thread; read them between epochs (or
+// after Run) for exact values.
+type Stats struct {
+	// MsgsSent counts user-level messages accepted by Send (after the
+	// reduction layer; suppressed messages are in MsgsSuppressed).
+	MsgsSent atomic.Int64
+	// MsgsSuppressed counts messages absorbed by the caching/reduction
+	// layer (combined into an already-buffered message).
+	MsgsSuppressed atomic.Int64
+	// MsgsCombined counts messages that replaced/merged the payload of a
+	// buffered message (a subset of MsgsSuppressed bookkeeping: a combine
+	// that changed the buffered value).
+	MsgsCombined atomic.Int64
+	// Envelopes counts coalesced batches shipped between ranks.
+	Envelopes atomic.Int64
+	// BytesSent counts payload bytes (message size × messages, exact).
+	BytesSent atomic.Int64
+	// WireBytes counts serialized envelope bytes for message types using
+	// the gob wire transport (0 for in-memory transport).
+	WireBytes atomic.Int64
+	// HandlersRun counts individual message handler invocations.
+	HandlersRun atomic.Int64
+	// CtrlMsgs counts termination-detection control messages
+	// (four-counter detector only; the atomic detector sends none).
+	CtrlMsgs atomic.Int64
+	// Epochs counts completed epochs.
+	Epochs atomic.Int64
+	// Flushes counts explicit Flush (epoch_flush) calls.
+	Flushes atomic.Int64
+	// TDWaves counts four-counter probe waves.
+	TDWaves atomic.Int64
+}
+
+// Snapshot is a plain-value copy of Stats, convenient for diffing across an
+// experiment phase.
+type Snapshot struct {
+	MsgsSent, MsgsSuppressed, MsgsCombined int64
+	Envelopes, BytesSent, WireBytes        int64
+	HandlersRun                            int64
+	CtrlMsgs, Epochs, Flushes, TDWaves     int64
+}
+
+// Snapshot returns a consistent-enough copy for use at quiescent points
+// (between epochs).
+func (s *Stats) Snapshot() Snapshot {
+	return Snapshot{
+		MsgsSent:       s.MsgsSent.Load(),
+		MsgsSuppressed: s.MsgsSuppressed.Load(),
+		MsgsCombined:   s.MsgsCombined.Load(),
+		Envelopes:      s.Envelopes.Load(),
+		BytesSent:      s.BytesSent.Load(),
+		WireBytes:      s.WireBytes.Load(),
+		HandlersRun:    s.HandlersRun.Load(),
+		CtrlMsgs:       s.CtrlMsgs.Load(),
+		Epochs:         s.Epochs.Load(),
+		Flushes:        s.Flushes.Load(),
+		TDWaves:        s.TDWaves.Load(),
+	}
+}
+
+// Sub returns s - o, counter by counter.
+func (s Snapshot) Sub(o Snapshot) Snapshot {
+	return Snapshot{
+		MsgsSent:       s.MsgsSent - o.MsgsSent,
+		MsgsSuppressed: s.MsgsSuppressed - o.MsgsSuppressed,
+		MsgsCombined:   s.MsgsCombined - o.MsgsCombined,
+		Envelopes:      s.Envelopes - o.Envelopes,
+		BytesSent:      s.BytesSent - o.BytesSent,
+		WireBytes:      s.WireBytes - o.WireBytes,
+		HandlersRun:    s.HandlersRun - o.HandlersRun,
+		CtrlMsgs:       s.CtrlMsgs - o.CtrlMsgs,
+		Epochs:         s.Epochs - o.Epochs,
+		Flushes:        s.Flushes - o.Flushes,
+		TDWaves:        s.TDWaves - o.TDWaves,
+	}
+}

@@ -1,0 +1,122 @@
+package am
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// TraceKind classifies trace events.
+type TraceKind uint8
+
+// Trace event kinds.
+const (
+	// TraceEpochBegin: a rank entered an epoch (Arg = epoch sequence).
+	TraceEpochBegin TraceKind = iota
+	// TraceEpochEnd: a rank left an epoch (Arg = epoch sequence).
+	TraceEpochEnd
+	// TraceShip: an envelope was shipped (Arg = message type id,
+	// Arg2 = batch length).
+	TraceShip
+	// TraceDeliver: an envelope was delivered (Arg = message type id,
+	// Arg2 = batch length).
+	TraceDeliver
+	// TraceFlush: an explicit Flush (epoch_flush) ran.
+	TraceFlush
+	// TraceTDWave: a four-counter probe wave completed (Arg = 1 if the
+	// wave detected termination).
+	TraceTDWave
+)
+
+func (k TraceKind) String() string {
+	switch k {
+	case TraceEpochBegin:
+		return "epoch-begin"
+	case TraceEpochEnd:
+		return "epoch-end"
+	case TraceShip:
+		return "ship"
+	case TraceDeliver:
+		return "deliver"
+	case TraceFlush:
+		return "flush"
+	case TraceTDWave:
+		return "td-wave"
+	}
+	return fmt.Sprintf("TraceKind(%d)", uint8(k))
+}
+
+// TraceEvent is one recorded substrate event.
+type TraceEvent struct {
+	Seq  int64 // global order
+	Rank int32
+	Kind TraceKind
+	Arg  int64
+	Arg2 int64
+}
+
+func (e TraceEvent) String() string {
+	return fmt.Sprintf("#%d r%d %s arg=%d arg2=%d", e.Seq, e.Rank, e.Kind, e.Arg, e.Arg2)
+}
+
+// tracer is a fixed-capacity global ring of events; when full, the oldest
+// events are overwritten (the tail of a long run is usually what matters).
+type tracer struct {
+	ring []TraceEvent
+	next atomic.Int64
+}
+
+func newTracer(capacity int) *tracer {
+	return &tracer{ring: make([]TraceEvent, capacity)}
+}
+
+func (t *tracer) record(rank int, kind TraceKind, arg, arg2 int64) {
+	seq := t.next.Add(1) - 1
+	t.ring[seq%int64(len(t.ring))] = TraceEvent{
+		Seq: seq, Rank: int32(rank), Kind: kind, Arg: arg, Arg2: arg2,
+	}
+}
+
+// trace records an event if tracing is enabled.
+func (u *Universe) trace(rank int, kind TraceKind, arg, arg2 int64) {
+	if u.tracer != nil {
+		u.tracer.record(rank, kind, arg, arg2)
+	}
+}
+
+// Trace returns the recorded events in sequence order (oldest retained
+// first). Call at a quiescent point (after Run or between epochs); events
+// recorded concurrently with the call may be torn. Returns nil when tracing
+// is disabled.
+func (u *Universe) Trace() []TraceEvent {
+	if u.tracer == nil {
+		return nil
+	}
+	total := u.tracer.next.Load()
+	n := int64(len(u.tracer.ring))
+	start := int64(0)
+	count := total
+	if total > n {
+		start = total - n
+		count = n
+	}
+	out := make([]TraceEvent, 0, count)
+	for s := start; s < total; s++ {
+		ev := u.tracer.ring[s%n]
+		if ev.Seq == s {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// TraceDropped reports how many events were overwritten by the ring.
+func (u *Universe) TraceDropped() int64 {
+	if u.tracer == nil {
+		return 0
+	}
+	total := u.tracer.next.Load()
+	if n := int64(len(u.tracer.ring)); total > n {
+		return total - n
+	}
+	return 0
+}

@@ -1,0 +1,268 @@
+package am
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// DetectorKind selects the termination-detection protocol used to end epochs.
+type DetectorKind int
+
+const (
+	// DetectorAtomic uses a shared message counter (incremented at send,
+	// decremented after handler completion). It is the fast path available
+	// because the simulated ranks share an address space.
+	DetectorAtomic DetectorKind = iota
+	// DetectorFourCounter runs a Mattern-style four-counter protocol with
+	// explicit control messages: rank 0 repeatedly probes every rank for
+	// (sent, received, active) counters and terminates the epoch after two
+	// consecutive identical quiescent snapshots. This is what a real
+	// distributed deployment would run; it exists both for fidelity and so
+	// that its overhead can be measured (experiment E8).
+	DetectorFourCounter
+)
+
+func (d DetectorKind) String() string {
+	switch d {
+	case DetectorAtomic:
+		return "atomic"
+	case DetectorFourCounter:
+		return "four-counter"
+	}
+	return fmt.Sprintf("DetectorKind(%d)", int(d))
+}
+
+// Config configures a simulated machine.
+type Config struct {
+	// Ranks is the number of simulated distributed-memory nodes (>= 1).
+	Ranks int
+	// ThreadsPerRank is the number of message-handler threads per rank.
+	// 0 is allowed: handlers then run only when a rank polls (Flush,
+	// TryFinish, or end-of-epoch progress), which gives deterministic
+	// single-threaded execution useful in tests.
+	ThreadsPerRank int
+	// CoalesceSize is the default number of messages buffered per
+	// (type, destination) before an envelope is shipped. 1 disables
+	// coalescing. 0 selects the default (64).
+	CoalesceSize int
+	// Detector selects the termination-detection protocol.
+	Detector DetectorKind
+	// TraceCapacity enables event tracing with a ring of this many
+	// events (0 disables tracing).
+	TraceCapacity int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Ranks <= 0 {
+		c.Ranks = 1
+	}
+	if c.ThreadsPerRank < 0 {
+		c.ThreadsPerRank = 0
+	}
+	if c.CoalesceSize <= 0 {
+		c.CoalesceSize = 64
+	}
+	return c
+}
+
+// envelope is one coalesced batch of messages of a single type, shipped
+// between two ranks.
+type envelope struct {
+	typeID int32
+	data   any // []T, owned by the receiver once shipped
+}
+
+// Universe is a simulated distributed machine: a set of ranks connected by
+// message queues. Register all message types before calling Run.
+type Universe struct {
+	cfg    Config
+	Stats  Stats
+	ranks  []*Rank
+	types  []*msgType
+	frozen atomic.Bool
+
+	// pending counts user messages sent but not yet fully handled.
+	// Maintained in all detector modes; consulted only by DetectorAtomic.
+	pending atomic.Int64
+
+	epochDone atomic.Bool
+	epochSeq  atomic.Int64
+
+	barrier *Barrier
+	coll    collectives
+	tracer  *tracer
+}
+
+// NewUniverse creates a machine with the given configuration.
+func NewUniverse(cfg Config) *Universe {
+	cfg = cfg.withDefaults()
+	u := &Universe{cfg: cfg}
+	u.barrier = NewBarrier(cfg.Ranks)
+	u.coll.init(cfg.Ranks)
+	if cfg.TraceCapacity > 0 {
+		u.tracer = newTracer(cfg.TraceCapacity)
+	}
+	u.ranks = make([]*Rank, cfg.Ranks)
+	for i := range u.ranks {
+		u.ranks[i] = &Rank{
+			u:     u,
+			id:    i,
+			inbox: newQueue(),
+			ctrl:  make(chan ctrlProbe, cfg.Ranks+1),
+		}
+	}
+	return u
+}
+
+// Config returns the (defaulted) configuration.
+func (u *Universe) Config() Config { return u.cfg }
+
+// Ranks returns the number of ranks.
+func (u *Universe) Ranks() int { return u.cfg.Ranks }
+
+// Rank is one simulated node. The SPMD body passed to Run receives its own
+// Rank; all sends and property-map accesses happen through it.
+type Rank struct {
+	u     *Universe
+	id    int
+	inbox *queue
+	ctrl  chan ctrlProbe
+
+	// buffers indexed by message type id; element is *typedBufs[T].
+	bufs []any
+
+	// four-counter protocol counters.
+	sentC   atomic.Int64
+	recvC   atomic.Int64
+	activeH atomic.Int32
+
+	// epoch-body bookkeeping (see epoch.go).
+	idleBodies  atomic.Int32
+	totalBodies atomic.Int32
+	auxWork     atomic.Int64
+
+	inEpoch atomic.Bool
+
+	// fc is rank 0's four-counter driver for the current epoch (nil on
+	// other ranks and in atomic-detector mode).
+	fc *fourCounterDriver
+}
+
+// ID returns this rank's id in [0, Ranks).
+func (r *Rank) ID() int { return r.id }
+
+// N returns the number of ranks in the universe.
+func (r *Rank) N() int { return r.u.cfg.Ranks }
+
+// Universe returns the universe this rank belongs to.
+func (r *Rank) Universe() *Universe { return r.u }
+
+// Run executes body SPMD-style, once per rank, each on its own goroutine,
+// with ThreadsPerRank handler threads per rank delivering messages
+// concurrently. It returns when every rank's body has returned and all
+// handler threads have drained. Run may be called only once per Universe.
+func (u *Universe) Run(body func(r *Rank)) {
+	if !u.frozen.CompareAndSwap(false, true) {
+		panic("am: Universe.Run called twice")
+	}
+	// Allocate per-rank typed coalescing buffers now that the type set is
+	// final.
+	for _, r := range u.ranks {
+		r.bufs = make([]any, len(u.types))
+		for _, mt := range u.types {
+			r.bufs[mt.id] = mt.newBufs(u.cfg.Ranks)
+		}
+	}
+
+	var workers sync.WaitGroup
+	for _, r := range u.ranks {
+		for t := 0; t < u.cfg.ThreadsPerRank; t++ {
+			workers.Add(1)
+			go func(r *Rank) {
+				defer workers.Done()
+				for {
+					e, ok := r.inbox.Pop()
+					if !ok {
+						return
+					}
+					r.deliverEnvelope(e)
+				}
+			}(r)
+		}
+	}
+
+	var responders sync.WaitGroup
+	for _, r := range u.ranks {
+		responders.Add(1)
+		go func(r *Rank) {
+			defer responders.Done()
+			for p := range r.ctrl {
+				u.Stats.CtrlMsgs.Add(2) // probe + reply
+				p.reply <- ctrlReply{
+					sent:   r.sentC.Load(),
+					recv:   r.recvC.Load(),
+					aux:    r.auxWork.Load(),
+					active: r.activeH.Load(),
+					idle:   r.idleBodies.Load(),
+					total:  r.totalBodies.Load(),
+				}
+			}
+		}(r)
+	}
+
+	var mains sync.WaitGroup
+	for _, r := range u.ranks {
+		mains.Add(1)
+		go func(r *Rank) {
+			defer mains.Done()
+			body(r)
+		}(r)
+	}
+	mains.Wait()
+
+	for _, r := range u.ranks {
+		r.inbox.Close()
+	}
+	workers.Wait()
+	for _, r := range u.ranks {
+		close(r.ctrl)
+	}
+	responders.Wait()
+}
+
+// deliverEnvelope runs the handlers for every message in e on rank r.
+func (r *Rank) deliverEnvelope(e envelope) {
+	r.activeH.Add(1)
+	mt := r.u.types[e.typeID]
+	r.u.trace(r.id, TraceDeliver, int64(e.typeID), int64(mt.batchLen(e.data)))
+	mt.deliver(r, e.data)
+	r.activeH.Add(-1)
+}
+
+// drainSome delivers up to max envelopes from r's inbox without blocking and
+// reports whether it delivered anything.
+func (r *Rank) drainSome(max int) bool {
+	worked := false
+	for i := 0; i < max; i++ {
+		e, ok := r.inbox.TryPop()
+		if !ok {
+			break
+		}
+		r.deliverEnvelope(e)
+		worked = true
+	}
+	return worked
+}
+
+// flushAll ships every non-empty coalescing buffer owned by r and reports
+// whether anything was shipped.
+func (r *Rank) flushAll() bool {
+	worked := false
+	for _, mt := range r.u.types {
+		if mt.flushRank(r) {
+			worked = true
+		}
+	}
+	return worked
+}

@@ -1,0 +1,74 @@
+package am
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestGobTransportDeliversIntact(t *testing.T) {
+	type payload struct {
+		ID   uint64
+		Vals [4]int64
+		Tag  string
+	}
+	u := NewUniverse(Config{Ranks: 2, ThreadsPerRank: 1, CoalesceSize: 8})
+	var sum atomic.Int64
+	var handled atomic.Int64
+	mt := Register(u, "wire", func(r *Rank, m payload) {
+		handled.Add(1)
+		sum.Add(int64(m.ID) + m.Vals[0] + m.Vals[3])
+		if m.Tag != "x" {
+			t.Errorf("tag corrupted: %q", m.Tag)
+		}
+	}).WithGobTransport()
+	const per = 100
+	u.Run(func(r *Rank) {
+		r.Epoch(func(ep *Epoch) {
+			for i := 0; i < per; i++ {
+				mt.SendTo(r, 1-r.ID(), payload{
+					ID: uint64(i), Vals: [4]int64{int64(i), 0, 0, 7}, Tag: "x",
+				})
+			}
+		})
+	})
+	if handled.Load() != 2*per {
+		t.Fatalf("handled %d", handled.Load())
+	}
+	want := int64(0)
+	for i := 0; i < per; i++ {
+		want += 2 * (int64(i) + int64(i) + 7)
+	}
+	if sum.Load() != want {
+		t.Fatalf("sum=%d want %d (payload corrupted in transit)", sum.Load(), want)
+	}
+	if u.Stats.WireBytes.Load() == 0 {
+		t.Fatal("no wire bytes accounted")
+	}
+}
+
+func TestGobTransportWithReduction(t *testing.T) {
+	type upd struct {
+		K uint64
+		V int64
+	}
+	u := NewUniverse(Config{Ranks: 2, ThreadsPerRank: 1, CoalesceSize: 1 << 20})
+	var handled atomic.Int64
+	mt := Register(u, "upd", func(r *Rank, m upd) { handled.Add(1) }).
+		WithGobTransport().
+		WithReduction(
+			func(m upd) uint64 { return m.K },
+			func(old, in upd) (upd, bool) { return old, false },
+		)
+	u.Run(func(r *Rank) {
+		r.Epoch(func(ep *Epoch) {
+			if r.ID() == 0 {
+				for i := 0; i < 50; i++ {
+					mt.SendTo(r, 1, upd{K: uint64(i % 10), V: int64(i)})
+				}
+			}
+		})
+	})
+	if handled.Load() != 10 {
+		t.Fatalf("handled %d, want 10 (reduction through wire transport)", handled.Load())
+	}
+}

@@ -1,0 +1,14 @@
+// Package distgraph implements the vertex-centric distributed graph of the
+// paper's computational model (§III-A): every rank stores a portion of the
+// vertices and all of their outgoing edges; a bidirectional graph
+// additionally stores incoming edges with each vertex ("bidirectional
+// describes the storage model rather than a property of the graph").
+//
+// Vertices are global ids; a Distribution maps each vertex to its owning
+// rank and a dense local index, which property maps use for storage and the
+// messaging layer uses for object-based addressing. Edge data reached
+// through a generator is always local to the generation vertex: out-edges
+// are stored with their source, and the bidirectional builder duplicates
+// edge payload slots onto the in-edge lists, preserving the paper's locality
+// rule (Def. 1) exactly.
+package distgraph

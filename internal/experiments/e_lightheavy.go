@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"declpat/internal/algorithms"
+	"declpat/internal/am"
+	"declpat/internal/harness"
+	"declpat/internal/pattern"
+)
+
+// E12LightHeavy measures the Δ-stepping light/heavy edge split the paper
+// cites as a further optimization (§II-A), enabled by the planner's
+// early-exit evaluation of the entry-local weight guard: heavy edges send no
+// relax messages during the light phases.
+func E12LightHeavy(sc Scale) []*harness.Table {
+	n, edges := workload(sc)
+	t := harness.NewTable("E12: Δ-stepping light/heavy split",
+		"variant", "delta", "bucket-epochs", "messages", "time", "wrong")
+	for _, delta := range []int64{16, 64, 256} {
+		{
+			e := newEnv(am.Config{Ranks: 4, ThreadsPerRank: 2}, n, edges, defaultGOpts(), pattern.DefaultPlanOptions())
+			s := algorithms.NewSSSP(e.eng)
+			s.UseDelta(e.u, delta)
+			d := harness.Time(func() { e.u.Run(func(r *am.Rank) { s.Run(r, 0) }) })
+			t.Add("plain", delta, s.BucketEpochs(), e.u.Stats.MsgsSent.Load(), d,
+				checkSSSP(s.Dist.Gather(), n, edges, 0))
+		}
+		{
+			e := newEnv(am.Config{Ranks: 4, ThreadsPerRank: 2}, n, edges, defaultGOpts(), pattern.DefaultPlanOptions())
+			s := algorithms.NewSSSP(e.eng)
+			s.UseDeltaLightHeavy(e.u, delta)
+			d := harness.Time(func() { e.u.Run(func(r *am.Rank) { s.Run(r, 0) }) })
+			t.Add("light/heavy", delta, s.BucketEpochs(), e.u.Stats.MsgsSent.Load(), d,
+				checkSSSP(s.Dist.Gather(), n, edges, 0))
+		}
+	}
+	return []*harness.Table{t}
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"declpat/internal/pattern"
+)
+
+// tinyScale keeps the whole suite fast in tests.
+func tinyScale() Scale { return Scale{RMATScale: 7, EdgeFactor: 6, Seed: 9} }
+
+func TestAllExperimentsProduceTables(t *testing.T) {
+	for _, ex := range All() {
+		ex := ex
+		t.Run(ex.ID, func(t *testing.T) {
+			tables := ex.Run(tinyScale())
+			if len(tables) == 0 {
+				t.Fatal("no tables")
+			}
+			for _, tb := range tables {
+				if tb.Rows() == 0 {
+					t.Fatalf("table %q has no rows", tb.Title)
+				}
+				out := tb.String()
+				if !strings.Contains(out, "--") {
+					t.Fatalf("table %q did not render:\n%s", tb.Title, out)
+				}
+			}
+		})
+	}
+}
+
+// TestE1CorrectEverywhere: every SSSP strategy row must report zero wrong
+// vertices.
+func TestE1CorrectEverywhere(t *testing.T) {
+	tables := E1Strategies(tinyScale())
+	out := tables[0].String()
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "fixed_point") || strings.HasPrefix(line, "delta") {
+			fields := strings.Fields(line)
+			if fields[len(fields)-1] != "0" {
+				t.Fatalf("strategy row reports wrong vertices: %s", line)
+			}
+		}
+	}
+}
+
+// TestE4FigureCounts: the planner table must show the 8-vs-7 counts of
+// Fig. 5.
+func TestE4FigureCounts(t *testing.T) {
+	out := E4Planner(tinyScale())[0].String()
+	if !strings.Contains(out, "8") || !strings.Contains(out, "7") {
+		t.Fatalf("unexpected E4 table:\n%s", out)
+	}
+}
+
+// TestE2MergeSavesMessages: merged three-locality plan must use fewer
+// messages than unmerged.
+func TestE2MergeSavesMessages(t *testing.T) {
+	merged := compilePlans(threeLocPattern(), pattern.PlanOptions{Merge: true, Fold: true})
+	unmerged := compilePlans(threeLocPattern(), pattern.PlanOptions{Merge: false, Fold: true})
+	if m, u := merged[0].Conds[0].Messages, unmerged[0].Conds[0].Messages; m >= u {
+		t.Fatalf("merged=%d unmerged=%d", m, u)
+	}
+}

@@ -1,0 +1,218 @@
+// Package gen provides deterministic workload generators for the experiment
+// suite: Graph500-style RMAT graphs (the scale-free inputs the paper's
+// motivation cites), Erdős–Rényi graphs, and structured graphs (torus, path,
+// star) whose properties make algorithm behaviour easy to predict in tests.
+package gen
+
+import (
+	"math/rand/v2"
+
+	"declpat/internal/distgraph"
+)
+
+// Weights configures edge weight generation: uniform integers in [Min, Max].
+// The zero value produces unit weights.
+type Weights struct {
+	Min, Max int64
+}
+
+func (w Weights) draw(rng *rand.Rand) int64 {
+	if w.Max <= w.Min {
+		if w.Min == 0 {
+			return 1
+		}
+		return w.Min
+	}
+	return w.Min + rng.Int64N(w.Max-w.Min+1)
+}
+
+func newRNG(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+}
+
+// RMAT generates an RMAT graph with 2^scale vertices and edgeFactor×2^scale
+// edges using the Graph500 parameters (a=0.57, b=0.19, c=0.19, d=0.05).
+// Self-loops and parallel edges are kept, as in the Graph500 generator.
+func RMAT(scale, edgeFactor int, w Weights, seed uint64) (n int, edges []distgraph.Edge) {
+	const a, b, c = 0.57, 0.19, 0.19
+	n = 1 << scale
+	m := n * edgeFactor
+	rng := newRNG(seed)
+	edges = make([]distgraph.Edge, 0, m)
+	for i := 0; i < m; i++ {
+		var src, dst int
+		for lvl := 0; lvl < scale; lvl++ {
+			r := rng.Float64()
+			switch {
+			case r < a:
+				// top-left: no bits set
+			case r < a+b:
+				dst |= 1 << lvl
+			case r < a+b+c:
+				src |= 1 << lvl
+			default:
+				src |= 1 << lvl
+				dst |= 1 << lvl
+			}
+		}
+		edges = append(edges, distgraph.Edge{
+			Src: distgraph.Vertex(src), Dst: distgraph.Vertex(dst), W: w.draw(rng),
+		})
+	}
+	return n, edges
+}
+
+// ER generates an Erdős–Rényi G(n, m) multigraph: m edges with independently
+// uniform endpoints.
+func ER(n, m int, w Weights, seed uint64) []distgraph.Edge {
+	rng := newRNG(seed)
+	edges := make([]distgraph.Edge, m)
+	for i := range edges {
+		edges[i] = distgraph.Edge{
+			Src: distgraph.Vertex(rng.IntN(n)),
+			Dst: distgraph.Vertex(rng.IntN(n)),
+			W:   w.draw(rng),
+		}
+	}
+	return edges
+}
+
+// Torus2D generates a directed 2D torus of rows×cols vertices; each vertex
+// has edges to its right and down neighbours (wrapping). Vertex (i,j) has id
+// i*cols+j.
+func Torus2D(rows, cols int, w Weights, seed uint64) (n int, edges []distgraph.Edge) {
+	rng := newRNG(seed)
+	n = rows * cols
+	edges = make([]distgraph.Edge, 0, 2*n)
+	id := func(i, j int) distgraph.Vertex {
+		return distgraph.Vertex(((i+rows)%rows)*cols + (j+cols)%cols)
+	}
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			edges = append(edges,
+				distgraph.Edge{Src: id(i, j), Dst: id(i, j+1), W: w.draw(rng)},
+				distgraph.Edge{Src: id(i, j), Dst: id(i+1, j), W: w.draw(rng)},
+			)
+		}
+	}
+	return n, edges
+}
+
+// Path generates the directed path 0→1→…→n-1.
+func Path(n int, w Weights, seed uint64) []distgraph.Edge {
+	rng := newRNG(seed)
+	edges := make([]distgraph.Edge, 0, n-1)
+	for i := 0; i+1 < n; i++ {
+		edges = append(edges, distgraph.Edge{
+			Src: distgraph.Vertex(i), Dst: distgraph.Vertex(i + 1), W: w.draw(rng),
+		})
+	}
+	return edges
+}
+
+// Star generates edges from vertex 0 to every other vertex.
+func Star(n int, w Weights, seed uint64) []distgraph.Edge {
+	rng := newRNG(seed)
+	edges := make([]distgraph.Edge, 0, n-1)
+	for i := 1; i < n; i++ {
+		edges = append(edges, distgraph.Edge{
+			Src: 0, Dst: distgraph.Vertex(i), W: w.draw(rng),
+		})
+	}
+	return edges
+}
+
+// GraphStats summarizes an edge list (used by the CLI tools to describe
+// workloads).
+type GraphStats struct {
+	Vertices, Edges     int
+	SelfLoops, Isolated int
+	MaxOutDeg, MaxInDeg int
+	AvgDeg              float64
+	MinW, MaxW          int64
+}
+
+// Stats computes summary statistics of an edge list over n vertices.
+func Stats(n int, edges []distgraph.Edge) GraphStats {
+	s := GraphStats{Vertices: n, Edges: len(edges)}
+	outdeg := make([]int, n)
+	indeg := make([]int, n)
+	if len(edges) > 0 {
+		s.MinW, s.MaxW = edges[0].W, edges[0].W
+	}
+	for _, e := range edges {
+		outdeg[e.Src]++
+		indeg[e.Dst]++
+		if e.Src == e.Dst {
+			s.SelfLoops++
+		}
+		if e.W < s.MinW {
+			s.MinW = e.W
+		}
+		if e.W > s.MaxW {
+			s.MaxW = e.W
+		}
+	}
+	for v := 0; v < n; v++ {
+		if outdeg[v] > s.MaxOutDeg {
+			s.MaxOutDeg = outdeg[v]
+		}
+		if indeg[v] > s.MaxInDeg {
+			s.MaxInDeg = indeg[v]
+		}
+		if outdeg[v] == 0 && indeg[v] == 0 {
+			s.Isolated++
+		}
+	}
+	if n > 0 {
+		s.AvgDeg = float64(len(edges)) / float64(n)
+	}
+	return s
+}
+
+// SmallWorld generates a Watts–Strogatz-style small-world graph: a ring
+// where every vertex connects to its next k/2 clockwise neighbours, with
+// each edge's far endpoint rewired to a uniform random vertex with
+// probability beta. k must be even.
+func SmallWorld(n, k int, beta float64, w Weights, seed uint64) []distgraph.Edge {
+	if k%2 != 0 {
+		panic("gen: SmallWorld requires even k")
+	}
+	rng := newRNG(seed)
+	edges := make([]distgraph.Edge, 0, n*k/2)
+	for v := 0; v < n; v++ {
+		for j := 1; j <= k/2; j++ {
+			dst := (v + j) % n
+			if rng.Float64() < beta {
+				dst = rng.IntN(n)
+			}
+			edges = append(edges, distgraph.Edge{
+				Src: distgraph.Vertex(v), Dst: distgraph.Vertex(dst), W: w.draw(rng),
+			})
+		}
+	}
+	return edges
+}
+
+// Components generates k disjoint cycles of the given sizes (for CC tests):
+// component i is a cycle over its vertex block. Returns total vertex count.
+func Components(sizes []int, seed uint64) (n int, edges []distgraph.Edge) {
+	rng := newRNG(seed)
+	base := 0
+	for _, sz := range sizes {
+		for i := 0; i < sz; i++ {
+			if sz == 1 {
+				break
+			}
+			edges = append(edges, distgraph.Edge{
+				Src: distgraph.Vertex(base + i),
+				Dst: distgraph.Vertex(base + (i+1)%sz),
+				W:   w1(rng),
+			})
+		}
+		base += sz
+	}
+	return base, edges
+}
+
+func w1(rng *rand.Rand) int64 { return 1 }

@@ -1,0 +1,138 @@
+// Package harness provides the experiment-suite plumbing: fixed-width table
+// rendering (the rows EXPERIMENTS.md records), wall-clock timing, and small
+// statistics helpers. It is used by cmd/experiments and the benchmarks.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Table accumulates rows and renders them with fixed-width columns. Cells
+// are formatted with %v; numbers right-align, text left-aligns.
+type Table struct {
+	Title  string
+	Header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, Header: header}
+}
+
+// Add appends one row; it must have exactly one cell per header column.
+func (t *Table) Add(cells ...any) {
+	if len(cells) != len(t.Header) {
+		panic(fmt.Sprintf("harness: row has %d cells, table has %d columns", len(cells), len(t.Header)))
+	}
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		case time.Duration:
+			row[i] = v.Round(time.Microsecond).String()
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Rows returns the number of data rows.
+func (t *Table) Rows() int { return len(t.rows) }
+
+func isNumeric(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		if (r < '0' || r > '9') && r != '.' && r != '-' && r != '+' && r != 'e' && r != 'x' {
+			return false
+		}
+	}
+	return true
+}
+
+// Fprint renders the table.
+func (t *Table) Fprint(w io.Writer) {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "## %s\n\n", t.Title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if isNumeric(c) {
+				parts[i] = fmt.Sprintf("%*s", widths[i], c)
+			} else {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Header)
+	seps := make([]string, len(t.Header))
+	for i := range seps {
+		seps[i] = strings.Repeat("-", widths[i])
+	}
+	fmt.Fprintln(w, strings.Join(seps, "  "))
+	for _, row := range t.rows {
+		line(row)
+	}
+	fmt.Fprintln(w)
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Fprint(&b)
+	return b.String()
+}
+
+// Time runs fn and returns its wall-clock duration.
+func Time(fn func()) time.Duration {
+	start := time.Now()
+	fn()
+	return time.Since(start)
+}
+
+// Ratio formats a/b as a factor string ("3.2x"); "-" when b is zero.
+func Ratio(a, b float64) string {
+	if b == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2fx", a/b)
+}
+
+// MinMed runs fn reps times and returns the minimum and median durations
+// (minimum is the usual benchmark statistic; median guards against a lucky
+// outlier).
+func MinMed(reps int, fn func()) (min, med time.Duration) {
+	if reps < 1 {
+		reps = 1
+	}
+	ds := make([]time.Duration, reps)
+	for i := range ds {
+		ds[i] = Time(fn)
+	}
+	for i := 1; i < len(ds); i++ {
+		for j := i; j > 0 && ds[j] < ds[j-1]; j-- {
+			ds[j], ds[j-1] = ds[j-1], ds[j]
+		}
+	}
+	return ds[0], ds[len(ds)/2]
+}

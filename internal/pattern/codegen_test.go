@@ -1,0 +1,108 @@
+package pattern
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCodegenSSSPShape(t *testing.T) {
+	src, err := GenerateGo(buildSSSP(), DefaultPlanOptions(), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"package x",
+		"type Relax struct",
+		"a.dist.Min(r.ID(), m.Dest,", // atomic-min eval
+		"ForOutEdges",
+		"a.dist.Get(r.ID(), v) + a.weight.Get(r.ID(), e)", // folded subexpression inline
+		"DO NOT EDIT",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("missing %q in generated source", want)
+		}
+	}
+	// The generated relax fires the work hook (dist read+written).
+	if !strings.Contains(src, "a.work(r, m.Dest)") {
+		t.Error("work hook not fired in generated eval")
+	}
+}
+
+func TestCodegenSupportedLibrary(t *testing.T) {
+	cases := []struct {
+		name   string
+		mk     func() *Pattern
+		atomic string
+	}{
+		{"widest", buildWidestForGen, ".Max(r.ID(), m.Dest,"},
+		{"degree", buildDegreeForGen, ".Add(r.ID(), m.Dest,"},
+	}
+	for _, tc := range cases {
+		src, err := GenerateGo(tc.mk(), DefaultPlanOptions(), "x")
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if !strings.Contains(src, tc.atomic) {
+			t.Errorf("%s: expected %q in generated source", tc.name, tc.atomic)
+		}
+	}
+}
+
+func buildWidestForGen() *Pattern {
+	p := New("Widest")
+	capP := p.VertexProp("cap")
+	weight := p.EdgeProp("weight")
+	widen := p.Action("widen", OutEdges())
+	c := MinE(capP.At(V()), weight.At(E()))
+	widen.If(Gt(c, capP.At(Trg()))).Set(capP.At(Trg()), c)
+	return p
+}
+
+func buildDegreeForGen() *Pattern {
+	p := New("Degree")
+	indeg := p.VertexProp("indeg")
+	count := p.Action("count", OutEdges())
+	count.Do().AddTo(indeg.At(Trg()), C(1))
+	return p
+}
+
+func TestCodegenUnsupportedShapes(t *testing.T) {
+	// Set-valued property.
+	p1 := New("S")
+	s := p1.VertexSetProp("s")
+	a1 := p1.Action("ins", Adj())
+	a1.Do().Insert(s.At(U()), Vtx(V()))
+	if _, err := GenerateGo(p1, DefaultPlanOptions(), "x"); err == nil {
+		t.Error("expected error for set property")
+	}
+	// Multi-hop plan (pointer jump).
+	p2 := New("J")
+	chg := p2.VertexProp("chg")
+	a2 := p2.Action("jump", None())
+	cv := chg.At(V())
+	a2.If(Lt(chg.AtVal(cv), cv)).Set(chg.At(V()), chg.AtVal(cv))
+	if _, err := GenerateGo(p2, DefaultPlanOptions(), "x"); err == nil {
+		t.Error("expected error for multi-hop plan")
+	}
+	// In-edges generator.
+	p3 := New("I")
+	x := p3.VertexProp("x")
+	a3 := p3.Action("pull", InEdges())
+	a3.Do().AddTo(x.At(Trg()), x.At(Src()))
+	if _, err := GenerateGo(p3, DefaultPlanOptions(), "x"); err == nil {
+		t.Error("expected error for in-edges generator")
+	}
+	// Unmerged plans.
+	if _, err := GenerateGo(buildSSSP(), PlanOptions{Merge: false, Fold: true}, "x"); err == nil {
+		t.Error("expected error for unmerged plan")
+	}
+	// Lock-path condition (multi-value).
+	p4 := New("L")
+	y := p4.VertexProp("y")
+	z := p4.VertexProp("z")
+	a4 := p4.Action("two", OutEdges())
+	a4.If(Gt(y.At(Trg()), C(0))).Set(y.At(Trg()), C(0)).Set(z.At(Trg()), C(1))
+	if _, err := GenerateGo(p4, DefaultPlanOptions(), "x"); err == nil {
+		t.Error("expected error for lock-path condition")
+	}
+}

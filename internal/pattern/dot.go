@@ -1,0 +1,61 @@
+package pattern
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dot renders the action's compiled message plan as a Graphviz digraph (the
+// style of the paper's Figs. 5–6): nodes are localities, solid edges are
+// gather/evaluate messages in route order, dashed edges are tail
+// modification messages. One subgraph per condition.
+func (pi PlanInfo) Dot() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", pi.Action)
+	b.WriteString("  rankdir=LR;\n  node [shape=circle, fontsize=11];\n")
+	for ci, c := range pi.Conds {
+		fmt.Fprintf(&b, "  subgraph cluster_%d {\n", ci)
+		fmt.Fprintf(&b, "    label=\"cond %d: %d msgs, %s\";\n", ci, c.Messages, c.Sync)
+		node := func(name string) string {
+			return fmt.Sprintf("\"c%d_%s\"", ci, name)
+		}
+		fmt.Fprintf(&b, "    %s [label=\"v\", style=bold];\n", node("entry"))
+		prev := node("entry")
+		seen := map[string]int{}
+		for i, loc := range c.Route {
+			isMod := strings.HasPrefix(loc, "mod@")
+			label := strings.TrimPrefix(loc, "mod@")
+			seen[label]++
+			id := node(fmt.Sprintf("%d_%s", i, sanitizeDot(label)))
+			style := ""
+			if i == len(c.Route)-1 && !isMod {
+				style = ", peripheries=2" // eval site (Fig. 5's dashed vertex)
+			}
+			fmt.Fprintf(&b, "    %s [label=%q%s];\n", id, label, style)
+			edgeAttr := ""
+			if isMod {
+				edgeAttr = " [style=dashed, label=\"mod\"]"
+			} else {
+				edgeAttr = fmt.Sprintf(" [label=\"%d\"]", i+1)
+			}
+			fmt.Fprintf(&b, "    %s -> %s%s;\n", prev, id, edgeAttr)
+			prev = id
+		}
+		b.WriteString("  }\n")
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func sanitizeDot(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			out = append(out, r)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,32 @@
+package pattern
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPlanDot(t *testing.T) {
+	ca := compileOne(t, buildSSSP(), DefaultPlanOptions())
+	dot := ca.info().Dot()
+	for _, want := range []string{
+		"digraph \"relax\"",
+		"cond 0: 1 msgs, atomic-min",
+		"label=\"trg(e)\"",
+		"peripheries=2", // eval site marker
+		"rankdir=LR",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("missing %q in dot:\n%s", want, dot)
+		}
+	}
+	// Unmerged three-locality plan has a dashed mod edge.
+	ca2 := compileOne(t, threeLocRelax(), PlanOptions{Merge: false, Fold: true})
+	dot2 := ca2.info().Dot()
+	if !strings.Contains(dot2, "style=dashed") {
+		t.Errorf("unmerged plan should render a dashed mod edge:\n%s", dot2)
+	}
+	// Balanced braces.
+	if strings.Count(dot, "{") != strings.Count(dot, "}") {
+		t.Error("unbalanced braces")
+	}
+}

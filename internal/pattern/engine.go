@@ -1,0 +1,617 @@
+package pattern
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"declpat/internal/am"
+	"declpat/internal/distgraph"
+	"declpat/internal/pmap"
+)
+
+// patMsg is the engine's single active-message type: one step of an action's
+// execution, carrying the generator bindings and the gathered payload. Dest
+// is the locality vertex, from which the destination rank is computed
+// (object-based addressing, §IV-D).
+type patMsg struct {
+	Action int32
+	Cond   int16
+	Hop    int16 // -1 = entry: run the generator at owner(V)
+	Dest   distgraph.Vertex
+	V      distgraph.Vertex
+	U      distgraph.Vertex
+	ES, ET distgraph.Vertex
+	ESlot  uint32
+	EIn    bool
+	HasE   bool
+	Vals   [MaxSlots]Word
+}
+
+func (m *patMsg) edgeRef() distgraph.EdgeRef {
+	return distgraph.EdgeRef{S: m.ES, T: m.ET, Slot: m.ESlot, In: m.EIn}
+}
+
+// binding resolves a declared property to concrete storage.
+type binding struct {
+	vw *pmap.VertexWord
+	ew *pmap.EdgeWord
+	vs *pmap.VertexSet
+}
+
+// Bindings maps property names to storage: *pmap.VertexWord for
+// vertex-properties, *pmap.EdgeWord for edge-properties, *pmap.VertexSet for
+// vertex-set-properties.
+type Bindings map[string]any
+
+// Engine executes compiled patterns over a universe and a distributed
+// graph. Create it (and Bind patterns) before Universe.Run; the engine
+// registers one message type.
+type Engine struct {
+	u       *am.Universe
+	g       *distgraph.Graph
+	lm      *pmap.LockMap
+	opts    PlanOptions
+	msg     *am.MsgType[patMsg]
+	actions []*BoundAction
+}
+
+// NewEngine creates a pattern engine. lm provides §IV-B's lock map (used for
+// multi-value conditions); opts selects the §IV planning optimizations.
+func NewEngine(u *am.Universe, g *distgraph.Graph, lm *pmap.LockMap, opts PlanOptions) *Engine {
+	e := &Engine{u: u, g: g, lm: lm, opts: opts}
+	e.msg = am.Register(u, "pattern-step", func(r *am.Rank, m patMsg) {
+		e.dispatch(r, m)
+	}).WithAddresser(func(m patMsg) int { return g.Owner(m.Dest) })
+	return e
+}
+
+// Graph returns the engine's graph.
+func (e *Engine) Graph() *distgraph.Graph { return e.g }
+
+// Universe returns the engine's universe.
+func (e *Engine) Universe() *am.Universe { return e.u }
+
+// MsgType exposes the engine's message type (for configuring coalescing or
+// reductions in experiments).
+func (e *Engine) MsgType() *am.MsgType[patMsg] { return e.msg }
+
+// Bound is one pattern bound to storage with compiled plans.
+type Bound struct {
+	Pattern *Pattern
+	actions map[string]*BoundAction
+}
+
+// Action returns the named bound action, panicking if absent.
+func (b *Bound) Action(name string) *BoundAction {
+	ba, ok := b.actions[name]
+	if !ok {
+		panic("pattern: no action " + name + " in pattern " + b.Pattern.Name)
+	}
+	return ba
+}
+
+// Bind compiles p's actions against the engine's plan options and resolves
+// its property declarations to storage. Must be called before Universe.Run.
+func (e *Engine) Bind(p *Pattern, binds Bindings) (*Bound, error) {
+	resolved := map[*Prop]binding{}
+	for _, pr := range p.Props {
+		raw, ok := binds[pr.Name]
+		if !ok {
+			return nil, fmt.Errorf("pattern %s: no binding for property %s", p.Name, pr.Name)
+		}
+		var bd binding
+		switch m := raw.(type) {
+		case *pmap.VertexWord:
+			if pr.Kind != VertexWordProp {
+				return nil, fmt.Errorf("property %s is %v, bound to VertexWord", pr.Name, pr.Kind)
+			}
+			bd.vw = m
+		case *pmap.EdgeWord:
+			if pr.Kind != EdgeWordProp {
+				return nil, fmt.Errorf("property %s is %v, bound to EdgeWord", pr.Name, pr.Kind)
+			}
+			bd.ew = m
+		case *pmap.VertexSet:
+			if pr.Kind != VertexSetProp {
+				return nil, fmt.Errorf("property %s is %v, bound to VertexSet", pr.Name, pr.Kind)
+			}
+			bd.vs = m
+		default:
+			return nil, fmt.Errorf("property %s: unsupported binding type %T", pr.Name, raw)
+		}
+		resolved[pr] = bd
+	}
+	b := &Bound{Pattern: p, actions: map[string]*BoundAction{}}
+	for _, a := range p.Actions {
+		ca, err := compileAction(a, len(e.actions), e.opts)
+		if err != nil {
+			return nil, err
+		}
+		ba := &BoundAction{
+			eng:      e,
+			ca:       ca,
+			binds:    resolved,
+			modified: make([]atomic.Bool, e.u.Ranks()),
+		}
+		e.actions = append(e.actions, ba)
+		b.actions[a.Name] = ba
+	}
+	return b, nil
+}
+
+// Stats counts engine-level events per action; all fields are atomic.
+type Stats struct {
+	// Invocations counts action entries (one per Invoke).
+	Invocations atomic.Int64
+	// Items counts generated items (edges/vertices fanned out to).
+	Items atomic.Int64
+	// TestsTrue / TestsFalse count condition evaluations by outcome.
+	TestsTrue, TestsFalse atomic.Int64
+	// ModsChanged / ModsUnchanged count modification applications.
+	ModsChanged, ModsUnchanged atomic.Int64
+	// WorkItems counts dependency work-hook firings (§IV-C).
+	WorkItems atomic.Int64
+}
+
+// BoundAction is an action bound to storage, ready to invoke inside epochs.
+type BoundAction struct {
+	eng      *Engine
+	ca       *compiledAction
+	binds    map[*Prop]binding
+	work     func(r *am.Rank, v distgraph.Vertex)
+	modified []atomic.Bool
+	Stats    Stats
+}
+
+// Name returns the action's name.
+func (ba *BoundAction) Name() string { return ba.ca.action.Name }
+
+// PlanInfo returns the compiled message plan for inspection.
+func (ba *BoundAction) PlanInfo() PlanInfo { return ba.ca.info() }
+
+// SetWork installs the work hook called at the owner of a dependent vertex
+// when a modification read by the action changes its value (§IV-C). The
+// paper's `a.work(Vertex v) = {...}` customization point. The hook runs in
+// handler context and must not block; to re-run the action use InvokeAsync,
+// not Invoke.
+func (ba *BoundAction) SetWork(fn func(r *am.Rank, v distgraph.Vertex)) { ba.work = fn }
+
+// ResetModified clears this rank's modification flag (used by the `once`
+// strategy).
+func (ba *BoundAction) ResetModified(r *am.Rank) { ba.modified[r.ID()].Store(false) }
+
+// ModifiedLocal reports whether any modification changed a value on this
+// rank since ResetModified.
+func (ba *BoundAction) ModifiedLocal(r *am.Rank) bool { return ba.modified[r.ID()].Load() }
+
+// Invoke runs the action at v. If v is local the entry executes inline;
+// otherwise an entry message is sent. Must be called inside an epoch.
+func (ba *BoundAction) Invoke(r *am.Rank, v distgraph.Vertex) {
+	if ba.eng.g.Owner(v) == r.ID() {
+		ba.runEntry(r, v)
+		return
+	}
+	ba.eng.msg.Send(r, patMsg{Action: int32(ba.ca.id), Hop: -1, Dest: v, V: v})
+}
+
+// InvokeAsync enqueues the action at v through the messaging layer even when
+// v is local, bounding stack depth; safe to call from work hooks.
+func (ba *BoundAction) InvokeAsync(r *am.Rank, v distgraph.Vertex) {
+	ba.eng.msg.Send(r, patMsg{Action: int32(ba.ca.id), Hop: -1, Dest: v, V: v})
+}
+
+// dispatch routes an incoming engine message.
+func (e *Engine) dispatch(r *am.Rank, m patMsg) {
+	ba := e.actions[m.Action]
+	if m.Hop < 0 {
+		ba.runEntry(r, m.V)
+		return
+	}
+	ba.resume(r, &m)
+}
+
+// runEntry executes the generator at owner(v) and starts every generated
+// item through the condition chain.
+func (ba *BoundAction) runEntry(r *am.Rank, v distgraph.Vertex) {
+	ba.Stats.Invocations.Add(1)
+	g := ba.eng.g
+	a := ba.ca.action
+	base := patMsg{Action: int32(ba.ca.id), V: v, U: distgraph.NilVertex}
+	switch a.Gen.Kind {
+	case GenNone:
+		ba.startItem(r, base)
+	case GenOutEdges:
+		g.ForOutEdges(r.ID(), v, func(er distgraph.EdgeRef) {
+			m := base
+			m.HasE, m.ES, m.ET, m.ESlot, m.EIn = true, er.S, er.T, er.Slot, er.In
+			ba.startItem(r, m)
+		})
+	case GenInEdges:
+		g.ForInEdges(r.ID(), v, func(er distgraph.EdgeRef) {
+			m := base
+			m.HasE, m.ES, m.ET, m.ESlot, m.EIn = true, er.S, er.T, er.Slot, er.In
+			ba.startItem(r, m)
+		})
+	case GenAdj:
+		g.ForAdj(r.ID(), v, func(u distgraph.Vertex) {
+			m := base
+			m.U = u
+			ba.startItem(r, m)
+		})
+	case GenPropSet:
+		vs := ba.binds[a.Gen.Set].vs
+		for _, u := range vs.Members(r.ID(), v) {
+			m := base
+			m.U = u
+			ba.startItem(r, m)
+		}
+	}
+}
+
+func (ba *BoundAction) startItem(r *am.Rank, m patMsg) {
+	ba.Stats.Items.Add(1)
+	ba.execSteps(r, &m, &ba.ca.entry)
+	ba.advance(r, &m, 0, 0)
+}
+
+// resume continues execution at an incoming hop message. The sender already
+// evaluated the condition's early-exit preTest, so it is skipped here.
+func (ba *BoundAction) resume(r *am.Rank, m *patMsg) {
+	ba.advanceFrom(r, m, int(m.Cond), int(m.Hop), true)
+}
+
+// locVertex resolves a normalized locality to a concrete vertex in the
+// context of m. Returns NilVertex for NIL pointer chains.
+func (ba *BoundAction) locVertex(m *patMsg, l Loc) distgraph.Vertex {
+	switch l.Kind {
+	case LocV:
+		return m.V
+	case LocU:
+		return m.U
+	case LocTrg:
+		return m.ET
+	case LocSrc:
+		return m.ES
+	case LocAccess:
+		return wordVertex(m.Vals[l.A.slot])
+	case LocE:
+		// The generated edge's locality is its generation vertex
+		// (Def. 1); reached for raw (unnormalized) edge-property
+		// targets, e.g. when firing dependencies.
+		return m.edgeRef().GenVertex()
+	}
+	panic("pattern: unresolvable locality " + l.String())
+}
+
+// advance drives the (cond, hop) cursor, executing hops inline while their
+// locality vertex is owned by this rank and sending one message when it is
+// not. Hop indices >= len(hops) address tail modification groups.
+func (ba *BoundAction) advance(r *am.Rank, m *patMsg, ci, hi int) {
+	ba.advanceFrom(r, m, ci, hi, false)
+}
+
+func (ba *BoundAction) advanceFrom(r *am.Rank, m *patMsg, ci, hi int, fromWire bool) {
+	for ci >= 0 {
+		first := fromWire
+		fromWire = false
+		cp := &ba.ca.conds[ci]
+		nHops := len(cp.hops)
+		// Early exit: the pre-decidable conjuncts are evaluated before
+		// the eval-hop message is sent (skipped when this position
+		// arrived over the wire — the sender already checked).
+		if !first && hi == nHops-1 && cp.preTest != nil {
+			if ba.eval(r, m, cp.preTest) == 0 {
+				ba.Stats.TestsFalse.Add(1)
+				ci, hi = ba.ca.nextOnFalse[ci], 0
+				continue
+			}
+		}
+		var at Loc
+		isTail := hi >= nHops
+		if isTail {
+			ti := hi - nHops
+			if ti >= len(cp.tailGroups) {
+				// Condition complete (true path): next if-group.
+				ci, hi = ba.ca.nextOnTrue[ci], 0
+				continue
+			}
+			at = cp.tailGroups[ti].at
+		} else {
+			at = cp.hops[hi].at
+		}
+		dest := ba.locVertex(m, at)
+		if dest == distgraph.NilVertex || int(dest) >= ba.eng.g.NumVertices() {
+			// A NIL pointer (or an out-of-range word used as a
+			// vertex) in the locality chain: the condition cannot
+			// be evaluated; treat it as false.
+			ba.Stats.TestsFalse.Add(1)
+			ci, hi = ba.ca.nextOnFalse[ci], 0
+			continue
+		}
+		if ba.eng.g.Owner(dest) != r.ID() {
+			m.Dest, m.Cond, m.Hop = dest, int16(ci), int16(hi)
+			ba.eng.msg.Send(r, *m)
+			return
+		}
+		if isTail {
+			ba.execTail(r, m, cp, hi-nHops, dest)
+			hi++
+			continue
+		}
+		if hi == nHops-1 {
+			// Eval hop.
+			if ba.execEval(r, m, cp, dest) {
+				hi = nHops // proceed to tail modification groups
+			} else {
+				ci, hi = ba.ca.nextOnFalse[ci], 0
+			}
+			continue
+		}
+		ba.execSteps(r, m, &cp.hops[hi])
+		hi++
+	}
+}
+
+// execSteps performs a gather hop: loads then folds.
+func (ba *BoundAction) execSteps(r *am.Rank, m *patMsg, h *hop) {
+	for _, acc := range h.loads {
+		m.Vals[acc.slot] = ba.readAccess(r, m, acc)
+	}
+	for _, f := range h.folds {
+		m.Vals[f.slot] = ba.eval(r, m, f.expr)
+	}
+}
+
+// readAccess loads one property value; the access's locality vertex must be
+// owned by this rank.
+func (ba *BoundAction) readAccess(r *am.Rank, m *patMsg, acc *Access) Word {
+	bd := ba.binds[acc.Prop]
+	switch acc.Prop.Kind {
+	case EdgeWordProp:
+		return bd.ew.Get(r.ID(), m.edgeRef())
+	case VertexWordProp:
+		idx := ba.locVertex(m, acc.At)
+		return bd.vw.Get(r.ID(), idx)
+	}
+	panic("pattern: unreadable property " + acc.Prop.Name)
+}
+
+// eval evaluates an expression against the gathered payload.
+func (ba *BoundAction) eval(r *am.Rank, m *patMsg, e Expr) Word {
+	switch x := e.(type) {
+	case Const:
+		return x.X
+	case VertexVal:
+		return vertexWord(ba.locVertex(m, x.L))
+	case AccessExpr:
+		return m.Vals[x.A.slot]
+	case tempRef:
+		return m.Vals[x.slot]
+	case NotExpr:
+		if ba.eval(r, m, x.X) != 0 {
+			return 0
+		}
+		return 1
+	case Bin:
+		l := ba.eval(r, m, x.L)
+		rr := ba.eval(r, m, x.R)
+		switch x.Op {
+		case OpAdd:
+			return l + rr
+		case OpSub:
+			return l - rr
+		case OpMul:
+			return l * rr
+		case OpDiv:
+			if rr == 0 {
+				return 0
+			}
+			return l / rr
+		case OpMod:
+			if rr == 0 {
+				return 0
+			}
+			return l % rr
+		case OpMin:
+			if l < rr {
+				return l
+			}
+			return rr
+		case OpMax:
+			if l > rr {
+				return l
+			}
+			return rr
+		case OpLt:
+			return b2w(l < rr)
+		case OpLe:
+			return b2w(l <= rr)
+		case OpGt:
+			return b2w(l > rr)
+		case OpGe:
+			return b2w(l >= rr)
+		case OpEq:
+			return b2w(l == rr)
+		case OpNe:
+			return b2w(l != rr)
+		case OpAnd:
+			return b2w(l != 0 && rr != 0)
+		case OpOr:
+			return b2w(l != 0 || rr != 0)
+		}
+	}
+	panic("pattern: unevaluable expression")
+}
+
+func b2w(b bool) Word {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// execEval runs the eval hop at dest (owned by this rank): deferred loads,
+// condition test, and — in merge mode — the first modification group, all
+// synchronized per §IV-B.
+func (ba *BoundAction) execEval(r *am.Rank, m *patMsg, cp *condPlan, dest distgraph.Vertex) bool {
+	h := &cp.hops[len(cp.hops)-1]
+	var fired []distgraph.Vertex
+
+	result := false
+	switch cp.sync {
+	case syncAtomicMin, syncAtomicMax, syncAtomicAdd, syncAtomicInsert:
+		mi := cp.mergedMods[0]
+		mod := &cp.cond.Mods[mi]
+		changed := ba.applyAtomic(r, m, cp, mi, dest)
+		ba.recordMod(r, changed)
+		if changed && mod.firesDependency {
+			fired = append(fired, dest)
+		}
+		// For the detected relax shape the condition outcome is
+		// whether the update improved the value.
+		result = changed
+		if changed {
+			ba.Stats.TestsTrue.Add(1)
+		} else {
+			ba.Stats.TestsFalse.Add(1)
+		}
+	case syncLock:
+		ba.eng.lm.With(r.ID(), dest, func() {
+			for _, acc := range h.loads {
+				m.Vals[acc.slot] = ba.readAccess(r, m, acc)
+			}
+			for _, f := range h.folds {
+				m.Vals[f.slot] = ba.eval(r, m, f.expr)
+			}
+			result = cp.test == nil || ba.eval(r, m, cp.test) != 0
+			if result {
+				ba.Stats.TestsTrue.Add(1)
+				for _, mi := range cp.mergedMods {
+					changed := ba.applyMod(r, m, cp, mi)
+					ba.recordMod(r, changed)
+					if changed && cp.cond.Mods[mi].firesDependency {
+						fired = append(fired, ba.locVertex(m, cp.cond.Mods[mi].Target.At))
+					}
+				}
+			} else {
+				ba.Stats.TestsFalse.Add(1)
+			}
+		})
+	}
+	for _, v := range fired {
+		ba.fireWork(r, v)
+	}
+	return result
+}
+
+// execTail applies one tail modification group at dest (owned by this rank).
+func (ba *BoundAction) execTail(r *am.Rank, m *patMsg, cp *condPlan, ti int, dest distgraph.Vertex) {
+	grp := cp.tailGroups[ti]
+	var fired []distgraph.Vertex
+	ba.eng.lm.With(r.ID(), dest, func() {
+		for _, mi := range grp.mods {
+			changed := ba.applyMod(r, m, cp, mi)
+			ba.recordMod(r, changed)
+			if changed && cp.cond.Mods[mi].firesDependency {
+				fired = append(fired, ba.locVertex(m, cp.cond.Mods[mi].Target.At))
+			}
+		}
+	})
+	for _, v := range fired {
+		ba.fireWork(r, v)
+	}
+}
+
+// applyAtomic performs the single-value atomic path (§IV-B).
+func (ba *BoundAction) applyAtomic(r *am.Rank, m *patMsg, cp *condPlan, mi int, dest distgraph.Vertex) bool {
+	mod := &cp.cond.Mods[mi]
+	bd := ba.binds[mod.Target.Prop]
+	switch cp.sync {
+	case syncAtomicInsert:
+		return bd.vs.Insert(r.ID(), dest, wordVertex(ba.eval(r, m, cp.modRhs[mi])))
+	case syncAtomicMin:
+		return bd.vw.Min(r.ID(), dest, ba.eval(r, m, cp.modRhs[mi]))
+	case syncAtomicMax:
+		return bd.vw.Max(r.ID(), dest, ba.eval(r, m, cp.modRhs[mi]))
+	case syncAtomicAdd:
+		delta := ba.eval(r, m, cp.modRhs[mi])
+		bd.vw.Add(r.ID(), dest, delta)
+		return delta != 0
+	}
+	panic("pattern: applyAtomic on lock-classified condition")
+}
+
+// applyMod applies one modification (caller holds the target's lock) and
+// reports whether the stored value changed.
+func (ba *BoundAction) applyMod(r *am.Rank, m *patMsg, cp *condPlan, mi int) bool {
+	mod := &cp.cond.Mods[mi]
+	bd := ba.binds[mod.Target.Prop]
+	switch mod.Target.Prop.Kind {
+	case VertexSetProp:
+		tv := ba.locVertex(m, mod.Target.At)
+		u := wordVertex(ba.eval(r, m, cp.modRhs[mi]))
+		if bd.vs.Locks() == ba.eng.lm {
+			// The caller (execEval/execTail) already holds tv's
+			// lock from the engine's lock map; re-locking the same
+			// non-reentrant lock would self-deadlock.
+			return bd.vs.InsertLocked(r.ID(), tv, u)
+		}
+		return bd.vs.Insert(r.ID(), tv, u)
+	case EdgeWordProp:
+		rhs := ba.eval(r, m, cp.modRhs[mi])
+		old := bd.ew.Get(r.ID(), m.edgeRef())
+		nv := modValue(mod.Op, old, rhs)
+		if nv == old {
+			return false
+		}
+		bd.ew.Set(r.ID(), m.edgeRef(), nv)
+		return true
+	case VertexWordProp:
+		tv := ba.locVertex(m, mod.Target.At)
+		rhs := ba.eval(r, m, cp.modRhs[mi])
+		old := bd.vw.Get(r.ID(), tv)
+		nv := modValue(mod.Op, old, rhs)
+		if nv == old {
+			return false
+		}
+		bd.vw.Set(r.ID(), tv, nv)
+		return true
+	}
+	panic("pattern: unapplicable modification")
+}
+
+func modValue(op ModOp, old, rhs Word) Word {
+	switch op {
+	case OpAssign:
+		return rhs
+	case OpAssignMin:
+		if rhs < old {
+			return rhs
+		}
+		return old
+	case OpAssignMax:
+		if rhs > old {
+			return rhs
+		}
+		return old
+	case OpAssignAdd:
+		return old + rhs
+	}
+	panic("pattern: bad mod op")
+}
+
+func (ba *BoundAction) recordMod(r *am.Rank, changed bool) {
+	if changed {
+		ba.Stats.ModsChanged.Add(1)
+		ba.modified[r.ID()].Store(true)
+	} else {
+		ba.Stats.ModsUnchanged.Add(1)
+	}
+}
+
+func (ba *BoundAction) fireWork(r *am.Rank, v distgraph.Vertex) {
+	ba.Stats.WorkItems.Add(1)
+	if ba.work != nil {
+		ba.work(r, v)
+	}
+}

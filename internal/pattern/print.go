@@ -1,0 +1,88 @@
+package pattern
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the pattern in the paper's concrete syntax (§III):
+//
+//	pattern SSSP {
+//	  vertex-property(dist);
+//	  edge-property(weight);
+//	  relax(vertex v) {
+//	    generator: e in out_edges;
+//	    if (((dist[v] + weight[e]) < dist[trg(e)]))
+//	      dist[trg(e)] = (dist[v] + weight[e]);
+//	  }
+//	}
+//
+// Aliases are expanded (they are "just shortcuts ... pasting in the
+// expression", §III-C).
+func (p *Pattern) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "pattern %s {\n", p.Name)
+	for _, pr := range p.Props {
+		fmt.Fprintf(&b, "  %s(%s);\n", pr.Kind, pr.Name)
+	}
+	for _, a := range p.Actions {
+		b.WriteString(a.render("  "))
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// String renders one action in the paper's syntax.
+func (a *Action) String() string { return a.render("") }
+
+func (a *Action) render(indent string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s%s(vertex v) {\n", indent, a.Name)
+	switch a.Gen.Kind {
+	case GenOutEdges:
+		fmt.Fprintf(&b, "%s  generator: e in out_edges;\n", indent)
+	case GenInEdges:
+		fmt.Fprintf(&b, "%s  generator: e in in_edges;\n", indent)
+	case GenAdj:
+		fmt.Fprintf(&b, "%s  generator: u in adj;\n", indent)
+	case GenPropSet:
+		fmt.Fprintf(&b, "%s  generator: u in %s[v];\n", indent, a.Gen.Set.Name)
+	}
+	for _, c := range a.Conds {
+		kw := "if"
+		if c.Elif {
+			if c.Test == nil {
+				kw = "else"
+			} else {
+				kw = "else if"
+			}
+		} else if c.Test == nil {
+			kw = "always"
+		}
+		if c.Test != nil {
+			fmt.Fprintf(&b, "%s  %s (%s)\n", indent, kw, c.Test)
+		} else {
+			fmt.Fprintf(&b, "%s  %s\n", indent, kw)
+		}
+		for _, m := range c.Mods {
+			fmt.Fprintf(&b, "%s    %s;\n", indent, renderMod(m))
+		}
+	}
+	fmt.Fprintf(&b, "%s}\n", indent)
+	return b.String()
+}
+
+func renderMod(m Mod) string {
+	switch m.Op {
+	case OpInsert:
+		return fmt.Sprintf("%s.insert(%s)", m.Target, m.Rhs)
+	case OpAssignMin:
+		return fmt.Sprintf("%s = min(%s, %s)", m.Target, m.Target, m.Rhs)
+	case OpAssignMax:
+		return fmt.Sprintf("%s = max(%s, %s)", m.Target, m.Target, m.Rhs)
+	case OpAssignAdd:
+		return fmt.Sprintf("%s += %s", m.Target, m.Rhs)
+	default:
+		return fmt.Sprintf("%s = %s", m.Target, m.Rhs)
+	}
+}

@@ -1,0 +1,85 @@
+package pattern
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPatternStringPaperSyntax(t *testing.T) {
+	out := buildSSSP().String()
+	for _, want := range []string{
+		"pattern SSSP {",
+		"vertex-property(dist);",
+		"edge-property(weight);",
+		"relax(vertex v) {",
+		"generator: e in out_edges;",
+		"if (((dist[v] + weight[e]) < dist[trg(e)]))",
+		"dist[trg(e)] = (dist[v] + weight[e]);",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestPatternStringChains(t *testing.T) {
+	p := New("X")
+	x := p.VertexProp("x")
+	s := p.VertexSetProp("s")
+	a := p.Action("act", Adj())
+	a.If(Gt(x.At(V()), C(1))).Set(x.At(V()), C(1))
+	a.Elif(Lt(x.At(V()), C(0))).Insert(s.At(U()), Vtx(V()))
+	a.Else().AddTo(x.At(V()), C(5))
+	a.Do().SetMin(x.At(U()), x.At(V()))
+	out := p.String()
+	for _, want := range []string{
+		"generator: u in adj;",
+		"else if ((x[v] < 0))",
+		"s[u].insert(v);",
+		"else\n",
+		"x[v] += 5;",
+		"always\n",
+		"x[u] = min(x[u], x[v]);",
+		"vertex-set-property(s);",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestDivModConstantFolding(t *testing.T) {
+	p := New("DM")
+	x := p.VertexProp("x")
+	a := p.Action("set", None())
+	a.Do().Set(x.At(V()), Add(Div(C(17), C(5)), ModE(C(17), C(5))))
+	// 17/5 + 17%5 = 3 + 2 = 5, folded at compile time.
+	if _, err := compileAction(a, 0, DefaultPlanOptions()); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Conds[0].Mods[0].Rhs.String(); got != "5" {
+		t.Errorf("constant rhs not folded: %s", got)
+	}
+	// Division and modulo by zero fold to 0 (total semantics).
+	b := p.Action("zero", None())
+	b.Do().Set(x.At(V()), Add(Div(C(9), C(0)), ModE(C(9), C(0))))
+	if _, err := compileAction(b, 0, DefaultPlanOptions()); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Conds[0].Mods[0].Rhs.String(); got != "0" {
+		t.Errorf("div/mod by zero rhs: %s", got)
+	}
+	// A constant-true guard folds and the condition always fires; a
+	// non-constant expression is left intact.
+	c := p.Action("guard", None())
+	c.If(Gt(C(3), C(1))).Set(x.At(V()), Mul(x.At(V()), C(2)))
+	if _, err := compileAction(c, 0, DefaultPlanOptions()); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Conds[0].Test.String(); got != "1" {
+		t.Errorf("constant guard not folded: %s", got)
+	}
+	if got := c.Conds[0].Mods[0].Rhs.String(); !strings.Contains(got, "*") {
+		t.Errorf("non-constant rhs wrongly folded: %s", got)
+	}
+}

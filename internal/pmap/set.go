@@ -1,0 +1,97 @@
+package pmap
+
+import (
+	"fmt"
+	"sort"
+
+	"declpat/internal/distgraph"
+)
+
+// VertexSet is a distributed vertex property map whose values are sets of
+// vertices, supporting the paper's container-modification form
+// preds[v].insert(u). Insert is atomic with respect to the map's LockMap
+// (the paper guarantees every modification is atomic, §III-C).
+type VertexSet struct {
+	dist   distgraph.Distribution
+	shards [][]map[distgraph.Vertex]struct{}
+	locks  *LockMap
+}
+
+// NewVertexSet allocates a set-valued vertex map over dist, synchronized by
+// locks (required).
+func NewVertexSet(dist distgraph.Distribution, locks *LockMap) *VertexSet {
+	if locks == nil {
+		panic("pmap: NewVertexSet requires a LockMap")
+	}
+	m := &VertexSet{dist: dist, shards: make([][]map[distgraph.Vertex]struct{}, dist.Ranks()), locks: locks}
+	for r := range m.shards {
+		m.shards[r] = make([]map[distgraph.Vertex]struct{}, dist.LocalCount(r))
+	}
+	return m
+}
+
+func (m *VertexSet) slot(rank int, v distgraph.Vertex) *map[distgraph.Vertex]struct{} {
+	if m.dist.Owner(v) != rank {
+		panic(fmt.Sprintf("pmap: access to vertex %d on rank %d but owner is %d", v, rank, m.dist.Owner(v)))
+	}
+	return &m.shards[rank][m.dist.Local(v)]
+}
+
+// Locks returns the lock map synchronizing this set.
+func (m *VertexSet) Locks() *LockMap { return m.locks }
+
+// Insert adds u to v's set; reports whether the set changed.
+func (m *VertexSet) Insert(rank int, v, u distgraph.Vertex) bool {
+	changed := false
+	m.locks.With(rank, v, func() {
+		changed = m.InsertLocked(rank, v, u)
+	})
+	return changed
+}
+
+// InsertLocked is Insert for callers that already hold v's lock from this
+// set's LockMap (e.g. the pattern engine's merged evaluation, which locks
+// the modified vertex around the whole condition).
+func (m *VertexSet) InsertLocked(rank int, v, u distgraph.Vertex) bool {
+	p := m.slot(rank, v)
+	if *p == nil {
+		*p = make(map[distgraph.Vertex]struct{}, 4)
+	}
+	if _, ok := (*p)[u]; ok {
+		return false
+	}
+	(*p)[u] = struct{}{}
+	return true
+}
+
+// Contains reports whether u is in v's set.
+func (m *VertexSet) Contains(rank int, v, u distgraph.Vertex) bool {
+	found := false
+	m.locks.With(rank, v, func() {
+		if s := *m.slot(rank, v); s != nil {
+			_, found = s[u]
+		}
+	})
+	return found
+}
+
+// Len returns the size of v's set.
+func (m *VertexSet) Len(rank int, v distgraph.Vertex) int {
+	n := 0
+	m.locks.With(rank, v, func() {
+		n = len(*m.slot(rank, v))
+	})
+	return n
+}
+
+// Members returns v's set as a sorted slice (a copy).
+func (m *VertexSet) Members(rank int, v distgraph.Vertex) []distgraph.Vertex {
+	var out []distgraph.Vertex
+	m.locks.With(rank, v, func() {
+		for u := range *m.slot(rank, v) {
+			out = append(out, u)
+		}
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,119 @@
+package pmap
+
+import (
+	"fmt"
+
+	"declpat/internal/distgraph"
+)
+
+// Vertex is a distributed vertex property map with arbitrary value type T
+// ("property maps associate vertices and edges to arbitrary user-defined
+// data"). Access must happen on the owner rank. Plain Get/Set are not
+// synchronized between a rank's handler threads; use Update with a LockMap
+// for concurrent modification.
+type Vertex[T any] struct {
+	dist   distgraph.Distribution
+	shards [][]T
+	locks  *LockMap
+}
+
+// NewVertex allocates a typed vertex map over dist; every value starts as
+// T's zero value. locks may be nil if the map is only accessed at quiescent
+// points or from a single thread per rank.
+func NewVertex[T any](dist distgraph.Distribution, locks *LockMap) *Vertex[T] {
+	m := &Vertex[T]{dist: dist, shards: make([][]T, dist.Ranks()), locks: locks}
+	for r := range m.shards {
+		m.shards[r] = make([]T, dist.LocalCount(r))
+	}
+	return m
+}
+
+func (m *Vertex[T]) slot(rank int, v distgraph.Vertex) *T {
+	if m.dist.Owner(v) != rank {
+		panic(fmt.Sprintf("pmap: access to vertex %d on rank %d but owner is %d", v, rank, m.dist.Owner(v)))
+	}
+	return &m.shards[rank][m.dist.Local(v)]
+}
+
+// Get returns v's value on its owner rank (unsynchronized).
+func (m *Vertex[T]) Get(rank int, v distgraph.Vertex) T { return *m.slot(rank, v) }
+
+// Set stores x as v's value on its owner rank (unsynchronized).
+func (m *Vertex[T]) Set(rank int, v distgraph.Vertex, x T) { *m.slot(rank, v) = x }
+
+// Update runs fn on a pointer to v's value while holding the map's lock for
+// v. Panics if the map was created without a LockMap.
+func (m *Vertex[T]) Update(rank int, v distgraph.Vertex, fn func(*T)) {
+	if m.locks == nil {
+		panic("pmap: Vertex.Update without a LockMap")
+	}
+	m.locks.With(rank, v, func() { fn(m.slot(rank, v)) })
+}
+
+// ForEachLocal visits every vertex owned by rank. Not synchronized.
+func (m *Vertex[T]) ForEachLocal(rank int, fn func(v distgraph.Vertex, x T)) {
+	for li := range m.shards[rank] {
+		fn(m.dist.Global(rank, li), m.shards[rank][li])
+	}
+}
+
+// Edge is a distributed edge property map with arbitrary value type T,
+// indexed by canonical (out-edge) refs on the edge's locality rank.
+type Edge[T any] struct {
+	g      *distgraph.Graph
+	out    [][]T
+	in     [][]T
+	mirror bool
+}
+
+// NewEdge allocates a typed edge map over g. If mirrorIn is true and the
+// graph is bidirectional, in-edge mirror slots are allocated; fill them with
+// MirrorIn after initializing the canonical values.
+func NewEdge[T any](g *distgraph.Graph, mirrorIn bool) *Edge[T] {
+	R := g.Dist().Ranks()
+	m := &Edge[T]{g: g, out: make([][]T, R), mirror: mirrorIn}
+	if mirrorIn {
+		m.in = make([][]T, R)
+	}
+	for r := 0; r < R; r++ {
+		lg := g.Local(r)
+		m.out[r] = make([]T, lg.NumOutEdges())
+		if mirrorIn {
+			m.in[r] = make([]T, lg.NumInEdges())
+		}
+	}
+	return m
+}
+
+// Get returns e's value on its locality rank.
+func (m *Edge[T]) Get(rank int, e distgraph.EdgeRef) T {
+	if e.In {
+		if !m.mirror {
+			panic("pmap: Edge.Get through an in-edge on a map built without mirrors")
+		}
+		return m.in[rank][e.Slot]
+	}
+	return m.out[rank][e.Slot]
+}
+
+// Set stores x at e's canonical slot; panics on in-edge refs.
+func (m *Edge[T]) Set(rank int, e distgraph.EdgeRef, x T) {
+	if e.In {
+		panic("pmap: Edge.Set through an in-edge mirror")
+	}
+	m.out[rank][e.Slot] = x
+}
+
+// MirrorIn refreshes in-edge mirrors from canonical slots. Collective; call
+// at a quiescent point.
+func (m *Edge[T]) MirrorIn() {
+	if !m.mirror {
+		return
+	}
+	for r := range m.in {
+		lg := m.g.Local(r)
+		for i := range m.in[r] {
+			m.in[r][i] = m.out[lg.InCanonRank[i]][lg.InCanonSlot[i]]
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package pmap
+
+import (
+	"testing"
+
+	"declpat/internal/distgraph"
+)
+
+func buildTypedTestGraph(t *testing.T) (*distgraph.Graph, distgraph.Distribution) {
+	t.Helper()
+	d := distgraph.NewBlockDist(6, 2)
+	g := distgraph.Build(d, []distgraph.Edge{
+		{Src: 0, Dst: 1, W: 1}, {Src: 1, Dst: 2, W: 2}, {Src: 4, Dst: 2, W: 3},
+		{Src: 5, Dst: 0, W: 4}, {Src: 2, Dst: 5, W: 5},
+	}, distgraph.Options{Bidirectional: true})
+	return g, d
+}
+
+func TestTypedVertexMap(t *testing.T) {
+	_, d := buildTypedTestGraph(t)
+	type meta struct {
+		Name  string
+		Score float64
+	}
+	m := NewVertex[meta](d, nil)
+	for v := distgraph.Vertex(0); v < 6; v++ {
+		m.Set(d.Owner(v), v, meta{Name: "v", Score: float64(v) * 1.5})
+	}
+	for v := distgraph.Vertex(0); v < 6; v++ {
+		got := m.Get(d.Owner(v), v)
+		if got.Score != float64(v)*1.5 {
+			t.Fatalf("score[%d] = %v", v, got)
+		}
+	}
+	seen := 0
+	for r := 0; r < 2; r++ {
+		m.ForEachLocal(r, func(v distgraph.Vertex, x meta) { seen++ })
+	}
+	if seen != 6 {
+		t.Fatalf("ForEachLocal visited %d", seen)
+	}
+}
+
+func TestTypedVertexMapUpdateRequiresLocks(t *testing.T) {
+	_, d := buildTypedTestGraph(t)
+	m := NewVertex[int](d, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for Update without LockMap")
+		}
+	}()
+	m.Update(d.Owner(1), 1, func(p *int) { *p++ })
+}
+
+func TestTypedEdgeMap(t *testing.T) {
+	g, d := buildTypedTestGraph(t)
+	type label struct{ Tag string }
+	m := NewEdge[label](g, true)
+	// Write canonical values keyed by endpoints.
+	for r := 0; r < 2; r++ {
+		lg := g.Local(r)
+		for li := 0; li < lg.NumLocal(); li++ {
+			v := d.Global(r, li)
+			g.ForOutEdges(r, v, func(e distgraph.EdgeRef) {
+				m.Set(r, e, label{Tag: tagOf(e)})
+			})
+		}
+	}
+	m.MirrorIn()
+	// Read back through in-edges: mirrors must match canonical tags.
+	for r := 0; r < 2; r++ {
+		lg := g.Local(r)
+		for li := 0; li < lg.NumLocal(); li++ {
+			v := d.Global(r, li)
+			g.ForInEdges(r, v, func(e distgraph.EdgeRef) {
+				if got := m.Get(r, e); got.Tag != tagOf(e) {
+					t.Fatalf("in-edge (%d->%d): tag %q", e.Src(), e.Trg(), got.Tag)
+				}
+			})
+		}
+	}
+	// Writing through an in-edge panics.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	var in distgraph.EdgeRef
+	r := g.Owner(2)
+	g.ForInEdges(r, 2, func(e distgraph.EdgeRef) { in = e })
+	m.Set(r, in, label{})
+}
+
+func tagOf(e distgraph.EdgeRef) string {
+	return string(rune('a'+e.Src())) + string(rune('a'+e.Trg()))
+}
+
+func TestTypedEdgeMapWithoutMirrors(t *testing.T) {
+	g, _ := buildTypedTestGraph(t)
+	m := NewEdge[int](g, false)
+	m.MirrorIn() // no-op
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic reading in-edge without mirrors")
+		}
+	}()
+	var in distgraph.EdgeRef
+	r := g.Owner(2)
+	g.ForInEdges(r, 2, func(e distgraph.EdgeRef) { in = e })
+	m.Get(r, in)
+}

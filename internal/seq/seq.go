@@ -1,0 +1,264 @@
+// Package seq provides simple sequential reference implementations used to
+// validate the distributed algorithms and to serve as experiment baselines:
+// Dijkstra, Bellman–Ford, BFS, union-find connected components, and widest
+// path. They operate directly on edge lists / adjacency built on one
+// machine.
+package seq
+
+import (
+	"container/heap"
+	"math"
+
+	"declpat/internal/distgraph"
+)
+
+// Inf is the conventional "unreached" distance.
+const Inf int64 = math.MaxInt64
+
+// adjacency builds a simple adjacency list from an edge list.
+func adjacency(n int, edges []distgraph.Edge, symmetric bool) [][]halfEdge {
+	adj := make([][]halfEdge, n)
+	for _, e := range edges {
+		adj[e.Src] = append(adj[e.Src], halfEdge{to: e.Dst, w: e.W})
+		if symmetric {
+			adj[e.Dst] = append(adj[e.Dst], halfEdge{to: e.Src, w: e.W})
+		}
+	}
+	return adj
+}
+
+type halfEdge struct {
+	to distgraph.Vertex
+	w  int64
+}
+
+type pqItem struct {
+	v distgraph.Vertex
+	d int64
+}
+
+type pq []pqItem
+
+func (p pq) Len() int           { return len(p) }
+func (p pq) Less(i, j int) bool { return p[i].d < p[j].d }
+func (p pq) Swap(i, j int)      { p[i], p[j] = p[j], p[i] }
+func (p *pq) Push(x any)        { *p = append(*p, x.(pqItem)) }
+func (p *pq) Pop() any          { old := *p; n := len(old); it := old[n-1]; *p = old[:n-1]; return it }
+
+// Dijkstra computes single-source shortest path distances from s over the
+// directed edge list (non-negative weights). Unreached vertices get Inf.
+func Dijkstra(n int, edges []distgraph.Edge, s distgraph.Vertex) []int64 {
+	adj := adjacency(n, edges, false)
+	dist := make([]int64, n)
+	for i := range dist {
+		dist[i] = Inf
+	}
+	dist[s] = 0
+	q := &pq{{v: s, d: 0}}
+	for q.Len() > 0 {
+		it := heap.Pop(q).(pqItem)
+		if it.d > dist[it.v] {
+			continue
+		}
+		for _, e := range adj[it.v] {
+			if nd := it.d + e.w; nd < dist[e.to] {
+				dist[e.to] = nd
+				heap.Push(q, pqItem{v: e.to, d: nd})
+			}
+		}
+	}
+	return dist
+}
+
+// BellmanFord computes SSSP distances by iterating edge relaxations to a
+// fixed point; it also returns the number of full passes performed.
+func BellmanFord(n int, edges []distgraph.Edge, s distgraph.Vertex) (dist []int64, passes int) {
+	dist = make([]int64, n)
+	for i := range dist {
+		dist[i] = Inf
+	}
+	dist[s] = 0
+	for {
+		passes++
+		changed := false
+		for _, e := range edges {
+			if dist[e.Src] == Inf {
+				continue
+			}
+			if nd := dist[e.Src] + e.W; nd < dist[e.Dst] {
+				dist[e.Dst] = nd
+				changed = true
+			}
+		}
+		if !changed {
+			return dist, passes
+		}
+	}
+}
+
+// BFS computes hop counts from s over the directed edge list; unreached
+// vertices get Inf.
+func BFS(n int, edges []distgraph.Edge, s distgraph.Vertex) []int64 {
+	adj := adjacency(n, edges, false)
+	depth := make([]int64, n)
+	for i := range depth {
+		depth[i] = Inf
+	}
+	depth[s] = 0
+	frontier := []distgraph.Vertex{s}
+	for len(frontier) > 0 {
+		var next []distgraph.Vertex
+		for _, v := range frontier {
+			for _, e := range adj[v] {
+				if depth[e.to] == Inf {
+					depth[e.to] = depth[v] + 1
+					next = append(next, e.to)
+				}
+			}
+		}
+		frontier = next
+	}
+	return depth
+}
+
+// Components returns, for each vertex, a canonical component label (the
+// smallest vertex id in its component), treating edges as undirected.
+func Components(n int, edges []distgraph.Edge) []distgraph.Vertex {
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			if ra > rb {
+				ra, rb = rb, ra
+			}
+			parent[rb] = ra
+		}
+	}
+	for _, e := range edges {
+		union(int(e.Src), int(e.Dst))
+	}
+	out := make([]distgraph.Vertex, n)
+	// Two passes so every root compresses to the minimum id.
+	min := make([]int, n)
+	for i := range min {
+		min[i] = n
+	}
+	for v := 0; v < n; v++ {
+		r := find(v)
+		if v < min[r] {
+			min[r] = v
+		}
+	}
+	for v := 0; v < n; v++ {
+		out[v] = distgraph.Vertex(min[find(v)])
+	}
+	return out
+}
+
+// WidestPath computes, for each vertex, the maximum over paths from s of the
+// minimum edge weight along the path (max-min "bottleneck" capacity).
+// Unreached vertices get 0; the source gets Inf.
+func WidestPath(n int, edges []distgraph.Edge, s distgraph.Vertex) []int64 {
+	adj := adjacency(n, edges, false)
+	cap_ := make([]int64, n)
+	cap_[s] = Inf
+	// Dijkstra variant with max-heap on capacity.
+	q := &maxPQ{{v: s, d: Inf}}
+	for q.Len() > 0 {
+		it := heap.Pop(q).(pqItem)
+		if it.d < cap_[it.v] {
+			continue
+		}
+		for _, e := range adj[it.v] {
+			c := it.d
+			if e.w < c {
+				c = e.w
+			}
+			if c > cap_[e.to] {
+				cap_[e.to] = c
+				heap.Push(q, pqItem{v: e.to, d: c})
+			}
+		}
+	}
+	return cap_
+}
+
+// Betweenness computes (unnormalized, directed) betweenness centrality from
+// the given sources using Brandes' algorithm over unweighted shortest paths.
+func Betweenness(n int, edges []distgraph.Edge, sources []distgraph.Vertex) []float64 {
+	adj := adjacency(n, edges, false)
+	radj := make([][]distgraph.Vertex, n)
+	for _, e := range edges {
+		radj[e.Dst] = append(radj[e.Dst], e.Src)
+	}
+	bc := make([]float64, n)
+	for _, s := range sources {
+		depth := make([]int64, n)
+		sigma := make([]float64, n)
+		delta := make([]float64, n)
+		for i := range depth {
+			depth[i] = -1
+		}
+		depth[s] = 0
+		sigma[s] = 1
+		var levels [][]distgraph.Vertex
+		frontier := []distgraph.Vertex{s}
+		for len(frontier) > 0 {
+			levels = append(levels, frontier)
+			var next []distgraph.Vertex
+			for _, v := range frontier {
+				for _, e := range adj[v] {
+					if depth[e.to] == -1 {
+						depth[e.to] = depth[v] + 1
+						next = append(next, e.to)
+					}
+				}
+			}
+			// Path counts accumulate along level edges (parallel
+			// edges contribute multiplicity, matching the
+			// distributed implementation).
+			for _, v := range frontier {
+				for _, e := range adj[v] {
+					if depth[e.to] == depth[v]+1 {
+						sigma[e.to] += sigma[v]
+					}
+				}
+			}
+			frontier = next
+		}
+		for l := len(levels) - 1; l >= 1; l-- {
+			for _, v := range levels[l] {
+				for _, u := range radj[v] {
+					if depth[u] == depth[v]-1 {
+						delta[u] += sigma[u] / sigma[v] * (1 + delta[v])
+					}
+				}
+			}
+		}
+		for v := 0; v < n; v++ {
+			if distgraph.Vertex(v) != s && depth[v] >= 0 {
+				bc[v] += delta[v]
+			}
+		}
+	}
+	return bc
+}
+
+type maxPQ []pqItem
+
+func (p maxPQ) Len() int           { return len(p) }
+func (p maxPQ) Less(i, j int) bool { return p[i].d > p[j].d }
+func (p maxPQ) Swap(i, j int)      { p[i], p[j] = p[j], p[i] }
+func (p *maxPQ) Push(x any)        { *p = append(*p, x.(pqItem)) }
+func (p *maxPQ) Pop() any          { old := *p; n := len(old); it := old[n-1]; *p = old[:n-1]; return it }

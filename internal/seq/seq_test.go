@@ -1,0 +1,122 @@
+package seq
+
+import (
+	"testing"
+	"testing/quick"
+
+	"declpat/internal/distgraph"
+	"declpat/internal/gen"
+)
+
+func TestDijkstraSmall(t *testing.T) {
+	//     0 →(5) 1 →(1) 2
+	//     0 →(3) 2 →(7) 3
+	edges := []distgraph.Edge{
+		{Src: 0, Dst: 1, W: 5}, {Src: 1, Dst: 2, W: 1},
+		{Src: 0, Dst: 2, W: 3}, {Src: 2, Dst: 3, W: 7},
+	}
+	d := Dijkstra(5, edges, 0)
+	want := []int64{0, 5, 3, 10, Inf}
+	for v := range want {
+		if d[v] != want[v] {
+			t.Fatalf("dist[%d]=%d want %d", v, d[v], want[v])
+		}
+	}
+}
+
+// Property: Dijkstra and Bellman–Ford agree on random graphs.
+func TestDijkstraVsBellmanFordQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		edges := gen.ER(50, 200, gen.Weights{Min: 1, Max: 20}, seed)
+		d1 := Dijkstra(50, edges, 0)
+		d2, _ := BellmanFord(50, edges, 0)
+		for v := range d1 {
+			if d1[v] != d2[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the SSSP invariant from the paper holds on the output — for
+// every edge (u,v): dist[v] <= dist[u] + w.
+func TestSSSPInvariantQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		edges := gen.ER(40, 150, gen.Weights{Min: 1, Max: 9}, seed)
+		d := Dijkstra(40, edges, 0)
+		for _, e := range edges {
+			if d[e.Src] != Inf && d[e.Src]+e.W < d[e.Dst] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBFSPath(t *testing.T) {
+	edges := gen.Path(6, gen.Weights{Min: 4, Max: 4}, 0)
+	d := BFS(6, edges, 0)
+	for v := 0; v < 6; v++ {
+		if d[v] != int64(v) {
+			t.Fatalf("depth[%d]=%d", v, d[v])
+		}
+	}
+}
+
+func TestComponents(t *testing.T) {
+	n, edges := gen.Components([]int{3, 1, 4}, 0)
+	c := Components(n, edges)
+	want := []distgraph.Vertex{0, 0, 0, 3, 4, 4, 4, 4}
+	for v := range want {
+		if c[v] != want[v] {
+			t.Fatalf("comp[%d]=%d want %d (all: %v)", v, c[v], want[v], c)
+		}
+	}
+}
+
+// Property: component labels form a congruence over edges, and the label is
+// the minimum member of each class.
+func TestComponentsQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		edges := gen.ER(60, 40, gen.Weights{}, seed)
+		c := Components(60, edges)
+		for _, e := range edges {
+			if c[e.Src] != c[e.Dst] {
+				return false
+			}
+		}
+		for v, l := range c {
+			if int(l) > v {
+				return false
+			}
+			if c[l] != l {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWidestPath(t *testing.T) {
+	edges := []distgraph.Edge{
+		{Src: 0, Dst: 1, W: 5}, {Src: 1, Dst: 3, W: 2},
+		{Src: 0, Dst: 2, W: 3}, {Src: 2, Dst: 3, W: 3},
+	}
+	c := WidestPath(4, edges, 0)
+	want := []int64{Inf, 5, 3, 3}
+	for v := range want {
+		if c[v] != want[v] {
+			t.Fatalf("cap[%d]=%d want %d", v, c[v], want[v])
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package strategy
+
+import (
+	"sync"
+
+	"declpat/internal/am"
+	"declpat/internal/distgraph"
+)
+
+// Buckets is the thread-safe bucket structure of the Δ-stepping strategy
+// (§II-A: "the Δ-stepping strategy has to provide a thread-safe buckets data
+// structure"). A vertex with key k lives in bucket k/Δ.
+//
+// Buckets integrates with epoch termination detection: while a global bucket
+// index is active (BeginBucket), items inserted into that bucket — or an
+// earlier one — register as deferred rank-local work (Epoch.AuxAdd) so
+// try_finish cannot end the epoch while bucket work remains anywhere.
+type Buckets struct {
+	mu      sync.Mutex
+	delta   int64
+	items   map[int][]distgraph.Vertex
+	counted map[int]int
+	cur     int
+	rank    *am.Rank
+}
+
+// NewBuckets creates a bucket structure for rank r with width delta.
+func NewBuckets(r *am.Rank, delta int64) *Buckets {
+	if delta <= 0 {
+		panic("strategy: delta must be positive")
+	}
+	return &Buckets{
+		delta:   delta,
+		items:   map[int][]distgraph.Vertex{},
+		counted: map[int]int{},
+		cur:     -1,
+		rank:    r,
+	}
+}
+
+// Index returns the bucket index for key.
+func (b *Buckets) Index(key int64) int {
+	if key < 0 {
+		return 0
+	}
+	return int(key / b.delta)
+}
+
+// Insert files v under key. Inserts into the active bucket count as deferred
+// epoch work; inserts into other buckets (later ones, or earlier ones after
+// an improvement) are picked up by a later per-bucket epoch.
+func (b *Buckets) Insert(v distgraph.Vertex, key int64) {
+	idx := b.Index(key)
+	b.mu.Lock()
+	b.items[idx] = append(b.items[idx], v)
+	if idx == b.cur {
+		b.counted[idx]++
+		b.rank.AuxAdd(1)
+	}
+	b.mu.Unlock()
+}
+
+// Pop removes one vertex from bucket idx.
+func (b *Buckets) Pop(idx int) (distgraph.Vertex, bool) {
+	b.mu.Lock()
+	s := b.items[idx]
+	if len(s) == 0 {
+		b.mu.Unlock()
+		return 0, false
+	}
+	v := s[len(s)-1]
+	b.items[idx] = s[:len(s)-1]
+	if b.counted[idx] > 0 {
+		b.counted[idx]--
+		b.rank.AuxAdd(-1)
+	}
+	b.mu.Unlock()
+	return v, true
+}
+
+// Len returns the number of vertices currently in bucket idx.
+func (b *Buckets) Len(idx int) int {
+	b.mu.Lock()
+	n := len(b.items[idx])
+	b.mu.Unlock()
+	return n
+}
+
+// MinNonEmpty returns the smallest non-empty bucket index, or sentinel (a
+// large value) when all buckets are empty.
+const NoBucket = int(^uint(0) >> 1) // max int
+
+func (b *Buckets) MinNonEmpty() int {
+	b.mu.Lock()
+	min := NoBucket
+	for idx, s := range b.items {
+		if len(s) > 0 && idx < min {
+			min = idx
+		}
+	}
+	b.mu.Unlock()
+	return min
+}
+
+// BeginBucket activates bucket idx inside an epoch: its current contents
+// (and all future inserts at or below idx) register as deferred work. Must
+// be called at the start of the epoch body, before processing.
+func (b *Buckets) BeginBucket(idx int) {
+	b.mu.Lock()
+	b.cur = idx
+	if pre := len(b.items[idx]) - b.counted[idx]; pre > 0 {
+		b.counted[idx] += pre
+		b.rank.AuxAdd(int64(pre))
+	}
+	b.mu.Unlock()
+}
+
+// EndBucket deactivates the bucket after its epoch; leftover aux accounting
+// is cleared by the epoch machinery itself.
+func (b *Buckets) EndBucket() {
+	b.mu.Lock()
+	b.cur = -1
+	for i := range b.counted {
+		delete(b.counted, i)
+	}
+	b.mu.Unlock()
+}
