@@ -36,9 +36,13 @@ type (
 	// Universe is a simulated distributed machine of message-connected
 	// ranks.
 	Universe = am.Universe
-	// Config configures ranks, handler threads, coalescing, and the
-	// termination detector.
+	// Config configures ranks, handler threads, coalescing, the
+	// termination detector, and the optional fault plan.
 	Config = am.Config
+	// FaultPlan injects seeded transport faults (drop, duplication,
+	// delay/reordering, corruption) and switches the universe onto the
+	// ack/retransmit reliable-delivery protocol.
+	FaultPlan = am.FaultPlan
 	// Rank is one simulated node; SPMD bodies receive theirs from Run.
 	Rank = am.Rank
 	// EpochHandle is the in-epoch handle (Flush, TryFinish, AuxAdd).

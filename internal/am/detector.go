@@ -4,7 +4,17 @@ import "sync"
 
 // atomicQuiesced reports whether the universe is quiescent according to the
 // shared-counter detector: every epoch-body participant idle, no message
-// pending (sent but not fully handled), and no registered deferred work.
+// pending (sent but not fully handled), no registered deferred work, and —
+// in reliable mode — no envelope unacknowledged or held by the fault
+// injector (totalRelPending). The last condition makes epoch recovery safe:
+// a dropped envelope keeps both pending and relPending non-zero until its
+// retransmit lands, and a delivered-but-unacknowledged envelope keeps
+// relPending non-zero until its (re)ack lands, so the epoch cannot end with
+// protocol traffic still in flight.
+//
+// Retransmits and suppressed duplicates never touch pending (it is
+// incremented once per user message in SendTo and decremented once per
+// handled message), so faults cannot double-count toward quiescence.
 //
 // Once true, the condition is stable: no body is running, no handler is
 // running (pending counts messages through handler completion), and work can
@@ -15,13 +25,13 @@ func (u *Universe) atomicQuiesced() bool {
 	if !u.bodiesIdle() {
 		return false
 	}
-	if u.pending.Load() != 0 || u.totalAux() != 0 {
+	if u.pending.Load() != 0 || u.totalAux() != 0 || u.totalRelPending() != 0 {
 		return false
 	}
 	if !u.bodiesIdle() {
 		return false
 	}
-	return u.pending.Load() == 0 && u.totalAux() == 0
+	return u.pending.Load() == 0 && u.totalAux() == 0 && u.totalRelPending() == 0
 }
 
 func (u *Universe) bodiesIdle() bool {
@@ -41,8 +51,17 @@ type ctrlProbe struct {
 
 type ctrlReply struct {
 	sent, recv, aux int64
-	active          int32
-	idle, total     int32
+	// rel is the rank's count of unacknowledged + delayed envelopes
+	// (always 0 on the trusted transport). Requiring the global sum to be
+	// zero keeps the four-counter protocol exact under injected faults: a
+	// dropped or in-flight envelope holds rel > 0 at its sender until the
+	// retransmit is delivered and acknowledged, and sentC/recvC count
+	// user messages exactly once (retransmits re-ship an envelope without
+	// touching sentC; the dedup window keeps duplicates away from
+	// handlers and recvC).
+	rel         int64
+	active      int32
+	idle, total int32
 }
 
 // fourCounterDriver implements Mattern-style four-counter termination
@@ -75,7 +94,7 @@ func (d *fourCounterDriver) wave() bool {
 	for _, r := range u.ranks {
 		r.ctrl <- ctrlProbe{reply: d.replyCh}
 	}
-	var sent, recv, aux int64
+	var sent, recv, aux, rel int64
 	var active int32
 	quiet := true
 	for i := 0; i < u.cfg.Ranks; i++ {
@@ -83,12 +102,13 @@ func (d *fourCounterDriver) wave() bool {
 		sent += rep.sent
 		recv += rep.recv
 		aux += rep.aux
+		rel += rep.rel
 		active += rep.active
 		if rep.idle < rep.total {
 			quiet = false
 		}
 	}
-	ok := quiet && active == 0 && aux == 0 && sent == recv &&
+	ok := quiet && active == 0 && aux == 0 && rel == 0 && sent == recv &&
 		d.havePrev && sent == d.prevSent && recv == d.prevRecv
 	d.prevSent, d.prevRecv, d.havePrev = sent, recv, true
 	if ok {

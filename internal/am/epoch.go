@@ -111,9 +111,13 @@ func (r *Rank) progressUntilDone() {
 		}
 		runtime.Gosched()
 	}
-	// Drain leftovers addressed to us that raced with the done flag: by
-	// the detector's guarantee there are none, but a final sweep keeps the
-	// inbox empty for the next epoch even if a future detector is lossy.
+	// Drain leftovers addressed to us that raced with the done flag. By
+	// the detector's guarantee no user envelope remains (in reliable mode
+	// the detectors additionally waited for every envelope to be
+	// acknowledged), but redundant duplicate acks — re-acks of a
+	// suppressed retransmit whose original ack already landed — may still
+	// arrive; their handler is a no-op, and this sweep keeps the inbox
+	// empty for the next epoch.
 	for r.drainSome(64) {
 	}
 }
@@ -174,8 +178,13 @@ func (ep *Epoch) TryFinish() bool {
 				u.epochDone.Store(true)
 				return true
 			}
-			if u.pending.Load() > 0 || u.totalAux() > 0 {
-				i = tryFinishSpins // real work exists somewhere
+			if u.pending.Load() > 0 || u.totalAux() > 0 || u.totalRelPending() > 0 {
+				// Real work exists somewhere — possibly an envelope
+				// awaiting retransmit that only this rank's polls can
+				// re-ship — so go back to the body loop (whose next
+				// TryFinish flushes and polls links) instead of
+				// spinning here.
+				i = tryFinishSpins
 			}
 		case DetectorFourCounter:
 			// Rank 0 drives waves itself so a body that only ever

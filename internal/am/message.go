@@ -21,6 +21,11 @@ type msgType struct {
 	newBufs func(nranks int) any
 	// batchLen reports the number of messages in an envelope payload.
 	batchLen func(data any) int
+	// decode turns a checksum-verified gob wire payload back into []T.
+	decode func(b []byte) any
+	// xmit performs one (re)transmission of an outstanding batch; used by
+	// the reliable layer's type-erased retransmit path.
+	xmit func(r *Rank, dest int, seq uint64, attempt int, data any)
 
 	// per-type counters.
 	sent, handled, envelopes atomic.Int64
@@ -114,6 +119,16 @@ func Register[T any](u *Universe, name string, handler func(r *Rank, m T)) *MsgT
 		},
 		flushRank: func(r *Rank) bool { return mt.flushBuffers(r) },
 		batchLen:  func(data any) int { return len(data.([]T)) },
+		decode: func(b []byte) any {
+			var decoded []T
+			if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&decoded); err != nil {
+				panic(fmt.Sprintf("am: gob decode %s: %v", name, err))
+			}
+			return decoded
+		},
+		xmit: func(r *Rank, dest int, seq uint64, attempt int, data any) {
+			mt.transmit(r, dest, seq, attempt, data.([]T))
+		},
 		newBufs: func(nranks int) any {
 			tb := &typedBufs[T]{
 				mu:  make([]sync.Mutex, nranks),
@@ -241,26 +256,88 @@ func (t *MsgType[T]) SendTo(r *Rank, dest int, m T) {
 	}
 }
 
-// ship moves a finished batch onto the destination rank's inbox, optionally
-// through a serialization round trip.
+// ship hands a finished batch to the transport. In trusted mode (no
+// FaultPlan) the envelope goes straight onto the destination rank's inbox;
+// in reliable mode it is assigned a sequence number, recorded as
+// outstanding until acknowledged, and transmitted through the fault
+// injector (transmit).
 func (t *MsgType[T]) ship(r *Rank, dest int, batch []T) {
-	r.u.Stats.Envelopes.Add(1)
+	u := r.u
+	u.Stats.Envelopes.Add(1)
 	t.rec.envelopes.Add(1)
-	r.u.Stats.BytesSent.Add(t.size*int64(len(batch)) + envelopeHeaderBytes)
-	r.u.trace(r.id, TraceShip, int64(t.id), int64(len(batch)))
-	if t.gobWire {
-		var buf bytes.Buffer
-		if err := gob.NewEncoder(&buf).Encode(batch); err != nil {
-			panic(fmt.Sprintf("am: gob encode %s: %v", t.name, err))
+	u.trace(r.id, TraceShip, int64(t.id), int64(len(batch)))
+	if u.fp == nil {
+		u.Stats.BytesSent.Add(t.size*int64(len(batch)) + envelopeHeaderBytes)
+		var data any = batch
+		if t.gobWire {
+			data = t.encode(u, batch)
 		}
-		r.u.Stats.WireBytes.Add(int64(buf.Len()))
-		var decoded []T
-		if err := gob.NewDecoder(&buf).Decode(&decoded); err != nil {
-			panic(fmt.Sprintf("am: gob decode %s: %v", t.name, err))
-		}
-		batch = decoded
+		u.ranks[dest].inbox.Push(envelope{typeID: t.id, src: int32(r.id), data: data})
+		return
 	}
-	r.u.ranks[dest].inbox.Push(envelope{typeID: t.id, data: batch})
+	seq := r.nextSeq(dest, t.id, batch)
+	t.transmit(r, dest, seq, 0, batch)
+}
+
+// encode serializes a batch for the gob wire transport, accounting the true
+// serialized size, and seals it with the wire checksum. Encoding failure is
+// a programmer error (non-wire-safe type) in every mode: retransmitting a
+// batch that cannot be encoded would never succeed, so it panics rather
+// than entering the corruption→retransmit path.
+func (t *MsgType[T]) encode(u *Universe, batch []T) gobPayload {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(batch); err != nil {
+		panic(fmt.Sprintf("am: gob encode %s: %v", t.name, err))
+	}
+	u.Stats.WireBytes.Add(int64(buf.Len()))
+	b := buf.Bytes()
+	return gobPayload{b: b, sum: crc64Sum(b)}
+}
+
+// transmit performs one transmission attempt of envelope (r→dest, t, seq)
+// through the fault injector: the envelope may be dropped, corrupted (gob
+// types), duplicated, or delayed, each decided deterministically from
+// (seed, link, seq, attempt). attempt 0 is the initial send; retransmits
+// arrive here through msgType.xmit with fresh attempt numbers (and fresh
+// fault rolls, so delivery eventually succeeds).
+func (t *MsgType[T]) transmit(r *Rank, dest int, seq uint64, attempt int, batch []T) {
+	u := r.u
+	fp := u.fp
+	if attempt > 0 {
+		u.Stats.Retransmits.Add(1)
+		u.trace(r.id, TraceRetransmit, int64(t.id), int64(seq))
+	}
+	u.Stats.BytesSent.Add(t.size*int64(len(batch)) + envelopeHeaderBytes)
+	if fp.roll(faultDrop, r.id, dest, int(t.id), seq, attempt) < fp.Drop {
+		u.Stats.EnvelopesDropped.Add(1)
+		u.trace(r.id, TraceDrop, int64(t.id), int64(seq))
+		return
+	}
+	var data any = batch
+	if t.gobWire {
+		gp := t.encode(u, batch)
+		if fp.roll(faultCorrupt, r.id, dest, int(t.id), seq, attempt) < fp.Corrupt {
+			// Flip one byte after sealing the checksum: the receiver
+			// detects the mismatch, discards, and awaits retransmit.
+			i := fp.rollN(faultCorruptByte, r.id, dest, int(t.id), seq, attempt, len(gp.b)) - 1
+			gp.b[i] ^= 0xff
+		}
+		data = gp
+	}
+	e := envelope{typeID: t.id, src: int32(r.id), seq: seq, data: data}
+	if fp.roll(faultDup, r.id, dest, int(t.id), seq, attempt) < fp.Dup {
+		u.Stats.EnvelopesDuplicated.Add(1)
+		u.trace(r.id, TraceDup, int64(t.id), int64(seq))
+		u.ranks[dest].inbox.Push(e)
+	}
+	if fp.roll(faultDelay, r.id, dest, int(t.id), seq, attempt) < fp.Delay {
+		jitter := fp.rollN(faultDelayTicks, r.id, dest, int(t.id), seq, attempt, 2*fp.DelayTicks)
+		u.Stats.EnvelopesDelayed.Add(1)
+		u.trace(r.id, TraceDelay, int64(t.id), int64(seq))
+		r.holdDelayed(dest, e, r.linkTick.Load()+uint64(jitter))
+		return
+	}
+	u.ranks[dest].inbox.Push(e)
 }
 
 // envelopeHeaderBytes models the fixed per-envelope wire overhead (type id,

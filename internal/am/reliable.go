@@ -1,0 +1,292 @@
+package am
+
+import (
+	"fmt"
+	"hash/crc64"
+	"slices"
+	"sync"
+)
+
+// Reliable-delivery layer (active when Config.FaultPlan != nil).
+//
+// Sender side: each (dest, type) link assigns consecutive sequence numbers
+// to shipped envelopes and keeps every envelope in an outstanding table
+// until the receiver acknowledges it. Retransmission is poll-driven: every
+// flushAll on the sending rank advances that rank's link tick and
+// retransmits overdue envelopes with exponential backoff — no timer
+// goroutines exist, so nothing can fire after Universe.Run's teardown
+// (see the shutdown audit in universe.go).
+//
+// Receiver side: each (src, type) link tracks the contiguous prefix of
+// delivered sequence numbers plus a set of out-of-order arrivals (delay
+// faults reorder envelopes). A duplicate — retransmit of a delivered
+// envelope or a network duplicate — is suppressed before any handler runs
+// and re-acknowledged, so user messages are handled exactly once and the
+// termination detectors' counters (pending, sentC/recvC) are never
+// double-counted.
+//
+// Epoch safety: both termination detectors additionally require every link
+// to be quiet (no outstanding, no delayed envelopes — relPending == 0 on
+// every rank), so an epoch ends only after every envelope it shipped has
+// been delivered exactly once *and* acknowledged. The only traffic that can
+// cross an epoch boundary is a redundant duplicate ack, whose handler is a
+// no-op.
+
+// ackTypeID marks acknowledgement envelopes in the inbox stream.
+const ackTypeID int32 = -1
+
+// ackBody is the payload of an acknowledgement envelope: the message type
+// whose (src=receiver's view, seq) envelope is being acknowledged.
+type ackBody struct {
+	typ int32
+}
+
+// crcTable is the checksum polynomial for gob wire payloads.
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// crc64Sum computes the wire checksum of an encoded batch.
+func crc64Sum(b []byte) uint64 { return crc64.Checksum(b, crcTable) }
+
+// gobPayload is the wire form of a WithGobTransport envelope: the encoded
+// batch plus a checksum computed over the clean bytes at the sender.
+type gobPayload struct {
+	b   []byte
+	sum uint64
+}
+
+// outEnvelope is one unacknowledged envelope held by the sender.
+type outEnvelope struct {
+	data     any // the original []T batch; re-encoded per attempt for gob types
+	attempts int // transmissions performed so far
+	due      uint64
+}
+
+// delayedEnvelope is an envelope held back by the simulated network.
+type delayedEnvelope struct {
+	env envelope
+	due uint64
+}
+
+// sendLink is one rank's sender-side state for one (dest, type) link.
+type sendLink struct {
+	mu      sync.Mutex
+	nextSeq uint64
+	out     map[uint64]*outEnvelope
+	delayed []delayedEnvelope
+}
+
+// recvLink is one rank's receiver-side dedup window for one (src, type)
+// link: every seq <= contig has been delivered, plus the out-of-order seqs
+// in ahead. acks counts acknowledgements issued (the salt for ack-drop
+// decisions, so each re-ack rolls an independent fault).
+type recvLink struct {
+	mu     sync.Mutex
+	contig uint64
+	ahead  map[uint64]struct{}
+	acks   uint64
+}
+
+// initReliability allocates the per-rank link state. Called from Run once
+// the type set is frozen.
+func (r *Rank) initReliability(ntypes int) {
+	n := r.u.cfg.Ranks
+	r.send = make([][]sendLink, n)
+	r.recv = make([][]recvLink, n)
+	for i := 0; i < n; i++ {
+		r.send[i] = make([]sendLink, ntypes)
+		r.recv[i] = make([]recvLink, ntypes)
+	}
+}
+
+// nextSeq assigns the next sequence number on (r → dest, typ) and records
+// the batch as outstanding.
+func (r *Rank) nextSeq(dest int, typ int32, data any) uint64 {
+	l := &r.send[dest][typ]
+	l.mu.Lock()
+	l.nextSeq++
+	seq := l.nextSeq
+	if l.out == nil {
+		l.out = make(map[uint64]*outEnvelope)
+	}
+	l.out[seq] = &outEnvelope{
+		data: data,
+		due:  r.linkTick.Load() + uint64(r.u.fp.RetransmitBase),
+	}
+	l.mu.Unlock()
+	r.relPending.Add(1)
+	return seq
+}
+
+// holdDelayed parks an envelope on the sending link until the rank's tick
+// reaches due (the release happens in pollLinks).
+func (r *Rank) holdDelayed(dest int, e envelope, due uint64) {
+	l := &r.send[dest][e.typeID]
+	l.mu.Lock()
+	l.delayed = append(l.delayed, delayedEnvelope{env: e, due: due})
+	l.mu.Unlock()
+	r.relPending.Add(1)
+}
+
+// admit records (src, typ, seq) in the dedup window. It reports whether the
+// envelope is fresh (false: duplicate, must be suppressed) and returns the
+// ack salt to use when acknowledging it.
+func (r *Rank) admit(src int, typ int32, seq uint64) (fresh bool, salt uint64) {
+	l := &r.recv[src][typ]
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	salt = l.acks
+	l.acks++
+	if seq <= l.contig {
+		return false, salt
+	}
+	if _, dup := l.ahead[seq]; dup {
+		return false, salt
+	}
+	if l.ahead == nil {
+		l.ahead = make(map[uint64]struct{})
+	}
+	l.ahead[seq] = struct{}{}
+	for {
+		if _, ok := l.ahead[l.contig+1]; !ok {
+			break
+		}
+		delete(l.ahead, l.contig+1)
+		l.contig++
+	}
+	return true, salt
+}
+
+// sendAck acknowledges envelope (src→r, typ, seq). Acks ride the same
+// simulated network and are dropped with the plan's Drop probability; a
+// lost ack is recovered by the sender's retransmit, which the receiver
+// suppresses and re-acknowledges with a fresh salt.
+func (r *Rank) sendAck(src int, typ int32, seq uint64, salt uint64) {
+	u := r.u
+	if u.fp.roll(faultAckDrop, r.id, src, int(typ), seq, int(salt)) < u.fp.Drop {
+		u.Stats.AcksDropped.Add(1)
+		u.trace(r.id, TraceDrop, int64(ackTypeID), int64(seq))
+		return
+	}
+	u.Stats.AckMsgs.Add(1)
+	u.Stats.BytesSent.Add(envelopeHeaderBytes)
+	u.trace(r.id, TraceAck, int64(typ), int64(seq))
+	u.ranks[src].inbox.Push(envelope{
+		typeID: ackTypeID, src: int32(r.id), seq: seq, data: ackBody{typ: typ},
+	})
+}
+
+// handleAck clears the acknowledged envelope from the sender's outstanding
+// table. Duplicate acks (re-acks of suppressed retransmits) are no-ops.
+func (r *Rank) handleAck(e envelope) {
+	ab := e.data.(ackBody)
+	l := &r.send[int(e.src)][ab.typ]
+	l.mu.Lock()
+	_, ok := l.out[e.seq]
+	if ok {
+		delete(l.out, e.seq)
+	}
+	l.mu.Unlock()
+	if ok {
+		r.relPending.Add(-1)
+	}
+}
+
+// backoffTicks returns the retransmit timeout after `attempts`
+// transmissions (exponential, capped at base << 6).
+func backoffTicks(fp *FaultPlan, attempts int) uint64 {
+	shift := attempts
+	if shift > 6 {
+		shift = 6
+	}
+	return uint64(fp.RetransmitBase) << shift
+}
+
+// pollLinks advances this rank's link tick, releases matured delayed
+// envelopes, and retransmits overdue unacknowledged envelopes. It reports
+// whether it moved anything. Called from flushAll, i.e. from epoch bodies
+// and progress loops only — never from a detached goroutine.
+func (r *Rank) pollLinks() bool {
+	u := r.u
+	if u.fp == nil || r.relPending.Load() == 0 {
+		return false
+	}
+	now := r.linkTick.Add(1)
+	worked := false
+	type resend struct {
+		rec     *msgType
+		dest    int
+		seq     uint64
+		attempt int
+		data    any
+	}
+	var resends []resend
+	var releases []envelope
+	var releaseDest []int
+	for dest := range r.send {
+		for typ := range r.send[dest] {
+			l := &r.send[dest][typ]
+			l.mu.Lock()
+			if len(l.delayed) > 0 {
+				kept := l.delayed[:0]
+				for _, d := range l.delayed {
+					if d.due <= now {
+						releases = append(releases, d.env)
+						releaseDest = append(releaseDest, dest)
+					} else {
+						kept = append(kept, d)
+					}
+				}
+				l.delayed = kept
+			}
+			// Collect due seqs in sorted order: map iteration order is
+			// random, and the retransmission order feeds delivery and
+			// ack timing, which must be reproducible for a fixed seed
+			// on a deterministic (single-threaded) schedule.
+			var due []uint64
+			for seq, o := range l.out {
+				if o.due <= now {
+					due = append(due, seq)
+				}
+			}
+			slices.Sort(due)
+			for _, seq := range due {
+				o := l.out[seq]
+				o.attempts++
+				if o.attempts > u.fp.MaxAttempts {
+					l.mu.Unlock()
+					panic(fmt.Sprintf(
+						"am: link %d->%d type %s seq %d dead after %d attempts (FaultPlan seed %d)",
+						r.id, dest, u.types[typ].name, seq, o.attempts, u.fp.Seed))
+				}
+				o.due = now + backoffTicks(u.fp, o.attempts)
+				resends = append(resends, resend{u.types[typ], dest, seq, o.attempts, o.data})
+			}
+			l.mu.Unlock()
+		}
+	}
+	for i, e := range releases {
+		u.ranks[releaseDest[i]].inbox.Push(e)
+		r.relPending.Add(-1)
+		worked = true
+	}
+	for _, rs := range resends {
+		rs.rec.xmit(r, rs.dest, rs.seq, rs.attempt, rs.data)
+		worked = true
+	}
+	return worked
+}
+
+// totalRelPending sums the per-rank count of unacknowledged and delayed
+// envelopes. Zero means every shipped envelope has been delivered and
+// acknowledged — part of both detectors' quiescence condition, so epochs
+// never end with protocol traffic still in flight.
+func (u *Universe) totalRelPending() int64 {
+	if u.fp == nil {
+		return 0
+	}
+	var s int64
+	for _, r := range u.ranks {
+		s += r.relPending.Load()
+	}
+	return s
+}

@@ -34,6 +34,32 @@ type Stats struct {
 	Flushes atomic.Int64
 	// TDWaves counts four-counter probe waves.
 	TDWaves atomic.Int64
+
+	// Fault-injection / reliable-delivery counters (all zero on the
+	// trusted transport, i.e. with a nil FaultPlan).
+
+	// EnvelopesDropped counts data-envelope transmissions the injector
+	// discarded in flight.
+	EnvelopesDropped atomic.Int64
+	// EnvelopesDuplicated counts envelopes the injector delivered twice.
+	EnvelopesDuplicated atomic.Int64
+	// EnvelopesDelayed counts envelopes held back and released out of
+	// order.
+	EnvelopesDelayed atomic.Int64
+	// Retransmits counts envelope retransmissions (attempts beyond the
+	// first).
+	Retransmits atomic.Int64
+	// DupsSuppressed counts envelopes the receiver's dedup window
+	// discarded (network duplicates and redundant retransmits); their
+	// messages never reach a handler a second time.
+	DupsSuppressed atomic.Int64
+	// CorruptionsDetected counts gob-wire envelopes whose checksum failed
+	// at the receiver (discarded; recovered by retransmit).
+	CorruptionsDetected atomic.Int64
+	// AckMsgs counts acknowledgement envelopes actually sent.
+	AckMsgs atomic.Int64
+	// AcksDropped counts acknowledgements the injector discarded.
+	AcksDropped atomic.Int64
 }
 
 // Snapshot is a plain-value copy of Stats, convenient for diffing across an
@@ -43,6 +69,10 @@ type Snapshot struct {
 	Envelopes, BytesSent, WireBytes        int64
 	HandlersRun                            int64
 	CtrlMsgs, Epochs, Flushes, TDWaves     int64
+	EnvelopesDropped, EnvelopesDuplicated  int64
+	EnvelopesDelayed, Retransmits          int64
+	DupsSuppressed, CorruptionsDetected    int64
+	AckMsgs, AcksDropped                   int64
 }
 
 // Snapshot returns a consistent-enough copy for use at quiescent points
@@ -60,6 +90,15 @@ func (s *Stats) Snapshot() Snapshot {
 		Epochs:         s.Epochs.Load(),
 		Flushes:        s.Flushes.Load(),
 		TDWaves:        s.TDWaves.Load(),
+
+		EnvelopesDropped:    s.EnvelopesDropped.Load(),
+		EnvelopesDuplicated: s.EnvelopesDuplicated.Load(),
+		EnvelopesDelayed:    s.EnvelopesDelayed.Load(),
+		Retransmits:         s.Retransmits.Load(),
+		DupsSuppressed:      s.DupsSuppressed.Load(),
+		CorruptionsDetected: s.CorruptionsDetected.Load(),
+		AckMsgs:             s.AckMsgs.Load(),
+		AcksDropped:         s.AcksDropped.Load(),
 	}
 }
 
@@ -77,5 +116,14 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 		Epochs:         s.Epochs - o.Epochs,
 		Flushes:        s.Flushes - o.Flushes,
 		TDWaves:        s.TDWaves - o.TDWaves,
+
+		EnvelopesDropped:    s.EnvelopesDropped - o.EnvelopesDropped,
+		EnvelopesDuplicated: s.EnvelopesDuplicated - o.EnvelopesDuplicated,
+		EnvelopesDelayed:    s.EnvelopesDelayed - o.EnvelopesDelayed,
+		Retransmits:         s.Retransmits - o.Retransmits,
+		DupsSuppressed:      s.DupsSuppressed - o.DupsSuppressed,
+		CorruptionsDetected: s.CorruptionsDetected - o.CorruptionsDetected,
+		AckMsgs:             s.AckMsgs - o.AckMsgs,
+		AcksDropped:         s.AcksDropped - o.AcksDropped,
 	}
 }

@@ -25,6 +25,27 @@ const (
 	// TraceTDWave: a four-counter probe wave completed (Arg = 1 if the
 	// wave detected termination).
 	TraceTDWave
+	// TraceDrop: the fault injector discarded a transmission (Arg =
+	// message type id, or -1 for an ack; Arg2 = sequence number).
+	TraceDrop
+	// TraceDup: the fault injector delivered an envelope twice (Arg =
+	// type id, Arg2 = seq).
+	TraceDup
+	// TraceDelay: the fault injector held an envelope for out-of-order
+	// release (Arg = type id, Arg2 = seq).
+	TraceDelay
+	// TraceRetransmit: the sender retransmitted an unacknowledged
+	// envelope (Arg = type id, Arg2 = seq).
+	TraceRetransmit
+	// TraceCorrupt: a gob-wire envelope failed its checksum at the
+	// receiver and was discarded (Arg = type id, Arg2 = seq).
+	TraceCorrupt
+	// TraceSuppress: the receiver's dedup window discarded a duplicate
+	// envelope (Arg = type id, Arg2 = seq).
+	TraceSuppress
+	// TraceAck: the receiver acknowledged an envelope (Arg = type id,
+	// Arg2 = seq).
+	TraceAck
 )
 
 func (k TraceKind) String() string {
@@ -41,6 +62,20 @@ func (k TraceKind) String() string {
 		return "flush"
 	case TraceTDWave:
 		return "td-wave"
+	case TraceDrop:
+		return "drop"
+	case TraceDup:
+		return "dup"
+	case TraceDelay:
+		return "delay"
+	case TraceRetransmit:
+		return "retransmit"
+	case TraceCorrupt:
+		return "corrupt"
+	case TraceSuppress:
+		return "suppress"
+	case TraceAck:
+		return "ack"
 	}
 	return fmt.Sprintf("TraceKind(%d)", uint8(k))
 }

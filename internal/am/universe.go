@@ -51,6 +51,11 @@ type Config struct {
 	// TraceCapacity enables event tracing with a ring of this many
 	// events (0 disables tracing).
 	TraceCapacity int
+	// FaultPlan, when non-nil, switches the transport into reliable mode
+	// (sequence numbers, acks, dedup, retransmit — see fault.go and
+	// reliable.go) and injects the configured faults. A zero-valued plan
+	// injects nothing but still runs the full protocol.
+	FaultPlan *FaultPlan
 }
 
 func (c Config) withDefaults() Config {
@@ -69,8 +74,10 @@ func (c Config) withDefaults() Config {
 // envelope is one coalesced batch of messages of a single type, shipped
 // between two ranks.
 type envelope struct {
-	typeID int32
-	data   any // []T, owned by the receiver once shipped
+	typeID int32  // registered message type, or ackTypeID for acks
+	src    int32  // sending rank
+	seq    uint64 // per-(src, dest, type) sequence number (reliable mode)
+	data   any    // []T, gobPayload (gob wire types), or ackBody
 }
 
 // Universe is a simulated distributed machine: a set of ranks connected by
@@ -81,6 +88,9 @@ type Universe struct {
 	ranks  []*Rank
 	types  []*msgType
 	frozen atomic.Bool
+
+	// fp is the defaulted fault plan; nil selects the trusted transport.
+	fp *FaultPlan
 
 	// pending counts user messages sent but not yet fully handled.
 	// Maintained in all detector modes; consulted only by DetectorAtomic.
@@ -98,6 +108,9 @@ type Universe struct {
 func NewUniverse(cfg Config) *Universe {
 	cfg = cfg.withDefaults()
 	u := &Universe{cfg: cfg}
+	if cfg.FaultPlan != nil {
+		u.fp = cfg.FaultPlan.withDefaults()
+	}
 	u.barrier = NewBarrier(cfg.Ranks)
 	u.coll.init(cfg.Ranks)
 	if cfg.TraceCapacity > 0 {
@@ -147,6 +160,15 @@ type Rank struct {
 	// fc is rank 0's four-counter driver for the current epoch (nil on
 	// other ranks and in atomic-detector mode).
 	fc *fourCounterDriver
+
+	// Reliable-transport state (allocated only when a FaultPlan is set):
+	// send[dest][type] / recv[src][type] link state, the rank-local
+	// progress tick driving retransmit timeouts, and the count of
+	// unacknowledged + delayed envelopes this rank is responsible for.
+	send       [][]sendLink
+	recv       [][]recvLink
+	linkTick   atomic.Uint64
+	relPending atomic.Int64
 }
 
 // ID returns this rank's id in [0, Ranks).
@@ -172,6 +194,9 @@ func (u *Universe) Run(body func(r *Rank)) {
 		r.bufs = make([]any, len(u.types))
 		for _, mt := range u.types {
 			r.bufs[mt.id] = mt.newBufs(u.cfg.Ranks)
+		}
+		if u.fp != nil {
+			r.initReliability(len(u.types))
 		}
 	}
 
@@ -203,6 +228,7 @@ func (u *Universe) Run(body func(r *Rank)) {
 					sent:   r.sentC.Load(),
 					recv:   r.recvC.Load(),
 					aux:    r.auxWork.Load(),
+					rel:    r.relPending.Load(),
 					active: r.activeH.Load(),
 					idle:   r.idleBodies.Load(),
 					total:  r.totalBodies.Load(),
@@ -221,6 +247,18 @@ func (u *Universe) Run(body func(r *Rank)) {
 	}
 	mains.Wait()
 
+	// Shutdown audit (no send-on-closed-channel window). Sends on r.ctrl
+	// come only from fourCounterDriver.wave, which runs exclusively on
+	// epoch-body goroutines and rank mains — all of which have returned by
+	// the time mains.Wait() does — so close(r.ctrl) below cannot race a
+	// probe. The reliable-delivery layer preserves this: retransmits and
+	// delayed-envelope releases are poll-driven from flushAll (bodies and
+	// progress loops only, never a timer goroutine), and both detectors
+	// require totalRelPending() == 0 before ending an epoch, so no
+	// retransmit can fire after the last epoch ends. The only post-epoch
+	// traffic is a redundant duplicate ack, and inbox.Push on a closed
+	// queue is a safe no-op sink (queues are not Go channels).
+	// TestShutdownStress exercises this window under -race.
 	for _, r := range u.ranks {
 		r.inbox.Close()
 	}
@@ -231,12 +269,43 @@ func (u *Universe) Run(body func(r *Rank)) {
 	responders.Wait()
 }
 
-// deliverEnvelope runs the handlers for every message in e on rank r.
+// deliverEnvelope runs the handlers for every message in e on rank r. In
+// reliable mode it first verifies the wire checksum (gob types), suppresses
+// duplicates, and acknowledges the envelope; corrupted envelopes are
+// discarded unacknowledged so the sender's retransmit recovers them.
 func (r *Rank) deliverEnvelope(e envelope) {
+	u := r.u
+	if e.typeID == ackTypeID {
+		r.handleAck(e)
+		return
+	}
+	mt := u.types[e.typeID]
+	data := e.data
+	if gp, ok := data.(gobPayload); ok {
+		if crc64Sum(gp.b) != gp.sum {
+			if u.fp == nil {
+				panic("am: wire corruption on trusted transport: " + mt.name)
+			}
+			u.Stats.CorruptionsDetected.Add(1)
+			u.trace(r.id, TraceCorrupt, int64(e.typeID), int64(e.seq))
+			return
+		}
+		// A decode error after a checksum match is a programmer error
+		// (non-wire-safe type), not a network fault: decode panics.
+		data = mt.decode(gp.b)
+	}
+	if u.fp != nil {
+		fresh, salt := r.admit(int(e.src), e.typeID, e.seq)
+		r.sendAck(int(e.src), e.typeID, e.seq, salt)
+		if !fresh {
+			u.Stats.DupsSuppressed.Add(1)
+			u.trace(r.id, TraceSuppress, int64(e.typeID), int64(e.seq))
+			return
+		}
+	}
 	r.activeH.Add(1)
-	mt := r.u.types[e.typeID]
-	r.u.trace(r.id, TraceDeliver, int64(e.typeID), int64(mt.batchLen(e.data)))
-	mt.deliver(r, e.data)
+	u.trace(r.id, TraceDeliver, int64(e.typeID), int64(mt.batchLen(data)))
+	mt.deliver(r, data)
 	r.activeH.Add(-1)
 }
 
@@ -255,14 +324,19 @@ func (r *Rank) drainSome(max int) bool {
 	return worked
 }
 
-// flushAll ships every non-empty coalescing buffer owned by r and reports
-// whether anything was shipped.
+// flushAll ships every non-empty coalescing buffer owned by r, then (in
+// reliable mode) polls this rank's links — releasing matured delayed
+// envelopes and retransmitting overdue unacknowledged ones. Reports whether
+// anything moved.
 func (r *Rank) flushAll() bool {
 	worked := false
 	for _, mt := range r.u.types {
 		if mt.flushRank(r) {
 			worked = true
 		}
+	}
+	if r.pollLinks() {
+		worked = true
 	}
 	return worked
 }

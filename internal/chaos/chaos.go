@@ -1,0 +1,147 @@
+// Package chaos is the fault-injection harness: it runs the pattern-based
+// algorithms (BFS, SSSP, CC) on the reliable transport while the fault
+// injector drops, duplicates, reorders, and corrupts envelopes, and checks
+// that every run computes results identical to the fault-free run. It is
+// the repo's evidence that the paper's declarative patterns — and the epoch
+// / termination-detection machinery they depend on — survive a realistic
+// lossy network, not just the trusted in-process simulation.
+//
+// All randomness is explicitly seeded: the workload generator takes a seed,
+// and every FaultPlan's seed is derived from the scenario seed with
+// harness.DeriveSeed, so any failure is reproducible from the seed recorded
+// in the failure message.
+package chaos
+
+import (
+	"fmt"
+	"slices"
+
+	"declpat/internal/algorithms"
+	"declpat/internal/am"
+	"declpat/internal/distgraph"
+	"declpat/internal/pattern"
+	"declpat/internal/pmap"
+)
+
+// Workload is a generated input graph.
+type Workload struct {
+	N     int
+	Edges []distgraph.Edge
+}
+
+// Scenario is one machine + fault configuration.
+type Scenario struct {
+	Ranks   int
+	Threads int
+	// Coalesce is the envelope coalescing factor (0 = universe default).
+	// Small values ship many small envelopes, giving the injector more
+	// targets.
+	Coalesce int
+	Detector am.DetectorKind
+	// Plan is the fault plan; nil runs the trusted transport (the
+	// fault-free baseline).
+	Plan *am.FaultPlan
+	// GobWire routes the pattern engine's message type through the gob
+	// wire transport so Corrupt faults apply to it.
+	GobWire bool
+}
+
+// String names the scenario for test output.
+func (sc Scenario) String() string {
+	if sc.Plan == nil {
+		return fmt.Sprintf("baseline/%dx%d/%s", sc.Ranks, sc.Threads, sc.Detector)
+	}
+	return fmt.Sprintf("drop=%g,dup=%g,delay=%g,corrupt=%g/%dx%d/%s/seed=%d",
+		sc.Plan.Drop, sc.Plan.Dup, sc.Plan.Delay, sc.Plan.Corrupt,
+		sc.Ranks, sc.Threads, sc.Detector, sc.Plan.Seed)
+}
+
+func (sc Scenario) config() am.Config {
+	return am.Config{
+		Ranks:          sc.Ranks,
+		ThreadsPerRank: sc.Threads,
+		CoalesceSize:   sc.Coalesce,
+		Detector:       sc.Detector,
+		FaultPlan:      sc.Plan,
+	}
+}
+
+// engine builds a fresh universe + engine over w for one algorithm run.
+func engine(w Workload, sc Scenario, gopts distgraph.Options) (*am.Universe, *pattern.Engine, *pmap.LockMap) {
+	cfg := sc.config()
+	u := am.NewUniverse(cfg)
+	d := distgraph.NewBlockDist(w.N, u.Ranks())
+	g := distgraph.Build(d, w.Edges, gopts)
+	lm := pmap.NewLockMap(d, 1)
+	eng := pattern.NewEngine(u, g, lm, pattern.DefaultPlanOptions())
+	if sc.GobWire {
+		eng.MsgType().WithGobTransport()
+	}
+	return u, eng, lm
+}
+
+// RunBFS computes BFS levels from src under sc and returns the level vector
+// plus the run's transport statistics.
+func RunBFS(w Workload, sc Scenario, src distgraph.Vertex) ([]int64, am.Snapshot) {
+	u, eng, _ := engine(w, sc, distgraph.Options{})
+	b := algorithms.NewBFS(eng)
+	u.Run(func(r *am.Rank) { b.Run(r, src) })
+	return b.Level.Gather(), u.Stats.Snapshot()
+}
+
+// RunSSSP computes shortest distances from src under sc (Δ-stepping, the
+// strategy with the richest epoch structure) and returns the distance
+// vector plus statistics.
+func RunSSSP(w Workload, sc Scenario, src distgraph.Vertex, delta int64) ([]int64, am.Snapshot) {
+	u, eng, _ := engine(w, sc, distgraph.Options{})
+	s := algorithms.NewSSSP(eng)
+	s.UseDelta(u, delta)
+	u.Run(func(r *am.Rank) { s.Run(r, src) })
+	return s.Dist.Gather(), u.Stats.Snapshot()
+}
+
+// RunCC computes connected components under sc and returns the canonical
+// partition (see Canonicalize) plus statistics.
+func RunCC(w Workload, sc Scenario) ([]int64, am.Snapshot) {
+	u, eng, lm := engine(w, sc, distgraph.Options{Symmetrize: true})
+	c := algorithms.NewCC(eng, lm)
+	u.Run(func(r *am.Rank) { c.Run(r) })
+	return Canonicalize(c.Comp.Gather()), u.Stats.Snapshot()
+}
+
+// Canonicalize relabels a component vector so each class is named by its
+// smallest member vertex. CC's raw root labels depend on which searches won
+// the claiming races (they differ run to run even fault-free); the induced
+// partition is the algorithm's deterministic output, and in canonical form
+// it can be compared bit-for-bit.
+func Canonicalize(comp []int64) []int64 {
+	min := make(map[int64]int64)
+	for v, c := range comp {
+		if m, ok := min[c]; !ok || int64(v) < m {
+			min[c] = int64(v)
+		}
+	}
+	out := make([]int64, len(comp))
+	for v, c := range comp {
+		out[v] = min[c]
+	}
+	return out
+}
+
+// Diff returns the indices (up to max) where two result vectors differ, for
+// failure messages.
+func Diff(a, b []int64, max int) []int {
+	var d []int
+	for i := range a {
+		if a[i] != b[i] {
+			d = append(d, i)
+			if len(d) == max {
+				break
+			}
+		}
+	}
+	return d
+}
+
+// Equal reports whether two result vectors are bit-identical.
+func Equal(a, b []int64) bool { return slices.Equal(a, b) }

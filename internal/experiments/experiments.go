@@ -53,6 +53,7 @@ func All() []Experiment {
 		{"E13", "§III-A — PageRank push (out_edges) vs pull (in_edges)", E13PushPull},
 		{"E14", "§VI — pattern translator: generated code vs engine vs hand-written", E14Codegen},
 		{"E15", "§VI — expressiveness: the pattern-based algorithm suite", E15Expressiveness},
+		{"E16", "robustness — fault overhead vs drop rate (reliable transport)", E16Chaos},
 	}
 }
 

@@ -1,14 +1,34 @@
 // Package harness provides the experiment-suite plumbing: fixed-width table
-// rendering (the rows EXPERIMENTS.md records), wall-clock timing, and small
-// statistics helpers. It is used by cmd/experiments and the benchmarks.
+// rendering (the rows EXPERIMENTS.md records), wall-clock timing, explicit
+// seed derivation (no global rand anywhere in the suite), and small
+// statistics helpers. It is used by cmd/experiments, the chaos harness, and
+// the benchmarks.
 package harness
 
 import (
 	"fmt"
+	"hash/fnv"
 	"io"
 	"strings"
 	"time"
 )
+
+// DeriveSeed derives a named sub-seed from a base seed, deterministically:
+// the same (base, label) always yields the same seed. Every component that
+// needs randomness — workload generators, fault plans, shuffles — takes an
+// explicit seed derived this way from the experiment's single base seed, so
+// a whole run (and any failure) is reproducible from one number and no code
+// path consults a global random source.
+func DeriveSeed(base uint64, label string) uint64 {
+	h := fnv.New64a()
+	fmt.Fprint(h, label)
+	x := base ^ h.Sum64()
+	// SplitMix64 finalizer: decorrelates adjacent bases and labels.
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
 
 // Table accumulates rows and renders them with fixed-width columns. Cells
 // are formatted with %v; numbers right-align, text left-aligns.
