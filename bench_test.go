@@ -65,8 +65,8 @@ func runSSSPBench(b *testing.B, cfg am.Config, popts pattern.PlanOptions,
 		last = sb
 	}
 	b.StopTimer()
-	b.ReportMetric(float64(last.u.Stats.MsgsSent.Load()), "msgs/op")
-	b.ReportMetric(float64(last.u.Stats.Envelopes.Load()), "envelopes/op")
+	b.ReportMetric(float64(last.u.Stats.MsgsSent()), "msgs/op")
+	b.ReportMetric(float64(last.u.Stats.Envelopes()), "envelopes/op")
 	b.ReportMetric(float64(last.s.Relax.Stats.ModsChanged.Load()), "relax-ok/op")
 }
 
@@ -129,7 +129,7 @@ func BenchmarkE3CCParallelSearch(b *testing.B) {
 				last = u
 			}
 			b.StopTimer()
-			b.ReportMetric(float64(last.Stats.MsgsSent.Load()), "msgs/op")
+			b.ReportMetric(float64(last.Stats.MsgsSent()), "msgs/op")
 		})
 	}
 }
@@ -187,8 +187,8 @@ func BenchmarkE6ReductionCache(b *testing.B) {
 				last = u
 			}
 			b.StopTimer()
-			b.ReportMetric(float64(last.Stats.MsgsSent.Load()), "msgs/op")
-			b.ReportMetric(float64(last.Stats.MsgsSuppressed.Load()), "suppressed/op")
+			b.ReportMetric(float64(last.Stats.MsgsSent()), "msgs/op")
+			b.ReportMetric(float64(last.Stats.MsgsSuppressed()), "suppressed/op")
 		})
 	}
 }
@@ -326,7 +326,28 @@ func BenchmarkE13PageRank(b *testing.B) {
 				last = u
 			}
 			b.StopTimer()
-			b.ReportMetric(float64(last.Stats.MsgsSent.Load()), "msgs/op")
+			b.ReportMetric(float64(last.Stats.MsgsSent()), "msgs/op")
+		})
+	}
+}
+
+// BenchmarkE17Observability measures the observability substrate on the
+// fixed-point SSSP: the legacy single-shard counter layout vs per-rank
+// shards, then the optional timing histograms and span tracing on top.
+// Sharded must be no slower than unsharded.
+func BenchmarkE17Observability(b *testing.B) {
+	for _, v := range []struct {
+		name string
+		cfg  am.Config
+	}{
+		{"unsharded", am.Config{Ranks: 4, ThreadsPerRank: 2, UnshardedStats: true}},
+		{"sharded", am.Config{Ranks: 4, ThreadsPerRank: 2}},
+		{"timing", am.Config{Ranks: 4, ThreadsPerRank: 2, Timing: true}},
+		{"tracing", am.Config{Ranks: 4, ThreadsPerRank: 2, Timing: true, TraceCapacity: 1 << 20}},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			runSSSPBench(b, v.cfg, pattern.DefaultPlanOptions(),
+				func(u *am.Universe, s *algorithms.SSSP) { s.UseFixedPoint() })
 		})
 	}
 }
@@ -353,7 +374,7 @@ func BenchmarkGobTransport(b *testing.B) {
 				last = sb.u
 			}
 			b.StopTimer()
-			b.ReportMetric(float64(last.Stats.WireBytes.Load()), "wire-bytes/op")
+			b.ReportMetric(float64(last.Stats.WireBytes()), "wire-bytes/op")
 		})
 	}
 }

@@ -57,7 +57,7 @@ func main() {
 	}
 	fmt.Printf("cc: n=%d m=%d ranks=%d threads=%d flush-every=%d\n", n, len(edges), *ranks, *threads, *flushEvery)
 	fmt.Printf("time=%s components=%d largest=%v\n", elapsed.Round(time.Microsecond), len(sizes), top)
-	fmt.Printf("searches=%d jump-rounds=%d messages=%d\n", c.SearchesStarted(), c.JumpRounds, u.Stats.MsgsSent.Load())
+	fmt.Printf("searches=%d jump-rounds=%d messages=%d\n", c.SearchesStarted(), c.JumpRounds, u.Stats.MsgsSent())
 
 	if *verify {
 		want := seq.Components(n, edges)

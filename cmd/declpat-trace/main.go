@@ -1,0 +1,147 @@
+// Command declpat-trace analyzes substrate trace exports: per-epoch summary
+// tables, handler-latency percentiles per message type, per-rank load
+// imbalance, and conversion to Chrome trace-event JSON (loadable in Perfetto
+// at ui.perfetto.dev, or chrome://tracing).
+//
+// It either ingests a JSONL trace produced by Universe.WriteTraceJSONL:
+//
+//	declpat-trace -in run.jsonl
+//	declpat-trace -in run.jsonl -chrome run.chrome.json
+//
+// or runs a built-in traced workload itself and analyzes the capture:
+//
+//	declpat-trace -run bfs -scale 12 -ranks 4 -out bfs.jsonl -chrome bfs.chrome.json
+//
+// Supported -run workloads: bfs, sssp, cc.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"declpat"
+	"declpat/internal/obs"
+)
+
+func main() {
+	in := flag.String("in", "", "JSONL trace to analyze (from Universe.WriteTraceJSONL)")
+	run := flag.String("run", "", "run a built-in traced workload instead: bfs | sssp | cc")
+	out := flag.String("out", "", "with -run: write the captured trace as JSONL to this file")
+	chrome := flag.String("chrome", "", "write Chrome trace-event JSON (Perfetto-loadable) to this file")
+	scale := flag.Int("scale", 12, "with -run: RMAT scale (2^scale vertices)")
+	ef := flag.Int("edgefactor", 8, "with -run: edges per vertex")
+	seed := flag.Uint64("seed", 42, "with -run: generator seed")
+	ranks := flag.Int("ranks", 4, "with -run: simulated ranks")
+	threads := flag.Int("threads", 2, "with -run: handler threads per rank")
+	capacity := flag.Int("cap", 1<<20, "with -run: trace ring capacity (events, split across ranks)")
+	flag.Parse()
+
+	var meta obs.Meta
+	var recs []obs.Record
+	switch {
+	case *run != "":
+		u, err := runWorkload(*run, *scale, *ef, *seed, *ranks, *threads, *capacity)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "declpat-trace:", err)
+			os.Exit(2)
+		}
+		meta, recs = u.ExportTrace(*run)
+		if *out != "" {
+			if err := writeFile(*out, func(f *os.File) error {
+				return obs.WriteJSONL(f, meta, recs)
+			}); err != nil {
+				fmt.Fprintln(os.Stderr, "declpat-trace:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %d trace records to %s\n", len(recs), *out)
+		}
+	case *in != "":
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "declpat-trace:", err)
+			os.Exit(1)
+		}
+		meta, recs, err = obs.ReadJSONL(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "declpat-trace:", err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "declpat-trace: need -in FILE or -run bfs|sssp|cc (see -help)")
+		os.Exit(2)
+	}
+
+	if *chrome != "" {
+		if err := writeFile(*chrome, func(f *os.File) error {
+			return obs.WriteChromeTrace(f, meta, recs)
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "declpat-trace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote Chrome trace to %s (load at ui.perfetto.dev)\n", *chrome)
+	}
+
+	label := meta.Label
+	if label == "" {
+		label = "(unlabeled)"
+	}
+	fmt.Printf("trace: %s — %d records, %d ranks, %d message types", label, len(recs), meta.Ranks, len(meta.Types))
+	if meta.Dropped > 0 {
+		fmt.Printf(" (%d events overwritten by the ring — raise -cap or TraceCapacity)", meta.Dropped)
+	}
+	fmt.Println()
+	for _, t := range obs.Analyze(meta, recs) {
+		fmt.Println()
+		t.Fprint(os.Stdout)
+	}
+}
+
+func writeFile(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// runWorkload executes one traced built-in workload and returns its universe.
+func runWorkload(name string, scale, ef int, seed uint64, ranks, threads, capacity int) (*declpat.Universe, error) {
+	cfg := declpat.Config{
+		Ranks:          ranks,
+		ThreadsPerRank: threads,
+		TraceCapacity:  capacity,
+		Timing:         true,
+	}
+	u := declpat.NewUniverse(cfg)
+	dist := declpat.NewBlockDist(1<<scale, ranks)
+	switch name {
+	case "bfs":
+		n, edges := declpat.RMAT(scale, ef, declpat.WeightSpec{}, seed)
+		g := declpat.BuildGraph(dist, edges, declpat.GraphOptions{})
+		eng := declpat.NewEngine(u, g, declpat.NewLockMap(dist, 1), declpat.DefaultPlanOptions())
+		b := declpat.NewBFS(eng)
+		u.Run(func(r *declpat.Rank) { b.Run(r, declpat.Vertex(seed%uint64(n))) })
+	case "sssp":
+		n, edges := declpat.RMAT(scale, ef, declpat.WeightSpec{Min: 1, Max: 100}, seed)
+		g := declpat.BuildGraph(dist, edges, declpat.GraphOptions{})
+		eng := declpat.NewEngine(u, g, declpat.NewLockMap(dist, 1), declpat.DefaultPlanOptions())
+		s := declpat.NewSSSP(eng)
+		u.Run(func(r *declpat.Rank) { s.Run(r, declpat.Vertex(seed%uint64(n))) })
+	case "cc":
+		_, edges := declpat.RMAT(scale, ef, declpat.WeightSpec{}, seed)
+		g := declpat.BuildGraph(dist, edges, declpat.GraphOptions{Symmetrize: true})
+		lm := declpat.NewLockMap(dist, 1)
+		eng := declpat.NewEngine(u, g, lm, declpat.DefaultPlanOptions())
+		c := declpat.NewCC(eng, lm)
+		u.Run(func(r *declpat.Rank) { c.Run(r) })
+	default:
+		return nil, fmt.Errorf("unknown workload %q (want bfs, sssp, or cc)", name)
+	}
+	return u, nil
+}

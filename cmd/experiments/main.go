@@ -1,10 +1,10 @@
-// Command experiments runs the full reproduction suite (E1–E16, see
+// Command experiments runs the full reproduction suite (E1–E17, see
 // DESIGN.md) and prints every table. EXPERIMENTS.md records one run of this
 // command.
 //
 // Usage:
 //
-//	experiments [-scale N] [-edgefactor N] [-seed N] [-only E5,E8]
+//	experiments [-scale N] [-edgefactor N] [-seed N] [-only E5,E8] [-debug ADDR]
 package main
 
 import (
@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"declpat/internal/experiments"
+	"declpat/internal/harness"
 )
 
 func main() {
@@ -22,7 +23,17 @@ func main() {
 	ef := flag.Int("edgefactor", 8, "edges per vertex")
 	seed := flag.Uint64("seed", 42, "generator seed")
 	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
+	debug := flag.String("debug", "", "serve pprof/expvar on this address (e.g. localhost:6060) while the suite runs")
 	flag.Parse()
+
+	if *debug != "" {
+		addr, err := harness.ServeDebug(*debug)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("debug server: http://%s/debug/pprof/ (expvar at /debug/vars)\n\n", addr)
+	}
 
 	want := map[string]bool{}
 	if *only != "" {

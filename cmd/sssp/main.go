@@ -62,8 +62,8 @@ func main() {
 	fmt.Printf("sssp: n=%d m=%d ranks=%d threads=%d strategy=%s\n", n, len(edges), *ranks, *threads, *strat)
 	fmt.Printf("time=%s reached=%d/%d\n", elapsed.Round(time.Microsecond), reached, n)
 	fmt.Printf("messages=%d envelopes=%d bytes=%d handlers=%d epochs=%d\n",
-		u.Stats.MsgsSent.Load(), u.Stats.Envelopes.Load(), u.Stats.BytesSent.Load(),
-		u.Stats.HandlersRun.Load(), u.Stats.Epochs.Load())
+		u.Stats.MsgsSent(), u.Stats.Envelopes(), u.Stats.BytesSent(),
+		u.Stats.HandlersRun(), u.Stats.Epochs())
 	fmt.Printf("relax: attempts=%d succeeded=%d work-items=%d bucket-epochs=%d\n",
 		s.Relax.Stats.TestsTrue.Load()+s.Relax.Stats.TestsFalse.Load(),
 		s.Relax.Stats.ModsChanged.Load(), s.Relax.Stats.WorkItems.Load(), s.BucketEpochs())

@@ -47,5 +47,5 @@ func main() {
 	for _, r := range ranked[:10] {
 		fmt.Printf("  node %4d: betweenness %9.1f\n", r.v, r.bc)
 	}
-	fmt.Printf("\nmessages: %d across %d epochs\n", u.Stats.MsgsSent.Load(), u.Stats.Epochs.Load())
+	fmt.Printf("\nmessages: %d across %d epochs\n", u.Stats.MsgsSent(), u.Stats.Epochs())
 }

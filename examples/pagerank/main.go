@@ -36,7 +36,7 @@ func main() {
 	pull, pullU := run(n, edges, declpat.PageRankPull)
 
 	fmt.Printf("%-18s %12s %12s\n", "", "push", "pull")
-	fmt.Printf("%-18s %12d %12d\n", "messages", pushU.Stats.MsgsSent.Load(), pullU.Stats.MsgsSent.Load())
+	fmt.Printf("%-18s %12d %12d\n", "messages", pushU.Stats.MsgsSent(), pullU.Stats.MsgsSent())
 	fmt.Printf("%-18s %12d %12d\n", "rounds", push.Rounds, pull.Rounds)
 
 	ranks := push.Rank.Gather()

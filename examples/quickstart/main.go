@@ -41,5 +41,5 @@ func main() {
 	fmt.Println("\ncompiled plan for the relax action (Fig. 6: one message, atomic min):")
 	fmt.Print(sssp.Relax.PlanInfo())
 	fmt.Printf("\nmessages sent: %d, handlers run: %d, epochs: %d\n",
-		u.Stats.MsgsSent.Load(), u.Stats.HandlersRun.Load(), u.Stats.Epochs.Load())
+		u.Stats.MsgsSent(), u.Stats.HandlersRun(), u.Stats.Epochs())
 }

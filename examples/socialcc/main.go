@@ -32,7 +32,7 @@ func main() {
 	start := time.Now()
 	u.Run(func(r *declpat.Rank) { cc.Run(r) })
 	fmt.Printf("computed in %s: %d searches, %d resolution rounds, %d messages\n",
-		time.Since(start).Round(time.Microsecond), cc.SearchesStarted(), cc.JumpRounds, u.Stats.MsgsSent.Load())
+		time.Since(start).Round(time.Microsecond), cc.SearchesStarted(), cc.JumpRounds, u.Stats.MsgsSent())
 
 	sizes := map[int64]int{}
 	for _, label := range cc.Comp.Gather() {

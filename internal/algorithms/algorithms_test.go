@@ -221,7 +221,7 @@ func TestHandWrittenBaselines(t *testing.T) {
 	})
 	checkDist(t, "hand-sssp", hs.Dist.Gather(), wantD)
 	checkDist(t, "hand-bfs", hb.Level.Gather(), wantB)
-	if u.Stats.MsgsSuppressed.Load() == 0 {
+	if u.Stats.MsgsSuppressed() == 0 {
 		t.Error("reduction cache suppressed nothing on an RMAT graph")
 	}
 }

@@ -87,7 +87,7 @@ func TestEarlyExitSavesMessages(t *testing.T) {
 				}
 			})
 		})
-		counts[ee] = u.Stats.MsgsSent.Load()
+		counts[ee] = u.Stats.MsgsSent()
 		// Correctness: marks identical in both modes.
 		want := map[distgraph.Vertex]bool{}
 		for _, e := range edges {

@@ -40,10 +40,10 @@ func TestEpochDeliversAll(t *testing.T) {
 			if got := handled.Load(); got != want {
 				t.Fatalf("handled %d messages, want %d", got, want)
 			}
-			if got := u.Stats.MsgsSent.Load(); got != want {
+			if got := u.Stats.MsgsSent(); got != want {
 				t.Fatalf("MsgsSent = %d, want %d", got, want)
 			}
-			if got := u.Stats.HandlersRun.Load(); got != want {
+			if got := u.Stats.HandlersRun(); got != want {
 				t.Fatalf("HandlersRun = %d, want %d", got, want)
 			}
 		})
@@ -139,7 +139,7 @@ func TestMultipleEpochs(t *testing.T) {
 			}
 		}
 	})
-	if got := u.Stats.Epochs.Load(); got != epochs {
+	if got := u.Stats.Epochs(); got != epochs {
 		t.Fatalf("Epochs stat = %d, want %d", got, epochs)
 	}
 }
@@ -181,11 +181,11 @@ func TestCoalescingEnvelopeCounts(t *testing.T) {
 			})
 		})
 		want := int64((n + c - 1) / c)
-		if got := u.Stats.Envelopes.Load(); got != want {
+		if got := u.Stats.Envelopes(); got != want {
 			t.Fatalf("coalesce=%d: envelopes=%d want %d", c, got, want)
 		}
 		wantBytes := int64(n*8) + want*envelopeHeaderBytes
-		if got := u.Stats.BytesSent.Load(); got != wantBytes {
+		if got := u.Stats.BytesSent(); got != wantBytes {
 			t.Fatalf("coalesce=%d: bytes=%d want %d", c, got, wantBytes)
 		}
 	}
@@ -204,7 +204,7 @@ func TestReduction(t *testing.T) {
 	mt := Register(u, "upd", func(r *Rank, m upd) {
 		got.Add(1)
 		if m.Val != 0 {
-			r.u.Stats.CtrlMsgs.Add(0) // no-op; just exercise access
+			_ = r.u.Stats.CtrlMsgs() // no-op; just exercise access
 		}
 	}).WithReduction(
 		func(m upd) uint64 { return m.Key },
@@ -231,10 +231,10 @@ func TestReduction(t *testing.T) {
 	if got.Load() != keys {
 		t.Fatalf("handlers ran %d times, want %d (one per key)", got.Load(), keys)
 	}
-	if s := u.Stats.MsgsSuppressed.Load(); s != keys*(dups-1) {
+	if s := u.Stats.MsgsSuppressed(); s != keys*(dups-1) {
 		t.Fatalf("suppressed=%d want %d", s, keys*(dups-1))
 	}
-	if s := u.Stats.MsgsSent.Load(); s != keys {
+	if s := u.Stats.MsgsSent(); s != keys {
 		t.Fatalf("sent=%d want %d", s, keys)
 	}
 }
@@ -336,9 +336,9 @@ func TestFourCounterUsesControlMessages(t *testing.T) {
 			mt.SendTo(r, 1-r.ID(), 1)
 		})
 	})
-	if u.Stats.CtrlMsgs.Load() == 0 || u.Stats.TDWaves.Load() < 2 {
+	if u.Stats.CtrlMsgs() == 0 || u.Stats.TDWaves() < 2 {
 		t.Fatalf("four-counter detector should exchange control messages over >=2 waves; ctrl=%d waves=%d",
-			u.Stats.CtrlMsgs.Load(), u.Stats.TDWaves.Load())
+			u.Stats.CtrlMsgs(), u.Stats.TDWaves())
 	}
 }
 
@@ -454,7 +454,7 @@ func TestDelayInjection(t *testing.T) {
 			})
 			u.Run(func(r *Rank) {
 				for e := 0; e < 3; e++ {
-					before := u.Stats.MsgsSent.Load()
+					before := u.Stats.MsgsSent()
 					_ = before
 					r.Epoch(func(ep *Epoch) {
 						for i := 0; i < 40; i++ {
@@ -463,7 +463,7 @@ func TestDelayInjection(t *testing.T) {
 					})
 					// Epoch guarantee: all sent messages handled.
 					r.Barrier()
-					if got, want := handled.Load(), u.Stats.MsgsSent.Load(); got != want {
+					if got, want := handled.Load(), u.Stats.MsgsSent(); got != want {
 						t.Errorf("epoch %d: handled=%d sent=%d", e, got, want)
 					}
 					r.Barrier()
@@ -503,7 +503,7 @@ func TestStressDiffusion(t *testing.T) {
 					}
 				})
 			})
-			if got, want := handled.Load(), u.Stats.MsgsSent.Load(); got != want {
+			if got, want := handled.Load(), u.Stats.MsgsSent(); got != want {
 				t.Fatalf("handled=%d sent=%d", got, want)
 			}
 		})

@@ -90,7 +90,7 @@ func (d *fourCounterDriver) wave() bool {
 	if u.epochDone.Load() {
 		return true
 	}
-	u.Stats.TDWaves.Add(1)
+	u.ranks[0].st.Inc(cTDWaves) // waves are driven from rank 0 only
 	for _, r := range u.ranks {
 		r.ctrl <- ctrlProbe{reply: d.replyCh}
 	}

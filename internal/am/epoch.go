@@ -3,6 +3,8 @@ package am
 import (
 	"runtime"
 	"sync"
+
+	"declpat/internal/obs"
 )
 
 // Epoch is the handle an epoch body uses to interact with the messaging
@@ -49,7 +51,12 @@ func (r *Rank) EpochThreaded(nthreads int, body func(tid int, ep *Epoch)) {
 	if u.cfg.Detector == DetectorFourCounter && r.id == 0 {
 		r.fc = newFourCounterDriver(u)
 	}
-	u.trace(r.id, TraceEpochBegin, u.epochSeq.Load(), int64(nthreads))
+	if u.tracer != nil {
+		// Stamp the span open so TraceEpochEnd can close it with a
+		// duration (the rank's wall time inside the epoch).
+		r.epochBeginNs = obs.Now()
+		u.traceSpan(r.id, TraceEpochBegin, u.epochSeq.Load(), int64(nthreads), r.epochBeginNs, 0)
+	}
 	r.Barrier() // all ranks registered before anyone can quiesce
 
 	if nthreads == 1 {
@@ -73,13 +80,16 @@ func (r *Rank) EpochThreaded(nthreads int, body func(tid int, ep *Epoch)) {
 	r.progressUntilDone()
 
 	r.Barrier()
-	u.trace(r.id, TraceEpochEnd, u.epochSeq.Load(), 0)
+	if u.tracer != nil {
+		now := obs.Now()
+		u.traceSpan(r.id, TraceEpochEnd, u.epochSeq.Load(), 0, now, now-r.epochBeginNs)
+	}
 	// All ranks observed epochDone and stopped sending; rank 0 resets the
 	// shared flag between the two barriers so the next epoch starts clean.
 	if r.id == 0 {
 		u.epochDone.Store(false)
 		u.epochSeq.Add(1)
-		u.Stats.Epochs.Add(1)
+		r.st.Inc(cEpochs)
 	}
 	r.inEpoch.Store(false)
 	r.auxWork.Store(0)
@@ -127,7 +137,7 @@ func (r *Rank) progressUntilDone() {
 // returning control to the body.
 func (ep *Epoch) Flush() {
 	r := ep.r
-	r.u.Stats.Flushes.Add(1)
+	r.st.Inc(cFlushes)
 	r.u.trace(r.id, TraceFlush, 0, 0)
 	for {
 		flushed := r.flushAll()

@@ -1,0 +1,90 @@
+package am
+
+import (
+	"io"
+
+	"declpat/internal/obs"
+)
+
+// typeNameOf resolves a trace event's Arg to a message-type name where the
+// kind carries one ("" otherwise). The reliable layer's ack pseudo-type
+// (ackTypeID) resolves to "ack".
+func (u *Universe) typeNameOf(kind TraceKind, arg int64) string {
+	switch kind {
+	case TraceShip, TraceDeliver, TraceDrop, TraceDup, TraceDelay,
+		TraceRetransmit, TraceCorrupt, TraceSuppress, TraceAck:
+		if arg == int64(ackTypeID) {
+			return "ack"
+		}
+		if arg >= 0 && arg < int64(len(u.types)) {
+			return u.types[arg].name
+		}
+	}
+	return ""
+}
+
+// ExportTrace converts the recorded trace into the interchange form consumed
+// by internal/obs (and the declpat-trace CLI): a Meta header plus one Record
+// per event, timestamps in monotonic nanoseconds. Per-rank epoch begin/end
+// pairs fold into single "epoch" span records; deliver events are spans
+// covering decode + dedup + every handler of the batch; everything else is a
+// point event. Returns a zero Meta and nil records when tracing is disabled.
+func (u *Universe) ExportTrace(label string) (obs.Meta, []obs.Record) {
+	if u.tracer == nil {
+		return obs.Meta{}, nil
+	}
+	typeNames := make([]string, len(u.types))
+	for i, mt := range u.types {
+		typeNames[i] = mt.name
+	}
+	meta := obs.Meta{
+		Label:   label,
+		Ranks:   u.cfg.Ranks,
+		Types:   typeNames,
+		Dropped: u.TraceDropped(),
+	}
+	events := u.Trace()
+	recs := make([]obs.Record, 0, len(events))
+	for _, ev := range events {
+		switch ev.Kind {
+		case TraceEpochBegin:
+			// The matching TraceEpochEnd carries the whole span; a
+			// begin whose end is not in the ring yet (mid-epoch
+			// capture) has no duration to report.
+			continue
+		case TraceEpochEnd:
+			recs = append(recs, obs.Record{
+				Kind: "epoch", TS: ev.TS - ev.Dur, Dur: ev.Dur,
+				Rank: int(ev.Rank), Arg: ev.Arg,
+			})
+		case TraceDeliver:
+			recs = append(recs, obs.Record{
+				Kind: "deliver", TS: ev.TS - ev.Dur, Dur: ev.Dur,
+				Rank: int(ev.Rank), Arg: ev.Arg, Arg2: ev.Arg2,
+				Type: u.typeNameOf(ev.Kind, ev.Arg),
+			})
+		default:
+			recs = append(recs, obs.Record{
+				Kind: ev.Kind.String(), TS: ev.TS,
+				Rank: int(ev.Rank), Arg: ev.Arg, Arg2: ev.Arg2,
+				Type: u.typeNameOf(ev.Kind, ev.Arg),
+			})
+		}
+	}
+	return meta, recs
+}
+
+// WriteTraceJSONL exports the recorded trace as JSONL (one meta header line
+// plus one record per line) — the interchange format of declpat-trace.
+func (u *Universe) WriteTraceJSONL(w io.Writer, label string) error {
+	meta, recs := u.ExportTrace(label)
+	return obs.WriteJSONL(w, meta, recs)
+}
+
+// WriteChromeTrace exports the recorded trace as Chrome trace-event JSON,
+// loadable in Perfetto (ui.perfetto.dev) or chrome://tracing: one thread row
+// per rank, epochs and deliveries as spans, everything else as instants.
+func (u *Universe) WriteChromeTrace(w io.Writer, label string) error {
+	meta, recs := u.ExportTrace(label)
+	return obs.WriteChromeTrace(w, meta, recs)
+}

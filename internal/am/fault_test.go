@@ -44,7 +44,7 @@ func runChatter(t *testing.T, cfg Config, perRank int, gobWire bool) ([]int64, i
 			})
 		}
 	})
-	return counts, u.Stats.MsgsSent.Load()
+	return counts, u.Stats.MsgsSent()
 }
 
 // checkExactlyOnce fails the test unless every message was handled exactly
@@ -154,10 +154,10 @@ func TestGobCorruptionDetectedAndRecovered(t *testing.T) {
 	if bad.Load() != 0 {
 		t.Fatalf("%d handlers observed corrupted payloads (seed %d)", bad.Load(), seed)
 	}
-	if u.Stats.CorruptionsDetected.Load() == 0 {
+	if u.Stats.CorruptionsDetected() == 0 {
 		t.Fatalf("no corruptions detected at 30%% corruption rate (seed %d)", seed)
 	}
-	if u.Stats.Retransmits.Load() == 0 {
+	if u.Stats.Retransmits() == 0 {
 		t.Fatalf("corrupted envelopes were not retransmitted (seed %d)", seed)
 	}
 }

@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"reflect"
 	"sync"
-	"sync/atomic"
 )
 
 // msgType is the type-erased registration record for one message type.
@@ -26,10 +25,18 @@ type msgType struct {
 	// xmit performs one (re)transmission of an outstanding batch; used by
 	// the reliable layer's type-erased retransmit path.
 	xmit func(r *Rank, dest int, seq uint64, attempt int, data any)
-
-	// per-type counters.
-	sent, handled, envelopes atomic.Int64
+	// buffered counts messages currently held in r's coalescing buffers
+	// for this type (sampled occupancy gauge).
+	buffered func(r *Rank) int64
 }
+
+// Per-type counter ids within Universe.typeC (layout: typeID*3 + offset).
+const (
+	tcSent = iota
+	tcHandled
+	tcEnvelopes
+	tcPerType
+)
 
 // TypeStats reports one message type's traffic.
 type TypeStats struct {
@@ -41,16 +48,16 @@ type TypeStats struct {
 }
 
 // TypeStats returns per-message-type traffic counters, in registration
-// order. Read at quiescent points.
+// order. Read at quiescent points. Before Run (when the sharded counters are
+// not yet allocated) all counts are zero.
 func (u *Universe) TypeStats() []TypeStats {
 	out := make([]TypeStats, len(u.types))
 	for i, mt := range u.types {
-		out[i] = TypeStats{
-			Name:      mt.name,
-			Size:      mt.size,
-			Sent:      mt.sent.Load(),
-			Handled:   mt.handled.Load(),
-			Envelopes: mt.envelopes.Load(),
+		out[i] = TypeStats{Name: mt.name, Size: mt.size}
+		if u.typeC != nil {
+			out[i].Sent = u.typeC.Total(int(mt.id)*tcPerType + tcSent)
+			out[i].Handled = u.typeC.Total(int(mt.id)*tcPerType + tcHandled)
+			out[i].Envelopes = u.typeC.Total(int(mt.id)*tcPerType + tcEnvelopes)
 		}
 	}
 	return out
@@ -111,8 +118,8 @@ func Register[T any](u *Universe, name string, handler func(r *Rank, m T)) *MsgT
 			batch := data.([]T)
 			for _, m := range batch {
 				mt.handler(r, m)
-				r.u.Stats.HandlersRun.Add(1)
-				mt.rec.handled.Add(1)
+				r.st.Inc(cHandlersRun)
+				r.tst.Inc(int(mt.id)*tcPerType + tcHandled)
 				r.recvC.Add(1)
 				r.u.pending.Add(-1)
 			}
@@ -128,6 +135,16 @@ func Register[T any](u *Universe, name string, handler func(r *Rank, m T)) *MsgT
 		},
 		xmit: func(r *Rank, dest int, seq uint64, attempt int, data any) {
 			mt.transmit(r, dest, seq, attempt, data.([]T))
+		},
+		buffered: func(r *Rank) int64 {
+			tb := r.bufs[mt.id].(*typedBufs[T])
+			var n int64
+			for dest := range tb.buf {
+				tb.mu[dest].Lock()
+				n += int64(len(tb.buf[dest]))
+				tb.mu[dest].Unlock()
+			}
+			return n
 		},
 		newBufs: func(nranks int) any {
 			tb := &typedBufs[T]{
@@ -226,10 +243,10 @@ func (t *MsgType[T]) SendTo(r *Rank, dest int, m T) {
 			merged, changed := t.combine(tb.buf[dest][i], m)
 			if changed {
 				tb.buf[dest][i] = merged
-				r.u.Stats.MsgsCombined.Add(1)
+				r.st.Inc(cMsgsCombined)
 			}
 			tb.mu[dest].Unlock()
-			r.u.Stats.MsgsSuppressed.Add(1)
+			r.st.Inc(cMsgsSuppressed)
 			return
 		}
 		km[k] = len(tb.buf[dest])
@@ -238,8 +255,8 @@ func (t *MsgType[T]) SendTo(r *Rank, dest int, m T) {
 		tb.buf[dest] = make([]T, 0, t.coalesce)
 	}
 	tb.buf[dest] = append(tb.buf[dest], m)
-	r.u.Stats.MsgsSent.Add(1)
-	t.rec.sent.Add(1)
+	r.st.Inc(cMsgsSent)
+	r.tst.Inc(int(t.id)*tcPerType + tcSent)
 	r.sentC.Add(1)
 	r.u.pending.Add(1)
 	var ship []T
@@ -263,14 +280,15 @@ func (t *MsgType[T]) SendTo(r *Rank, dest int, m T) {
 // injector (transmit).
 func (t *MsgType[T]) ship(r *Rank, dest int, batch []T) {
 	u := r.u
-	u.Stats.Envelopes.Add(1)
-	t.rec.envelopes.Add(1)
+	r.st.Inc(cEnvelopes)
+	r.tst.Inc(int(t.id)*tcPerType + tcEnvelopes)
+	u.batchHist[t.id].Observe(r.shard, int64(len(batch)))
 	u.trace(r.id, TraceShip, int64(t.id), int64(len(batch)))
 	if u.fp == nil {
-		u.Stats.BytesSent.Add(t.size*int64(len(batch)) + envelopeHeaderBytes)
+		r.st.Add(cBytesSent, t.size*int64(len(batch))+envelopeHeaderBytes)
 		var data any = batch
 		if t.gobWire {
-			data = t.encode(u, batch)
+			data = t.encode(r, batch)
 		}
 		u.ranks[dest].inbox.Push(envelope{typeID: t.id, src: int32(r.id), data: data})
 		return
@@ -284,12 +302,12 @@ func (t *MsgType[T]) ship(r *Rank, dest int, batch []T) {
 // a programmer error (non-wire-safe type) in every mode: retransmitting a
 // batch that cannot be encoded would never succeed, so it panics rather
 // than entering the corruption→retransmit path.
-func (t *MsgType[T]) encode(u *Universe, batch []T) gobPayload {
+func (t *MsgType[T]) encode(r *Rank, batch []T) gobPayload {
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(batch); err != nil {
 		panic(fmt.Sprintf("am: gob encode %s: %v", t.name, err))
 	}
-	u.Stats.WireBytes.Add(int64(buf.Len()))
+	r.st.Add(cWireBytes, int64(buf.Len()))
 	b := buf.Bytes()
 	return gobPayload{b: b, sum: crc64Sum(b)}
 }
@@ -304,18 +322,18 @@ func (t *MsgType[T]) transmit(r *Rank, dest int, seq uint64, attempt int, batch 
 	u := r.u
 	fp := u.fp
 	if attempt > 0 {
-		u.Stats.Retransmits.Add(1)
+		r.st.Inc(cRetransmits)
 		u.trace(r.id, TraceRetransmit, int64(t.id), int64(seq))
 	}
-	u.Stats.BytesSent.Add(t.size*int64(len(batch)) + envelopeHeaderBytes)
+	r.st.Add(cBytesSent, t.size*int64(len(batch))+envelopeHeaderBytes)
 	if fp.roll(faultDrop, r.id, dest, int(t.id), seq, attempt) < fp.Drop {
-		u.Stats.EnvelopesDropped.Add(1)
+		r.st.Inc(cEnvelopesDropped)
 		u.trace(r.id, TraceDrop, int64(t.id), int64(seq))
 		return
 	}
 	var data any = batch
 	if t.gobWire {
-		gp := t.encode(u, batch)
+		gp := t.encode(r, batch)
 		if fp.roll(faultCorrupt, r.id, dest, int(t.id), seq, attempt) < fp.Corrupt {
 			// Flip one byte after sealing the checksum: the receiver
 			// detects the mismatch, discards, and awaits retransmit.
@@ -326,13 +344,13 @@ func (t *MsgType[T]) transmit(r *Rank, dest int, seq uint64, attempt int, batch 
 	}
 	e := envelope{typeID: t.id, src: int32(r.id), seq: seq, data: data}
 	if fp.roll(faultDup, r.id, dest, int(t.id), seq, attempt) < fp.Dup {
-		u.Stats.EnvelopesDuplicated.Add(1)
+		r.st.Inc(cEnvelopesDuplicated)
 		u.trace(r.id, TraceDup, int64(t.id), int64(seq))
 		u.ranks[dest].inbox.Push(e)
 	}
 	if fp.roll(faultDelay, r.id, dest, int(t.id), seq, attempt) < fp.Delay {
 		jitter := fp.rollN(faultDelayTicks, r.id, dest, int(t.id), seq, attempt, 2*fp.DelayTicks)
-		u.Stats.EnvelopesDelayed.Add(1)
+		r.st.Inc(cEnvelopesDelayed)
 		u.trace(r.id, TraceDelay, int64(t.id), int64(seq))
 		r.holdDelayed(dest, e, r.linkTick.Load()+uint64(jitter))
 		return

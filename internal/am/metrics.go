@@ -1,0 +1,87 @@
+package am
+
+import "declpat/internal/obs"
+
+// GaugeSnapshot is one gauge reading: the current value and the high-water
+// mark since the universe started.
+type GaugeSnapshot struct {
+	Value, Peak int64
+}
+
+// TypeMetrics extends TypeStats with the type's histograms: envelope batch
+// size (always collected) and handler latency in nanoseconds (zero unless
+// Config.Timing is set).
+type TypeMetrics struct {
+	TypeStats
+	BatchSize      obs.HistSnapshot
+	HandlerLatency obs.HistSnapshot
+}
+
+// Metrics is a full observability snapshot of the universe: aggregated and
+// per-rank counters, per-type traffic with histograms, and the substrate
+// gauges. Take it at a quiescent point (between epochs or after Run) for
+// exact values; concurrent reads are safe but may be slightly torn across
+// counters.
+type Metrics struct {
+	// Counters is the aggregated counter snapshot (same as Stats.Snapshot).
+	Counters Snapshot
+	// PerRank is the per-shard counter breakdown (one entry per rank, or a
+	// single entry under Config.UnshardedStats).
+	PerRank []Snapshot
+	// Types is the per-message-type traffic, in registration order.
+	Types []TypeMetrics
+	// InboxDepth is each rank's inbox queue depth (current + peak).
+	InboxDepth []GaugeSnapshot
+	// CoalesceBuffered is each rank's sampled coalescing-buffer occupancy:
+	// messages buffered but not yet shipped, summed over types. Sampled on
+	// read (walks the buffers under their locks) so it costs the hot path
+	// nothing.
+	CoalesceBuffered []int64
+	// RelPending is each rank's outstanding-retransmit table size
+	// (unacknowledged + delayed envelopes; all zero on the trusted
+	// transport).
+	RelPending []GaugeSnapshot
+	// AckRTT is the ack round-trip histogram in nanoseconds (zero unless
+	// Config.Timing is set and the transport is reliable).
+	AckRTT obs.HistSnapshot
+}
+
+// Metrics returns a full observability snapshot. Callable once Run has
+// started (the type-dimensioned state is allocated when the type set
+// freezes); before that only the counter sections are populated.
+func (u *Universe) Metrics() Metrics {
+	m := Metrics{
+		Counters: u.Stats.Snapshot(),
+		PerRank:  u.Stats.PerRank(),
+	}
+	m.InboxDepth = make([]GaugeSnapshot, len(u.ranks))
+	m.CoalesceBuffered = make([]int64, len(u.ranks))
+	m.RelPending = make([]GaugeSnapshot, len(u.ranks))
+	for i, r := range u.ranks {
+		m.InboxDepth[i] = GaugeSnapshot{Value: int64(r.inbox.Len()), Peak: int64(r.inbox.Peak())}
+		m.RelPending[i] = GaugeSnapshot{
+			Value: u.relPending.ShardValue(i),
+			Peak:  u.relPending.ShardMax(i),
+		}
+		if r.bufs != nil {
+			for _, mt := range u.types {
+				m.CoalesceBuffered[i] += mt.buffered(r)
+			}
+		}
+	}
+	if u.typeC == nil {
+		return m // before Run: no type-dimensioned state yet
+	}
+	ts := u.TypeStats()
+	m.Types = make([]TypeMetrics, len(ts))
+	for i := range ts {
+		m.Types[i] = TypeMetrics{TypeStats: ts[i], BatchSize: u.batchHist[i].Snapshot()}
+		if u.latHist != nil {
+			m.Types[i].HandlerLatency = u.latHist[i].Snapshot()
+		}
+	}
+	if u.ackRTT != nil {
+		m.AckRTT = u.ackRTT.Snapshot()
+	}
+	return m
+}

@@ -13,6 +13,7 @@ type queue struct {
 	buf    []envelope
 	head   int // index of first element
 	n      int // number of elements
+	peak   int // high-water mark of n (send-queue depth gauge)
 	closed bool
 }
 
@@ -30,6 +31,9 @@ func (q *queue) Push(e envelope) {
 	}
 	q.buf[(q.head+q.n)%len(q.buf)] = e
 	q.n++
+	if q.n > q.peak {
+		q.peak = q.n
+	}
 	q.mu.Unlock()
 	q.nonEmp.Signal()
 }
@@ -86,6 +90,14 @@ func (q *queue) Len() int {
 	n := q.n
 	q.mu.Unlock()
 	return n
+}
+
+// Peak reports the queue's depth high-water mark.
+func (q *queue) Peak() int {
+	q.mu.Lock()
+	p := q.peak
+	q.mu.Unlock()
+	return p
 }
 
 // Close wakes all blocked consumers; subsequent Pops drain and then report

@@ -5,6 +5,8 @@ import (
 	"hash/crc64"
 	"slices"
 	"sync"
+
+	"declpat/internal/obs"
 )
 
 // Reliable-delivery layer (active when Config.FaultPlan != nil).
@@ -59,6 +61,7 @@ type outEnvelope struct {
 	data     any // the original []T batch; re-encoded per attempt for gob types
 	attempts int // transmissions performed so far
 	due      uint64
+	sentNs   int64 // first-transmission timestamp (Config.Timing ack RTT)
 }
 
 // delayedEnvelope is an envelope held back by the simulated network.
@@ -102,18 +105,22 @@ func (r *Rank) initReliability(ntypes int) {
 // the batch as outstanding.
 func (r *Rank) nextSeq(dest int, typ int32, data any) uint64 {
 	l := &r.send[dest][typ]
+	o := &outEnvelope{
+		data: data,
+		due:  r.linkTick.Load() + uint64(r.u.fp.RetransmitBase),
+	}
+	if r.u.ackRTT != nil {
+		o.sentNs = obs.Now()
+	}
 	l.mu.Lock()
 	l.nextSeq++
 	seq := l.nextSeq
 	if l.out == nil {
 		l.out = make(map[uint64]*outEnvelope)
 	}
-	l.out[seq] = &outEnvelope{
-		data: data,
-		due:  r.linkTick.Load() + uint64(r.u.fp.RetransmitBase),
-	}
+	l.out[seq] = o
 	l.mu.Unlock()
-	r.relPending.Add(1)
+	r.relAdd(1)
 	return seq
 }
 
@@ -124,7 +131,7 @@ func (r *Rank) holdDelayed(dest int, e envelope, due uint64) {
 	l.mu.Lock()
 	l.delayed = append(l.delayed, delayedEnvelope{env: e, due: due})
 	l.mu.Unlock()
-	r.relPending.Add(1)
+	r.relAdd(1)
 }
 
 // admit records (src, typ, seq) in the dedup window. It reports whether the
@@ -163,12 +170,12 @@ func (r *Rank) admit(src int, typ int32, seq uint64) (fresh bool, salt uint64) {
 func (r *Rank) sendAck(src int, typ int32, seq uint64, salt uint64) {
 	u := r.u
 	if u.fp.roll(faultAckDrop, r.id, src, int(typ), seq, int(salt)) < u.fp.Drop {
-		u.Stats.AcksDropped.Add(1)
+		r.st.Inc(cAcksDropped)
 		u.trace(r.id, TraceDrop, int64(ackTypeID), int64(seq))
 		return
 	}
-	u.Stats.AckMsgs.Add(1)
-	u.Stats.BytesSent.Add(envelopeHeaderBytes)
+	r.st.Inc(cAckMsgs)
+	r.st.Add(cBytesSent, envelopeHeaderBytes)
 	u.trace(r.id, TraceAck, int64(typ), int64(seq))
 	u.ranks[src].inbox.Push(envelope{
 		typeID: ackTypeID, src: int32(r.id), seq: seq, data: ackBody{typ: typ},
@@ -181,13 +188,18 @@ func (r *Rank) handleAck(e envelope) {
 	ab := e.data.(ackBody)
 	l := &r.send[int(e.src)][ab.typ]
 	l.mu.Lock()
-	_, ok := l.out[e.seq]
+	o, ok := l.out[e.seq]
 	if ok {
 		delete(l.out, e.seq)
 	}
 	l.mu.Unlock()
 	if ok {
-		r.relPending.Add(-1)
+		if r.u.ackRTT != nil && o.sentNs != 0 {
+			// RTT from the first transmission, so a retransmitted
+			// envelope's RTT includes the recovery latency.
+			r.u.ackRTT.Observe(r.shard, obs.Now()-o.sentNs)
+		}
+		r.relAdd(-1)
 	}
 }
 
@@ -207,7 +219,7 @@ func backoffTicks(fp *FaultPlan, attempts int) uint64 {
 // and progress loops only — never from a detached goroutine.
 func (r *Rank) pollLinks() bool {
 	u := r.u
-	if u.fp == nil || r.relPending.Load() == 0 {
+	if u.fp == nil || r.relPendingNow() == 0 {
 		return false
 	}
 	now := r.linkTick.Add(1)
@@ -266,7 +278,7 @@ func (r *Rank) pollLinks() bool {
 	}
 	for i, e := range releases {
 		u.ranks[releaseDest[i]].inbox.Push(e)
-		r.relPending.Add(-1)
+		r.relAdd(-1)
 		worked = true
 	}
 	for _, rs := range resends {
@@ -284,9 +296,5 @@ func (u *Universe) totalRelPending() int64 {
 	if u.fp == nil {
 		return 0
 	}
-	var s int64
-	for _, r := range u.ranks {
-		s += r.relPending.Load()
-	}
-	return s
+	return u.relPending.Value()
 }

@@ -1,66 +1,121 @@
 package am
 
-import "sync/atomic"
+import "declpat/internal/obs"
 
-// Stats holds the universe-wide message accounting. All counters are updated
-// atomically by every rank and handler thread; read them between epochs (or
-// after Run) for exact values.
-type Stats struct {
-	// MsgsSent counts user-level messages accepted by Send (after the
-	// reduction layer; suppressed messages are in MsgsSuppressed).
-	MsgsSent atomic.Int64
-	// MsgsSuppressed counts messages absorbed by the caching/reduction
-	// layer (combined into an already-buffered message).
-	MsgsSuppressed atomic.Int64
-	// MsgsCombined counts messages that replaced/merged the payload of a
-	// buffered message (a subset of MsgsSuppressed bookkeeping: a combine
-	// that changed the buffered value).
-	MsgsCombined atomic.Int64
-	// Envelopes counts coalesced batches shipped between ranks.
-	Envelopes atomic.Int64
-	// BytesSent counts payload bytes (message size × messages, exact).
-	BytesSent atomic.Int64
-	// WireBytes counts serialized envelope bytes for message types using
-	// the gob wire transport (0 for in-memory transport).
-	WireBytes atomic.Int64
-	// HandlersRun counts individual message handler invocations.
-	HandlersRun atomic.Int64
-	// CtrlMsgs counts termination-detection control messages
-	// (four-counter detector only; the atomic detector sends none).
-	CtrlMsgs atomic.Int64
-	// Epochs counts completed epochs.
-	Epochs atomic.Int64
-	// Flushes counts explicit Flush (epoch_flush) calls.
-	Flushes atomic.Int64
-	// TDWaves counts four-counter probe waves.
-	TDWaves atomic.Int64
+// Counter ids of the universe-wide message accounting. The write path is
+// sharded per rank (see internal/obs): every handler thread updates its own
+// rank's padded shard, so counting never contends across ranks; reads
+// aggregate over shards and should happen at quiescent points (between
+// epochs or after Run) for exact values.
+const (
+	cMsgsSent = iota
+	cMsgsSuppressed
+	cMsgsCombined
+	cEnvelopes
+	cBytesSent
+	cWireBytes
+	cHandlersRun
+	cCtrlMsgs
+	cEpochs
+	cFlushes
+	cTDWaves
+	cEnvelopesDropped
+	cEnvelopesDuplicated
+	cEnvelopesDelayed
+	cRetransmits
+	cDupsSuppressed
+	cCorruptionsDetected
+	cAckMsgs
+	cAcksDropped
+	numCounters
+)
 
-	// Fault-injection / reliable-delivery counters (all zero on the
-	// trusted transport, i.e. with a nil FaultPlan).
-
-	// EnvelopesDropped counts data-envelope transmissions the injector
-	// discarded in flight.
-	EnvelopesDropped atomic.Int64
-	// EnvelopesDuplicated counts envelopes the injector delivered twice.
-	EnvelopesDuplicated atomic.Int64
-	// EnvelopesDelayed counts envelopes held back and released out of
-	// order.
-	EnvelopesDelayed atomic.Int64
-	// Retransmits counts envelope retransmissions (attempts beyond the
-	// first).
-	Retransmits atomic.Int64
-	// DupsSuppressed counts envelopes the receiver's dedup window
-	// discarded (network duplicates and redundant retransmits); their
-	// messages never reach a handler a second time.
-	DupsSuppressed atomic.Int64
-	// CorruptionsDetected counts gob-wire envelopes whose checksum failed
-	// at the receiver (discarded; recovered by retransmit).
-	CorruptionsDetected atomic.Int64
-	// AckMsgs counts acknowledgement envelopes actually sent.
-	AckMsgs atomic.Int64
-	// AcksDropped counts acknowledgements the injector discarded.
-	AcksDropped atomic.Int64
+// counterNames are the exported metric names, indexed by counter id.
+var counterNames = [numCounters]string{
+	"msgs_sent", "msgs_suppressed", "msgs_combined",
+	"envelopes", "bytes_sent", "wire_bytes",
+	"handlers_run", "ctrl_msgs", "epochs", "flushes", "td_waves",
+	"envelopes_dropped", "envelopes_duplicated", "envelopes_delayed",
+	"retransmits", "dups_suppressed", "corruptions_detected",
+	"ack_msgs", "acks_dropped",
 }
+
+// Stats is the read-side view of the universe's message accounting. It used
+// to be a block of globally shared atomics — the one cache line every
+// handler thread in the machine contended on; it is now backed by per-rank
+// shards and aggregates on read. Each accessor returns the sum over shards;
+// Snapshot returns all counters at once.
+type Stats struct {
+	c *obs.Counters
+}
+
+// Counters exposes the backing sharded counter set (per-rank reads,
+// expvar publishing).
+func (s *Stats) Counters() *obs.Counters { return s.c }
+
+// MsgsSent counts user-level messages accepted by Send (after the reduction
+// layer; suppressed messages are in MsgsSuppressed).
+func (s *Stats) MsgsSent() int64 { return s.c.Total(cMsgsSent) }
+
+// MsgsSuppressed counts messages absorbed by the caching/reduction layer
+// (combined into an already-buffered message).
+func (s *Stats) MsgsSuppressed() int64 { return s.c.Total(cMsgsSuppressed) }
+
+// MsgsCombined counts messages that replaced/merged the payload of a
+// buffered message (a combine that changed the buffered value).
+func (s *Stats) MsgsCombined() int64 { return s.c.Total(cMsgsCombined) }
+
+// Envelopes counts coalesced batches shipped between ranks.
+func (s *Stats) Envelopes() int64 { return s.c.Total(cEnvelopes) }
+
+// BytesSent counts payload bytes (message size × messages, exact).
+func (s *Stats) BytesSent() int64 { return s.c.Total(cBytesSent) }
+
+// WireBytes counts serialized envelope bytes for message types using the gob
+// wire transport (0 for in-memory transport).
+func (s *Stats) WireBytes() int64 { return s.c.Total(cWireBytes) }
+
+// HandlersRun counts individual message handler invocations.
+func (s *Stats) HandlersRun() int64 { return s.c.Total(cHandlersRun) }
+
+// CtrlMsgs counts termination-detection control messages (four-counter
+// detector only; the atomic detector sends none).
+func (s *Stats) CtrlMsgs() int64 { return s.c.Total(cCtrlMsgs) }
+
+// Epochs counts completed epochs.
+func (s *Stats) Epochs() int64 { return s.c.Total(cEpochs) }
+
+// Flushes counts explicit Flush (epoch_flush) calls.
+func (s *Stats) Flushes() int64 { return s.c.Total(cFlushes) }
+
+// TDWaves counts four-counter probe waves.
+func (s *Stats) TDWaves() int64 { return s.c.Total(cTDWaves) }
+
+// EnvelopesDropped counts data-envelope transmissions the injector discarded
+// in flight.
+func (s *Stats) EnvelopesDropped() int64 { return s.c.Total(cEnvelopesDropped) }
+
+// EnvelopesDuplicated counts envelopes the injector delivered twice.
+func (s *Stats) EnvelopesDuplicated() int64 { return s.c.Total(cEnvelopesDuplicated) }
+
+// EnvelopesDelayed counts envelopes held back and released out of order.
+func (s *Stats) EnvelopesDelayed() int64 { return s.c.Total(cEnvelopesDelayed) }
+
+// Retransmits counts envelope retransmissions (attempts beyond the first).
+func (s *Stats) Retransmits() int64 { return s.c.Total(cRetransmits) }
+
+// DupsSuppressed counts envelopes the receiver's dedup window discarded.
+func (s *Stats) DupsSuppressed() int64 { return s.c.Total(cDupsSuppressed) }
+
+// CorruptionsDetected counts gob-wire envelopes whose checksum failed at the
+// receiver (discarded; recovered by retransmit).
+func (s *Stats) CorruptionsDetected() int64 { return s.c.Total(cCorruptionsDetected) }
+
+// AckMsgs counts acknowledgement envelopes actually sent.
+func (s *Stats) AckMsgs() int64 { return s.c.Total(cAckMsgs) }
+
+// AcksDropped counts acknowledgements the injector discarded.
+func (s *Stats) AcksDropped() int64 { return s.c.Total(cAcksDropped) }
 
 // Snapshot is a plain-value copy of Stats, convenient for diffing across an
 // experiment phase.
@@ -75,31 +130,47 @@ type Snapshot struct {
 	AckMsgs, AcksDropped                   int64
 }
 
-// Snapshot returns a consistent-enough copy for use at quiescent points
-// (between epochs).
-func (s *Stats) Snapshot() Snapshot {
+// snapshotOf builds a Snapshot from a per-counter read function.
+func snapshotOf(get func(id int) int64) Snapshot {
 	return Snapshot{
-		MsgsSent:       s.MsgsSent.Load(),
-		MsgsSuppressed: s.MsgsSuppressed.Load(),
-		MsgsCombined:   s.MsgsCombined.Load(),
-		Envelopes:      s.Envelopes.Load(),
-		BytesSent:      s.BytesSent.Load(),
-		WireBytes:      s.WireBytes.Load(),
-		HandlersRun:    s.HandlersRun.Load(),
-		CtrlMsgs:       s.CtrlMsgs.Load(),
-		Epochs:         s.Epochs.Load(),
-		Flushes:        s.Flushes.Load(),
-		TDWaves:        s.TDWaves.Load(),
+		MsgsSent:       get(cMsgsSent),
+		MsgsSuppressed: get(cMsgsSuppressed),
+		MsgsCombined:   get(cMsgsCombined),
+		Envelopes:      get(cEnvelopes),
+		BytesSent:      get(cBytesSent),
+		WireBytes:      get(cWireBytes),
+		HandlersRun:    get(cHandlersRun),
+		CtrlMsgs:       get(cCtrlMsgs),
+		Epochs:         get(cEpochs),
+		Flushes:        get(cFlushes),
+		TDWaves:        get(cTDWaves),
 
-		EnvelopesDropped:    s.EnvelopesDropped.Load(),
-		EnvelopesDuplicated: s.EnvelopesDuplicated.Load(),
-		EnvelopesDelayed:    s.EnvelopesDelayed.Load(),
-		Retransmits:         s.Retransmits.Load(),
-		DupsSuppressed:      s.DupsSuppressed.Load(),
-		CorruptionsDetected: s.CorruptionsDetected.Load(),
-		AckMsgs:             s.AckMsgs.Load(),
-		AcksDropped:         s.AcksDropped.Load(),
+		EnvelopesDropped:    get(cEnvelopesDropped),
+		EnvelopesDuplicated: get(cEnvelopesDuplicated),
+		EnvelopesDelayed:    get(cEnvelopesDelayed),
+		Retransmits:         get(cRetransmits),
+		DupsSuppressed:      get(cDupsSuppressed),
+		CorruptionsDetected: get(cCorruptionsDetected),
+		AckMsgs:             get(cAckMsgs),
+		AcksDropped:         get(cAcksDropped),
 	}
+}
+
+// Snapshot returns an aggregated copy of every counter, consistent enough
+// for use at quiescent points (between epochs).
+func (s *Stats) Snapshot() Snapshot {
+	return snapshotOf(s.c.Total)
+}
+
+// PerRank returns one Snapshot per shard. With the default per-rank sharding
+// this is the per-rank accounting (who sent, who handled); under
+// Config.UnshardedStats it has a single entry.
+func (s *Stats) PerRank() []Snapshot {
+	out := make([]Snapshot, s.c.Shards())
+	for i := range out {
+		out[i] = snapshotOf(func(id int) int64 { return s.c.ShardTotal(i, id) })
+	}
+	return out
 }
 
 // Sub returns s - o, counter by counter.

@@ -2,7 +2,8 @@ package am
 
 import (
 	"fmt"
-	"sync/atomic"
+
+	"declpat/internal/obs"
 )
 
 // TraceKind classifies trace events.
@@ -12,13 +13,15 @@ type TraceKind uint8
 const (
 	// TraceEpochBegin: a rank entered an epoch (Arg = epoch sequence).
 	TraceEpochBegin TraceKind = iota
-	// TraceEpochEnd: a rank left an epoch (Arg = epoch sequence).
+	// TraceEpochEnd: a rank left an epoch (Arg = epoch sequence; Dur = the
+	// rank's time inside the epoch, making begin/end a span).
 	TraceEpochEnd
 	// TraceShip: an envelope was shipped (Arg = message type id,
 	// Arg2 = batch length).
 	TraceShip
 	// TraceDeliver: an envelope was delivered (Arg = message type id,
-	// Arg2 = batch length).
+	// Arg2 = batch length; Dur = time spent delivering the batch —
+	// dedup, decode, and every handler invocation).
 	TraceDeliver
 	// TraceFlush: an explicit Flush (epoch_flush) ran.
 	TraceFlush
@@ -80,9 +83,13 @@ func (k TraceKind) String() string {
 	return fmt.Sprintf("TraceKind(%d)", uint8(k))
 }
 
-// TraceEvent is one recorded substrate event.
+// TraceEvent is one recorded substrate event. TS is a monotonic nanosecond
+// timestamp (see obs.Now); Dur is non-zero for span-closing events
+// (TraceEpochEnd, TraceDeliver) and covers [TS-Dur, TS].
 type TraceEvent struct {
-	Seq  int64 // global order
+	Seq  int64 // global order, assigned by Trace()
+	TS   int64 // monotonic ns
+	Dur  int64 // span length in ns (0 for point events)
 	Rank int32
 	Kind TraceKind
 	Arg  int64
@@ -93,65 +100,66 @@ func (e TraceEvent) String() string {
 	return fmt.Sprintf("#%d r%d %s arg=%d arg2=%d", e.Seq, e.Rank, e.Kind, e.Arg, e.Arg2)
 }
 
-// tracer is a fixed-capacity global ring of events; when full, the oldest
-// events are overwritten (the tail of a long run is usually what matters).
+// tracer records events into per-rank rings (obs.Rings): each rank appends
+// under its own shard's lock, so recording never contends across ranks and —
+// unlike the old single atomic-indexed global ring — a concurrent Trace()
+// reads fully written events only (no torn reads). The configured capacity is
+// split evenly across ranks; when a rank's ring fills, its oldest events are
+// overwritten (the tail of a long run is usually what matters).
 type tracer struct {
-	ring []TraceEvent
-	next atomic.Int64
+	rings *obs.Rings[TraceEvent]
 }
 
-func newTracer(capacity int) *tracer {
-	return &tracer{ring: make([]TraceEvent, capacity)}
-}
-
-func (t *tracer) record(rank int, kind TraceKind, arg, arg2 int64) {
-	seq := t.next.Add(1) - 1
-	t.ring[seq%int64(len(t.ring))] = TraceEvent{
-		Seq: seq, Rank: int32(rank), Kind: kind, Arg: arg, Arg2: arg2,
+func newTracer(capacity, ranks int) *tracer {
+	per := capacity / ranks
+	if per < 1 {
+		per = 1
 	}
+	return &tracer{rings: obs.NewRings[TraceEvent](ranks, per)}
 }
 
-// trace records an event if tracing is enabled.
+func (t *tracer) record(rank int, kind TraceKind, arg, arg2, ts, dur int64) {
+	t.rings.Append(rank, TraceEvent{
+		TS: ts, Dur: dur, Rank: int32(rank), Kind: kind, Arg: arg, Arg2: arg2,
+	})
+}
+
+// trace records a point event if tracing is enabled.
 func (u *Universe) trace(rank int, kind TraceKind, arg, arg2 int64) {
 	if u.tracer != nil {
-		u.tracer.record(rank, kind, arg, arg2)
+		u.tracer.record(rank, kind, arg, arg2, obs.Now(), 0)
 	}
 }
 
-// Trace returns the recorded events in sequence order (oldest retained
-// first). Call at a quiescent point (after Run or between epochs); events
-// recorded concurrently with the call may be torn. Returns nil when tracing
-// is disabled.
+// traceSpan records a span-closing event (timestamps supplied by the caller)
+// if tracing is enabled.
+func (u *Universe) traceSpan(rank int, kind TraceKind, arg, arg2, ts, dur int64) {
+	if u.tracer != nil {
+		u.tracer.record(rank, kind, arg, arg2, ts, dur)
+	}
+}
+
+// Trace returns the recorded events merged across ranks in timestamp order
+// (oldest retained first), with Seq assigned in that order. It is safe to
+// call concurrently with recording — each rank's ring is read under its lock
+// — though a call at a quiescent point (after Run or between epochs) sees a
+// complete picture. Returns nil when tracing is disabled.
 func (u *Universe) Trace() []TraceEvent {
 	if u.tracer == nil {
 		return nil
 	}
-	total := u.tracer.next.Load()
-	n := int64(len(u.tracer.ring))
-	start := int64(0)
-	count := total
-	if total > n {
-		start = total - n
-		count = n
-	}
-	out := make([]TraceEvent, 0, count)
-	for s := start; s < total; s++ {
-		ev := u.tracer.ring[s%n]
-		if ev.Seq == s {
-			out = append(out, ev)
-		}
-	}
-	return out
+	return u.tracer.rings.Merged(func(a, b TraceEvent) bool { return a.TS < b.TS },
+		func(i int, ev TraceEvent) TraceEvent {
+			ev.Seq = int64(i)
+			return ev
+		})
 }
 
-// TraceDropped reports how many events were overwritten by the ring.
+// TraceDropped reports how many events were overwritten by the per-rank
+// rings.
 func (u *Universe) TraceDropped() int64 {
 	if u.tracer == nil {
 		return 0
 	}
-	total := u.tracer.next.Load()
-	if n := int64(len(u.tracer.ring)); total > n {
-		return total - n
-	}
-	return 0
+	return u.tracer.rings.Dropped()
 }

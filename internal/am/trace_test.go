@@ -43,8 +43,8 @@ func TestTraceRecordsEpochsAndMessages(t *testing.T) {
 	}
 	// Every shipped envelope is delivered; ship count equals the
 	// Envelopes stat.
-	if int64(counts[TraceShip]) != u.Stats.Envelopes.Load() {
-		t.Fatalf("ship events %d != envelopes %d", counts[TraceShip], u.Stats.Envelopes.Load())
+	if int64(counts[TraceShip]) != u.Stats.Envelopes() {
+		t.Fatalf("ship events %d != envelopes %d", counts[TraceShip], u.Stats.Envelopes())
 	}
 	if counts[TraceDeliver] != counts[TraceShip] {
 		t.Fatalf("deliver %d != ship %d", counts[TraceDeliver], counts[TraceShip])
@@ -56,8 +56,8 @@ func TestTraceRecordsEpochsAndMessages(t *testing.T) {
 			shipped += ev.Arg2
 		}
 	}
-	if shipped != u.Stats.MsgsSent.Load() {
-		t.Fatalf("shipped %d messages in trace, stat says %d", shipped, u.Stats.MsgsSent.Load())
+	if shipped != u.Stats.MsgsSent() {
+		t.Fatalf("shipped %d messages in trace, stat says %d", shipped, u.Stats.MsgsSent())
 	}
 	if u.TraceDropped() != 0 {
 		t.Fatalf("dropped %d with ample capacity", u.TraceDropped())

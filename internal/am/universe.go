@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"declpat/internal/obs"
 )
 
 // DetectorKind selects the termination-detection protocol used to end epochs.
@@ -48,9 +50,20 @@ type Config struct {
 	CoalesceSize int
 	// Detector selects the termination-detection protocol.
 	Detector DetectorKind
-	// TraceCapacity enables event tracing with a ring of this many
-	// events (0 disables tracing).
+	// TraceCapacity enables event tracing with per-rank rings totalling
+	// this many events (0 disables tracing). Traced events carry monotonic
+	// timestamps; epoch and delivery events become spans.
 	TraceCapacity int
+	// Timing enables clock-based latency histograms: handler latency per
+	// message type and (in reliable mode) ack round-trip time. Off by
+	// default because it adds two monotonic clock reads per delivered
+	// envelope to the hot path.
+	Timing bool
+	// UnshardedStats collapses the per-rank metric shards into a single
+	// shard, reproducing the old globally-shared-atomics layout where
+	// every rank contends on the same cache lines. It exists so the cost
+	// of that contention can be measured (experiment E17); leave it off.
+	UnshardedStats bool
 	// FaultPlan, when non-nil, switches the transport into reliable mode
 	// (sequence numbers, acks, dedup, retransmit — see fault.go and
 	// reliable.go) and injects the configured faults. A zero-valued plan
@@ -102,6 +115,27 @@ type Universe struct {
 	barrier *Barrier
 	coll    collectives
 	tracer  *tracer
+
+	// Observability state (internal/obs). c backs Stats; typeC holds the
+	// per-message-type counters (allocated in Run, once the type set is
+	// frozen); relPending is the outstanding-retransmit gauge (reliable
+	// mode); batchHist / latHist are per-type envelope-batch-size and
+	// handler-latency histograms; ackRTT is the ack round-trip histogram.
+	// latHist and ackRTT are nil unless Config.Timing is set.
+	c          *obs.Counters
+	typeC      *obs.Counters
+	relPending *obs.Gauge
+	batchHist  []*obs.Histogram
+	latHist    []*obs.Histogram
+	ackRTT     *obs.Histogram
+}
+
+// statShards returns the shard count of the metric write path.
+func (c Config) statShards() int {
+	if c.UnshardedStats {
+		return 1
+	}
+	return c.Ranks
 }
 
 // NewUniverse creates a machine with the given configuration.
@@ -114,8 +148,11 @@ func NewUniverse(cfg Config) *Universe {
 	u.barrier = NewBarrier(cfg.Ranks)
 	u.coll.init(cfg.Ranks)
 	if cfg.TraceCapacity > 0 {
-		u.tracer = newTracer(cfg.TraceCapacity)
+		u.tracer = newTracer(cfg.TraceCapacity, cfg.Ranks)
 	}
+	u.c = obs.NewCounters(cfg.statShards(), counterNames[:]...)
+	u.Stats = Stats{c: u.c}
+	u.relPending = obs.NewGauge(cfg.Ranks)
 	u.ranks = make([]*Rank, cfg.Ranks)
 	for i := range u.ranks {
 		u.ranks[i] = &Rank{
@@ -123,6 +160,8 @@ func NewUniverse(cfg Config) *Universe {
 			id:    i,
 			inbox: newQueue(),
 			ctrl:  make(chan ctrlProbe, cfg.Ranks+1),
+			st:    u.c.Shard(i % cfg.statShards()),
+			shard: i % cfg.statShards(),
 		}
 	}
 	return u
@@ -142,6 +181,14 @@ type Rank struct {
 	inbox *queue
 	ctrl  chan ctrlProbe
 
+	// st / tst are this rank's shards of the universe counters and the
+	// per-message-type counters: every hot-path count lands on this rank's
+	// padded cache lines (tst is assigned in Run, once types are frozen).
+	// shard is the backing shard index, also used for histogram writes.
+	st    obs.Shard
+	tst   obs.Shard
+	shard int
+
 	// buffers indexed by message type id; element is *typedBufs[T].
 	bufs []any
 
@@ -157,18 +204,22 @@ type Rank struct {
 
 	inEpoch atomic.Bool
 
+	// epochBeginNs closes the rank's epoch span at TraceEpochEnd; written
+	// and read only by the rank main goroutine.
+	epochBeginNs int64
+
 	// fc is rank 0's four-counter driver for the current epoch (nil on
 	// other ranks and in atomic-detector mode).
 	fc *fourCounterDriver
 
 	// Reliable-transport state (allocated only when a FaultPlan is set):
-	// send[dest][type] / recv[src][type] link state, the rank-local
-	// progress tick driving retransmit timeouts, and the count of
-	// unacknowledged + delayed envelopes this rank is responsible for.
-	send       [][]sendLink
-	recv       [][]recvLink
-	linkTick   atomic.Uint64
-	relPending atomic.Int64
+	// send[dest][type] / recv[src][type] link state and the rank-local
+	// progress tick driving retransmit timeouts. The count of
+	// unacknowledged + delayed envelopes this rank is responsible for
+	// lives in the universe's relPending gauge, sharded by rank.
+	send     [][]sendLink
+	recv     [][]recvLink
+	linkTick atomic.Uint64
 }
 
 // ID returns this rank's id in [0, Ranks).
@@ -180,6 +231,48 @@ func (r *Rank) N() int { return r.u.cfg.Ranks }
 // Universe returns the universe this rank belongs to.
 func (r *Rank) Universe() *Universe { return r.u }
 
+// relAdd adjusts this rank's outstanding-retransmit gauge.
+func (r *Rank) relAdd(d int64) { r.u.relPending.Add(r.id, d) }
+
+// relPending reads this rank's outstanding-retransmit count.
+func (r *Rank) relPendingNow() int64 { return r.u.relPending.ShardValue(r.id) }
+
+// batchBounds / latencyBounds / rttBounds are the fixed histogram bucket
+// boundaries: batch sizes 1..8192 messages, latencies 256ns..~134ms, ack
+// round trips 256ns..~2.1s, each doubling per bucket.
+var (
+	batchBounds   = obs.ExpBounds(1, 14)
+	latencyBounds = obs.ExpBounds(256, 20)
+	rttBounds     = obs.ExpBounds(256, 24)
+)
+
+// initObs allocates the type-dimensioned metric state; called from Run once
+// the type set is frozen.
+func (u *Universe) initObs() {
+	shards := u.cfg.statShards()
+	names := make([]string, 0, 3*len(u.types))
+	for _, mt := range u.types {
+		names = append(names, mt.name+"/sent", mt.name+"/handled", mt.name+"/envelopes")
+	}
+	u.typeC = obs.NewCounters(shards, names...)
+	u.batchHist = make([]*obs.Histogram, len(u.types))
+	for i := range u.batchHist {
+		u.batchHist[i] = obs.NewHistogram(shards, batchBounds...)
+	}
+	if u.cfg.Timing {
+		u.latHist = make([]*obs.Histogram, len(u.types))
+		for i := range u.latHist {
+			u.latHist[i] = obs.NewHistogram(shards, latencyBounds...)
+		}
+		if u.fp != nil {
+			u.ackRTT = obs.NewHistogram(shards, rttBounds...)
+		}
+	}
+	for _, r := range u.ranks {
+		r.tst = u.typeC.Shard(r.shard)
+	}
+}
+
 // Run executes body SPMD-style, once per rank, each on its own goroutine,
 // with ThreadsPerRank handler threads per rank delivering messages
 // concurrently. It returns when every rank's body has returned and all
@@ -188,6 +281,7 @@ func (u *Universe) Run(body func(r *Rank)) {
 	if !u.frozen.CompareAndSwap(false, true) {
 		panic("am: Universe.Run called twice")
 	}
+	u.initObs()
 	// Allocate per-rank typed coalescing buffers now that the type set is
 	// final.
 	for _, r := range u.ranks {
@@ -223,12 +317,12 @@ func (u *Universe) Run(body func(r *Rank)) {
 		go func(r *Rank) {
 			defer responders.Done()
 			for p := range r.ctrl {
-				u.Stats.CtrlMsgs.Add(2) // probe + reply
+				r.st.Add(cCtrlMsgs, 2) // probe + reply
 				p.reply <- ctrlReply{
 					sent:   r.sentC.Load(),
 					recv:   r.recvC.Load(),
 					aux:    r.auxWork.Load(),
-					rel:    r.relPending.Load(),
+					rel:    r.relPendingNow(),
 					active: r.activeH.Load(),
 					idle:   r.idleBodies.Load(),
 					total:  r.totalBodies.Load(),
@@ -286,7 +380,7 @@ func (r *Rank) deliverEnvelope(e envelope) {
 			if u.fp == nil {
 				panic("am: wire corruption on trusted transport: " + mt.name)
 			}
-			u.Stats.CorruptionsDetected.Add(1)
+			r.st.Inc(cCorruptionsDetected)
 			u.trace(r.id, TraceCorrupt, int64(e.typeID), int64(e.seq))
 			return
 		}
@@ -298,15 +392,29 @@ func (r *Rank) deliverEnvelope(e envelope) {
 		fresh, salt := r.admit(int(e.src), e.typeID, e.seq)
 		r.sendAck(int(e.src), e.typeID, e.seq, salt)
 		if !fresh {
-			u.Stats.DupsSuppressed.Add(1)
+			r.st.Inc(cDupsSuppressed)
 			u.trace(r.id, TraceSuppress, int64(e.typeID), int64(e.seq))
 			return
 		}
 	}
+	// Time the delivery span only when someone consumes it (trace or
+	// latency histograms); the untimed path performs no clock reads.
+	var start int64
+	timed := u.tracer != nil || u.latHist != nil
+	if timed {
+		start = obs.Now()
+	}
 	r.activeH.Add(1)
-	u.trace(r.id, TraceDeliver, int64(e.typeID), int64(mt.batchLen(data)))
 	mt.deliver(r, data)
 	r.activeH.Add(-1)
+	if timed {
+		end := obs.Now()
+		n := int64(mt.batchLen(data))
+		u.traceSpan(r.id, TraceDeliver, int64(e.typeID), n, end, end-start)
+		if u.latHist != nil {
+			u.latHist[e.typeID].Observe(r.shard, end-start)
+		}
+	}
 }
 
 // drainSome delivers up to max envelopes from r's inbox without blocking and

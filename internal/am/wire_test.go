@@ -41,7 +41,7 @@ func TestGobTransportDeliversIntact(t *testing.T) {
 	if sum.Load() != want {
 		t.Fatalf("sum=%d want %d (payload corrupted in transit)", sum.Load(), want)
 	}
-	if u.Stats.WireBytes.Load() == 0 {
+	if u.Stats.WireBytes() == 0 {
 		t.Fatal("no wire bytes accounted")
 	}
 }

@@ -33,8 +33,8 @@ func E3CCPacing(sc Scale) []*harness.Table {
 		if fe == 1<<30 {
 			feStr = "inf"
 		}
-		t.Add(feStr, c.SearchesStarted(), claims, conflicts, c.JumpRounds,
-			e.u.Stats.MsgsSent.Load(), d, wrongPartition(c.Comp.Gather(), want))
+		t.Add(row([]any{feStr, c.SearchesStarted(), claims, conflicts, c.JumpRounds},
+			statCells(e.u, "messages"), d, wrongPartition(c.Comp.Gather(), want))...)
 	}
 	return []*harness.Table{t}
 }

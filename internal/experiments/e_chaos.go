@@ -28,14 +28,14 @@ func E16Chaos(sc Scale) []*harness.Table {
 		d := harness.Time(func() {
 			e.u.Run(func(r *am.Rank) { s.Run(r, 0) })
 		})
-		st := e.u.Stats.Snapshot()
 		drop := "-"
 		if plan != nil {
 			drop = fmt.Sprintf("%g%%", 100*plan.Drop)
 		}
-		t.Add(name, drop, st.MsgsSent, st.Envelopes, st.AckMsgs, st.EnvelopesDropped,
-			st.Retransmits, st.DupsSuppressed, st.CtrlMsgs, st.BytesSent, d,
-			checkSSSP(s.Dist.Gather(), n, edges, 0))
+		t.Add(row([]any{name, drop},
+			statCells(e.u, "messages", "envelopes", "acks", "dropped",
+				"retransmits", "dup-suppressed", "ctrl-msgs", "bytes"),
+			d, checkSSSP(s.Dist.Gather(), n, edges, 0))...)
 	}
 	run("trusted", nil)
 	for _, drop := range []float64{0, 0.01, 0.05, 0.20} {

@@ -26,8 +26,8 @@ func E14Codegen(sc Scale) []*harness.Table {
 		e := newEnv(cfg, n, edges, defaultGOpts(), pattern.DefaultPlanOptions())
 		s := algorithms.NewSSSP(e.eng)
 		d := harness.Time(func() { e.u.Run(func(r *am.Rank) { s.Run(r, 0) }) })
-		t.Add("engine (interpretive)", e.u.Stats.MsgsSent.Load(), e.u.Stats.HandlersRun.Load(), d,
-			checkSSSP(s.Dist.Gather(), n, edges, 0))
+		t.Add(row([]any{"engine (interpretive)"}, statCells(e.u, "messages", "handlers"), d,
+			checkSSSP(s.Dist.Gather(), n, edges, 0))...)
 	}
 	// Translator-generated.
 	{
@@ -50,8 +50,8 @@ func E14Codegen(sc Scale) []*harness.Table {
 				})
 			})
 		})
-		t.Add("generated (translator)", u.Stats.MsgsSent.Load(), u.Stats.HandlersRun.Load(), dur,
-			checkSSSP(dist.Gather(), n, edges, 0))
+		t.Add(row([]any{"generated (translator)"}, statCells(u, "messages", "handlers"), dur,
+			checkSSSP(dist.Gather(), n, edges, 0))...)
 	}
 	// Hand-written.
 	{
@@ -59,8 +59,8 @@ func E14Codegen(sc Scale) []*harness.Table {
 		g := buildGraph(u, n, edges, defaultGOpts())
 		h := algorithms.NewHandSSSP(u, g)
 		dur := harness.Time(func() { u.Run(func(r *am.Rank) { h.Run(r, 0) }) })
-		t.Add("hand-written", u.Stats.MsgsSent.Load(), u.Stats.HandlersRun.Load(), dur,
-			checkSSSP(h.Dist.Gather(), n, edges, 0))
+		t.Add(row([]any{"hand-written"}, statCells(u, "messages", "handlers"), dur,
+			checkSSSP(h.Dist.Gather(), n, edges, 0))...)
 	}
 	return []*harness.Table{t}
 }

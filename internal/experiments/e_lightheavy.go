@@ -21,16 +21,16 @@ func E12LightHeavy(sc Scale) []*harness.Table {
 			s := algorithms.NewSSSP(e.eng)
 			s.UseDelta(e.u, delta)
 			d := harness.Time(func() { e.u.Run(func(r *am.Rank) { s.Run(r, 0) }) })
-			t.Add("plain", delta, s.BucketEpochs(), e.u.Stats.MsgsSent.Load(), d,
-				checkSSSP(s.Dist.Gather(), n, edges, 0))
+			t.Add(row([]any{"plain", delta, s.BucketEpochs()}, statCells(e.u, "messages"), d,
+				checkSSSP(s.Dist.Gather(), n, edges, 0))...)
 		}
 		{
 			e := newEnv(am.Config{Ranks: 4, ThreadsPerRank: 2}, n, edges, defaultGOpts(), pattern.DefaultPlanOptions())
 			s := algorithms.NewSSSP(e.eng)
 			s.UseDeltaLightHeavy(e.u, delta)
 			d := harness.Time(func() { e.u.Run(func(r *am.Rank) { s.Run(r, 0) }) })
-			t.Add("light/heavy", delta, s.BucketEpochs(), e.u.Stats.MsgsSent.Load(), d,
-				checkSSSP(s.Dist.Gather(), n, edges, 0))
+			t.Add(row([]any{"light/heavy", delta, s.BucketEpochs()}, statCells(e.u, "messages"), d,
+				checkSSSP(s.Dist.Gather(), n, edges, 0))...)
 		}
 	}
 	return []*harness.Table{t}

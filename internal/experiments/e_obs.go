@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"sync"
+	"time"
+
+	"declpat/internal/algorithms"
+	"declpat/internal/am"
+	"declpat/internal/harness"
+	"declpat/internal/obs"
+	"declpat/internal/pattern"
+)
+
+// E17Observability quantifies what the observability substrate costs.
+//
+// E17a runs the fixed-point SSSP under four configurations: the single-shard
+// legacy counter layout (every rank contending on one set of cache lines —
+// the pre-obs global-atomics design, reproduced via Config.UnshardedStats),
+// the default per-rank sharded layout, and then each optional layer on top
+// (timing histograms, span tracing). Sharding must not be slower than the
+// global layout; timing and tracing buy their data with bounded overhead.
+// Repetitions are interleaved across configurations so slow machine drift
+// cannot bias one row against another.
+//
+// E17b isolates the counter hot path from the workload: goroutines doing
+// nothing but Inc on a shared counter, single-shard vs one shard per
+// goroutine. This is the contention the substrate removes from every SendTo
+// (visible only with real hardware parallelism; on one core the layouts tie).
+func E17Observability(sc Scale) []*harness.Table {
+	n, edges := workload(sc)
+	t := harness.NewTable("E17a: observability overhead (fixed-point SSSP, 4 ranks x 2 threads)",
+		"config", "messages", "min-time", "median", "vs-unsharded")
+	configs := []struct {
+		name string
+		cfg  am.Config
+	}{
+		{"unsharded counters (legacy)", am.Config{Ranks: 4, ThreadsPerRank: 2, UnshardedStats: true}},
+		{"sharded counters", am.Config{Ranks: 4, ThreadsPerRank: 2}},
+		{"+ timing histograms", am.Config{Ranks: 4, ThreadsPerRank: 2, Timing: true}},
+		{"+ span tracing", am.Config{Ranks: 4, ThreadsPerRank: 2, Timing: true, TraceCapacity: 1 << 20}},
+	}
+	const reps = 5
+	us := make([]*am.Universe, len(configs))
+	times := make([][]time.Duration, len(configs))
+	iter := func(i int) time.Duration {
+		return harness.Time(func() {
+			e := newEnv(configs[i].cfg, n, edges, defaultGOpts(), pattern.DefaultPlanOptions())
+			s := algorithms.NewSSSP(e.eng)
+			e.u.Run(func(r *am.Rank) { s.Run(r, 0) })
+			us[i] = e.u
+		})
+	}
+	for i := range configs {
+		iter(i) // warmup: heap growth and cold code paths outside the measurement
+	}
+	for rep := 0; rep < reps; rep++ {
+		for i := range configs {
+			times[i] = append(times[i], iter(i))
+		}
+	}
+	var base float64
+	for i, c := range configs {
+		ds := times[i]
+		for a := 1; a < len(ds); a++ {
+			for b := a; b > 0 && ds[b] < ds[b-1]; b-- {
+				ds[b], ds[b-1] = ds[b-1], ds[b]
+			}
+		}
+		min, med := ds[0], ds[len(ds)/2]
+		if base == 0 {
+			base = float64(min)
+		}
+		t.Add(row([]any{c.name}, statCells(us[i], "messages"),
+			min, med, harness.Ratio(float64(min), base))...)
+	}
+
+	const workers, perWorker = 8, 1 << 20
+	hot := harness.NewTable("E17b: counter hot path ("+itoa(workers)+" goroutines x "+itoa(perWorker)+" Inc)",
+		"layout", "min-time", "ns/op")
+	for _, shards := range []int{1, workers} {
+		c := obs.NewCounters(shards, "x")
+		min, _ := harness.MinMed(3, func() {
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(sh obs.Shard) {
+					defer wg.Done()
+					for i := 0; i < perWorker; i++ {
+						sh.Inc(0)
+					}
+				}(c.Shard(w % shards))
+			}
+			wg.Wait()
+		})
+		name := "single shard (legacy)"
+		if shards > 1 {
+			name = "per-goroutine shards"
+		}
+		hot.Add(name, min, float64(min)/float64(workers*perWorker)/float64(time.Nanosecond))
+	}
+	return []*harness.Table{t, hot}
+}

@@ -45,8 +45,8 @@ func E13PushPull(sc Scale) []*harness.Table {
 				}
 			}
 		}
-		t.Add(name, pr.Action.PlanInfo().Conds[0].Messages,
-			e.u.Stats.MsgsSent.Load(), e.u.Stats.HandlersRun.Load(), d, maxDiff)
+		t.Add(row([]any{name, pr.Action.PlanInfo().Conds[0].Messages},
+			statCells(e.u, "messages", "handlers"), d, maxDiff)...)
 	}
 	return []*harness.Table{t}
 }

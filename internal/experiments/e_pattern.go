@@ -103,8 +103,8 @@ func E2Merge(sc Scale) []*harness.Table {
 		if !merged {
 			name = "unmerged"
 		}
-		rt.Add(name, u.Stats.MsgsSent.Load(), u.Stats.HandlersRun.Load(), d,
-			checkSSSP(got, n, edges, 0), invariantViolations(got, edges))
+		rt.Add(row([]any{name}, statCells(u, "messages", "handlers"), d,
+			checkSSSP(got, n, edges, 0), invariantViolations(got, edges))...)
 	}
 	return []*harness.Table{plans, rt}
 }
@@ -267,7 +267,7 @@ func E11PointerJump(Scale) []*harness.Table {
 				panic("pointer jumping did not collapse chain at " + itoa(v))
 			}
 		}
-		rounds.Add(L, nRounds, u.Stats.MsgsSent.Load())
+		rounds.Add(row([]any{L, nRounds}, statCells(u, "messages"))...)
 	}
 	return []*harness.Table{plan, rounds}
 }

@@ -30,8 +30,8 @@ func E1Strategies(sc Scale) []*harness.Table {
 		if delta > 0 {
 			deltaStr = fmt.Sprint(delta)
 		}
-		t.Add(name, deltaStr, s.BucketEpochs(), attempts, s.Relax.Stats.ModsChanged.Load(),
-			e.u.Stats.MsgsSent.Load(), dur, checkSSSP(s.Dist.Gather(), n, edges, 0))
+		t.Add(row([]any{name, deltaStr, s.BucketEpochs(), attempts, s.Relax.Stats.ModsChanged.Load()},
+			statCells(e.u, "messages"), dur, checkSSSP(s.Dist.Gather(), n, edges, 0))...)
 	}
 	run("fixed_point", 0, func(u *am.Universe, s *algorithms.SSSP) { s.UseFixedPoint() })
 	for _, delta := range []int64{1, 8, 32, 128, 512, 1 << 40} {
@@ -53,8 +53,8 @@ func E5Coalescing(sc Scale) []*harness.Table {
 		d := harness.Time(func() {
 			e.u.Run(func(r *am.Rank) { s.Run(r, 0) })
 		})
-		t.Add(cs, e.u.Stats.MsgsSent.Load(), e.u.Stats.Envelopes.Load(), e.u.Stats.BytesSent.Load(),
-			d, checkSSSP(s.Dist.Gather(), n, edges, 0))
+		t.Add(row([]any{cs}, statCells(e.u, "messages", "envelopes", "bytes"),
+			d, checkSSSP(s.Dist.Gather(), n, edges, 0))...)
 	}
 	return []*harness.Table{t}
 }
@@ -80,8 +80,8 @@ func E6Reduction(sc Scale) []*harness.Table {
 		if cached {
 			name = "on"
 		}
-		t.Add(name, u.Stats.MsgsSent.Load(), u.Stats.MsgsSuppressed.Load(), u.Stats.HandlersRun.Load(),
-			u.Stats.Envelopes.Load(), d, checkSSSP(h.Dist.Gather(), n, edges, 0))
+		t.Add(row([]any{name}, statCells(u, "accepted", "suppressed", "handlers", "envelopes"),
+			d, checkSSSP(h.Dist.Gather(), n, edges, 0))...)
 	}
 	return []*harness.Table{t}
 }
@@ -137,8 +137,8 @@ func E8Termination(sc Scale) []*harness.Table {
 		d := harness.Time(func() {
 			e.u.Run(func(r *am.Rank) { s.Run(r, 0) })
 		})
-		t.Add("fixed_point", det.String(), e.u.Stats.CtrlMsgs.Load(), e.u.Stats.TDWaves.Load(), d,
-			checkSSSP(s.Dist.Gather(), n, edges, 0))
+		t.Add(row([]any{"fixed_point", det.String()}, statCells(e.u, "ctrl-msgs", "td-waves"), d,
+			checkSSSP(s.Dist.Gather(), n, edges, 0))...)
 	}
 	for _, det := range []am.DetectorKind{am.DetectorAtomic, am.DetectorFourCounter} {
 		e := newEnv(am.Config{Ranks: 4, ThreadsPerRank: 2, Detector: det}, n, edges, defaultGOpts(), pattern.DefaultPlanOptions())
@@ -147,8 +147,8 @@ func E8Termination(sc Scale) []*harness.Table {
 		d := harness.Time(func() {
 			e.u.Run(func(r *am.Rank) { s.Run(r, 0) })
 		})
-		t.Add("delta-dist(try_finish)", det.String(), e.u.Stats.CtrlMsgs.Load(), e.u.Stats.TDWaves.Load(), d,
-			checkSSSP(s.Dist.Gather(), n, edges, 0))
+		t.Add(row([]any{"delta-dist(try_finish)", det.String()}, statCells(e.u, "ctrl-msgs", "td-waves"), d,
+			checkSSSP(s.Dist.Gather(), n, edges, 0))...)
 	}
 	return []*harness.Table{t}
 }
@@ -167,30 +167,30 @@ func E9Abstraction(sc Scale) []*harness.Table {
 		e := newEnv(cfg, n, edges, defaultGOpts(), pattern.DefaultPlanOptions())
 		s := algorithms.NewSSSP(e.eng)
 		d := harness.Time(func() { e.u.Run(func(r *am.Rank) { s.Run(r, 0) }) })
-		t.Add("sssp", "pattern", e.u.Stats.MsgsSent.Load(), e.u.Stats.HandlersRun.Load(), d,
-			checkSSSP(s.Dist.Gather(), n, edges, 0))
+		t.Add(row([]any{"sssp", "pattern"}, statCells(e.u, "messages", "handlers"), d,
+			checkSSSP(s.Dist.Gather(), n, edges, 0))...)
 	}
 	{
 		u := am.NewUniverse(cfg)
 		g := buildGraph(u, n, edges, defaultGOpts())
 		h := algorithms.NewHandSSSP(u, g)
 		d := harness.Time(func() { u.Run(func(r *am.Rank) { h.Run(r, 0) }) })
-		t.Add("sssp", "hand-written", u.Stats.MsgsSent.Load(), u.Stats.HandlersRun.Load(), d,
-			checkSSSP(h.Dist.Gather(), n, edges, 0))
+		t.Add(row([]any{"sssp", "hand-written"}, statCells(u, "messages", "handlers"), d,
+			checkSSSP(h.Dist.Gather(), n, edges, 0))...)
 	}
 	// BFS.
 	{
 		e := newEnv(cfg, n, edges, defaultGOpts(), pattern.DefaultPlanOptions())
 		b := algorithms.NewBFS(e.eng)
 		d := harness.Time(func() { e.u.Run(func(r *am.Rank) { b.Run(r, 0) }) })
-		t.Add("bfs", "pattern", e.u.Stats.MsgsSent.Load(), e.u.Stats.HandlersRun.Load(), d, "-")
+		t.Add(row([]any{"bfs", "pattern"}, statCells(e.u, "messages", "handlers"), d, "-")...)
 	}
 	{
 		u := am.NewUniverse(cfg)
 		g := buildGraph(u, n, edges, defaultGOpts())
 		h := algorithms.NewHandBFS(u, g)
 		d := harness.Time(func() { u.Run(func(r *am.Rank) { h.Run(r, 0) }) })
-		t.Add("bfs", "hand-written", u.Stats.MsgsSent.Load(), u.Stats.HandlersRun.Load(), d, "-")
+		t.Add(row([]any{"bfs", "hand-written"}, statCells(u, "messages", "handlers"), d, "-")...)
 	}
 	return []*harness.Table{t}
 }

@@ -1,0 +1,31 @@
+package harness
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/ on the default mux
+)
+
+// ServeDebug starts Go's diagnostic HTTP server — pprof profiles under
+// /debug/pprof/ and expvar JSON under /debug/vars — on addr in a background
+// goroutine and returns the bound address. Use ":0" for an ephemeral port.
+// The server runs for the life of the process; there is no shutdown because
+// it serves read-only diagnostics.
+func ServeDebug(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{} // nil handler: the default mux carries pprof + expvar
+	go srv.Serve(ln)
+	return ln.Addr().String(), nil
+}
+
+// Publish exposes fn's result as JSON at /debug/vars under name, via expvar.
+// Use it to publish live substrate metrics (e.g. a Universe.Metrics closure)
+// while a long run is in flight. Each name can be published once per process;
+// a second Publish with the same name panics (expvar semantics).
+func Publish(name string, fn func() any) {
+	expvar.Publish(name, expvar.Func(fn))
+}

@@ -1,0 +1,227 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"declpat/internal/harness"
+)
+
+// Analyze derives the standard report from a trace export: a per-epoch
+// summary, handler-latency percentiles per message type (when the trace
+// contains deliver spans), and a per-rank load table. It is the engine behind
+// cmd/declpat-trace.
+func Analyze(meta Meta, recs []Record) []*harness.Table {
+	tables := []*harness.Table{EpochSummary(meta, recs)}
+	if lat := HandlerLatency(meta, recs); lat.Rows() > 0 {
+		tables = append(tables, lat)
+	}
+	tables = append(tables, RankLoad(meta, recs))
+	return tables
+}
+
+// epochKey locates one rank's participation in one epoch.
+type epochSpan struct {
+	seq      int64
+	ts, done int64 // [ts, done) in trace time
+}
+
+// epochIndex builds, per rank, the sorted list of epoch spans, so point
+// events can be attributed to the epoch their rank was in when they fired.
+func epochIndex(meta Meta, recs []Record) [][]epochSpan {
+	idx := make([][]epochSpan, meta.Ranks)
+	for _, r := range recs {
+		if r.Kind != "epoch" || r.Rank >= meta.Ranks {
+			continue
+		}
+		idx[r.Rank] = append(idx[r.Rank], epochSpan{seq: r.Arg, ts: r.TS, done: r.TS + r.Dur})
+	}
+	for _, spans := range idx {
+		sort.Slice(spans, func(i, j int) bool { return spans[i].ts < spans[j].ts })
+	}
+	return idx
+}
+
+// epochOf returns the epoch sequence enclosing ts on rank, or -1.
+func epochOf(idx [][]epochSpan, rank int, ts int64) int64 {
+	if rank >= len(idx) {
+		return -1
+	}
+	spans := idx[rank]
+	i := sort.Search(len(spans), func(i int) bool { return spans[i].done > ts })
+	if i < len(spans) && spans[i].ts <= ts {
+		return spans[i].seq
+	}
+	return -1
+}
+
+// epochAgg accumulates one epoch's cross-rank totals.
+type epochAgg struct {
+	seq                              int64
+	dur                              int64 // max over ranks
+	msgs, envelopes, delivered       int64
+	tdWaves, flushes                 int64
+	retransmits, drops, acks, corrupt int64
+}
+
+// EpochSummary aggregates the trace into one row per epoch: message and
+// envelope volume, termination-detection waves, and fault-recovery traffic,
+// with the epoch duration taken as the slowest rank's span.
+func EpochSummary(meta Meta, recs []Record) *harness.Table {
+	idx := epochIndex(meta, recs)
+	bysSeq := map[int64]*epochAgg{}
+	get := func(seq int64) *epochAgg {
+		a := bysSeq[seq]
+		if a == nil {
+			a = &epochAgg{seq: seq}
+			bysSeq[seq] = a
+		}
+		return a
+	}
+	for _, r := range recs {
+		if r.Kind == "epoch" {
+			a := get(r.Arg)
+			if r.Dur > a.dur {
+				a.dur = r.Dur
+			}
+			continue
+		}
+		seq := epochOf(idx, r.Rank, r.TS)
+		if seq < 0 {
+			continue
+		}
+		a := get(seq)
+		switch r.Kind {
+		case "ship":
+			a.envelopes++
+			a.msgs += r.Arg2
+		case "deliver":
+			a.delivered += r.Arg2
+		case "td-wave":
+			a.tdWaves++
+		case "flush":
+			a.flushes++
+		case "retransmit":
+			a.retransmits++
+		case "drop":
+			a.drops++
+		case "ack":
+			a.acks++
+		case "corrupt":
+			a.corrupt++
+		}
+	}
+	seqs := make([]int64, 0, len(bysSeq))
+	for s := range bysSeq {
+		seqs = append(seqs, s)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	t := harness.NewTable("per-epoch summary",
+		"epoch", "duration", "messages", "envelopes", "delivered", "td-waves", "flushes", "retransmits", "drops", "acks")
+	for _, s := range seqs {
+		a := bysSeq[s]
+		t.Add(a.seq, time.Duration(a.dur), a.msgs, a.envelopes, a.delivered,
+			a.tdWaves, a.flushes, a.retransmits, a.drops, a.acks)
+	}
+	return t
+}
+
+// percentile returns the q-quantile of sorted (ascending) ns durations.
+func percentile(sorted []int64, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted)) + 0.5)
+	if i < 1 {
+		i = 1
+	}
+	if i > len(sorted) {
+		i = len(sorted)
+	}
+	return time.Duration(sorted[i-1])
+}
+
+// HandlerLatency reports exact handler-latency percentiles per message type,
+// computed from deliver spans (envelope delivery: dedup + handlers for the
+// whole batch). Returns an empty table when the trace has no timed delivers.
+func HandlerLatency(meta Meta, recs []Record) *harness.Table {
+	byType := map[string][]int64{}
+	batch := map[string]int64{}
+	for _, r := range recs {
+		if r.Kind != "deliver" || r.Dur <= 0 {
+			continue
+		}
+		name := r.Type
+		if name == "" {
+			name = fmt.Sprintf("type-%d", r.Arg)
+		}
+		byType[name] = append(byType[name], r.Dur)
+		batch[name] += r.Arg2
+	}
+	names := make([]string, 0, len(byType))
+	for n := range byType {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	t := harness.NewTable("handler latency per message type (envelope delivery spans)",
+		"type", "envelopes", "messages", "p50", "p90", "p99", "max")
+	for _, n := range names {
+		ds := byType[n]
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		t.Add(n, len(ds), batch[n],
+			percentile(ds, 0.50), percentile(ds, 0.90), percentile(ds, 0.99),
+			time.Duration(ds[len(ds)-1]))
+	}
+	return t
+}
+
+// RankLoad reports per-rank traffic and handler time, plus the load-imbalance
+// factor (slowest rank's handler time over the mean — 1.00 is perfectly
+// balanced). Without deliver spans the imbalance falls back to delivered
+// message counts.
+func RankLoad(meta Meta, recs []Record) *harness.Table {
+	type load struct {
+		events, sent, envelopes, delivered, handlerNs int64
+	}
+	loads := make([]load, meta.Ranks)
+	for _, r := range recs {
+		if r.Rank >= meta.Ranks {
+			continue
+		}
+		l := &loads[r.Rank]
+		l.events++
+		switch r.Kind {
+		case "ship":
+			l.sent += r.Arg2
+			l.envelopes++
+		case "deliver":
+			l.delivered += r.Arg2
+			l.handlerNs += r.Dur
+		}
+	}
+	t := harness.NewTable("per-rank load",
+		"rank", "events", "msgs-sent", "envelopes", "msgs-delivered", "handler-time")
+	var totalNs, totalDelivered, maxNs, maxDelivered int64
+	for i, l := range loads {
+		t.Add(i, l.events, l.sent, l.envelopes, l.delivered, time.Duration(l.handlerNs))
+		totalNs += l.handlerNs
+		totalDelivered += l.delivered
+		if l.handlerNs > maxNs {
+			maxNs = l.handlerNs
+		}
+		if l.delivered > maxDelivered {
+			maxDelivered = l.delivered
+		}
+	}
+	if meta.Ranks > 0 {
+		imb := "-"
+		if totalNs > 0 {
+			imb = fmt.Sprintf("%.2fx", float64(maxNs)/(float64(totalNs)/float64(meta.Ranks)))
+		} else if totalDelivered > 0 {
+			imb = fmt.Sprintf("%.2fx", float64(maxDelivered)/(float64(totalDelivered)/float64(meta.Ranks)))
+		}
+		t.Add("imbalance", "-", "-", "-", "-", imb)
+	}
+	return t
+}

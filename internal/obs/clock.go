@@ -1,0 +1,13 @@
+package obs
+
+import "time"
+
+// epoch anchors the package's monotonic clock. All timestamps produced by
+// Now are nanoseconds since process start (well, package init), which keeps
+// them small, strictly comparable, and wall-clock independent.
+var epoch = time.Now()
+
+// Now returns the current monotonic timestamp in nanoseconds since the
+// package was initialized. time.Since uses the runtime's monotonic reading,
+// so Now never goes backwards across clock adjustments.
+func Now() int64 { return int64(time.Since(epoch)) }

@@ -1,0 +1,79 @@
+package obs
+
+import "sync/atomic"
+
+// cacheLine is the assumed coherence granularity. Each mutable slot is padded
+// to this size so two shards (or two counters of one shard) never share a
+// line; 64 bytes covers x86-64 and most arm64 parts (128-byte-line parts pay
+// one extra line of false sharing between adjacent counters, never between
+// shards of the same counter, which is the case that matters).
+const cacheLine = 64
+
+// padded is one cache-line-sized atomic counter cell.
+type padded struct {
+	v atomic.Int64
+	_ [cacheLine - 8]byte
+}
+
+// Counters is a fixed set of named counters, each sharded n ways. Writers
+// pick a shard (their rank) once and increment through a Shard view; readers
+// aggregate over shards with Total. Memory is shards × counters × 64 bytes.
+type Counters struct {
+	names  []string
+	slots  []padded // shard-major: slots[shard*len(names)+id]
+	shards int
+}
+
+// NewCounters allocates a counter set with the given shard count and counter
+// names. Counter ids are the indexes into names.
+func NewCounters(shards int, names ...string) *Counters {
+	if shards < 1 {
+		shards = 1
+	}
+	return &Counters{
+		names:  names,
+		slots:  make([]padded, shards*len(names)),
+		shards: shards,
+	}
+}
+
+// Shards returns the shard count.
+func (c *Counters) Shards() int { return c.shards }
+
+// Names returns the counter names (ids are indexes).
+func (c *Counters) Names() []string { return c.names }
+
+// Shard returns the writer view for one shard. Views are cheap values meant
+// to be cached by the writer (one per rank).
+func (c *Counters) Shard(i int) Shard {
+	n := len(c.names)
+	return Shard{slots: c.slots[i*n : (i+1)*n]}
+}
+
+// Total returns the sum of counter id over all shards.
+func (c *Counters) Total(id int) int64 {
+	var s int64
+	for i := 0; i < c.shards; i++ {
+		s += c.slots[i*len(c.names)+id].v.Load()
+	}
+	return s
+}
+
+// ShardTotal returns counter id of a single shard.
+func (c *Counters) ShardTotal(shard, id int) int64 {
+	return c.slots[shard*len(c.names)+id].v.Load()
+}
+
+// Shard is the write-side view of one shard of a Counters set.
+type Shard struct {
+	slots []padded
+}
+
+// Add adds d to counter id on this shard.
+func (s Shard) Add(id int, d int64) { s.slots[id].v.Add(d) }
+
+// Inc adds 1 to counter id on this shard.
+func (s Shard) Inc(id int) { s.slots[id].v.Add(1) }
+
+// Get reads counter id on this shard.
+func (s Shard) Get(id int) int64 { return s.slots[id].v.Load() }

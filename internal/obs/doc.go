@@ -1,0 +1,26 @@
+// Package obs is the substrate-wide observability layer: per-shard (per-rank)
+// metrics primitives and timestamped event tracing, with exporters for the
+// Chrome trace-event format (loadable in Perfetto / chrome://tracing) and a
+// JSONL interchange format consumed by cmd/declpat-trace.
+//
+// The package knows nothing about the active-message substrate; internal/am
+// wires its counters, gauges, histograms, and trace rings through the
+// primitives here. Design goals, in order:
+//
+//   - Write-path scalability. Every mutable slot is sharded (one shard per
+//     rank) and padded to a cache line, so handler threads on different ranks
+//     never contend on a shared cache line — the single shared Stats block of
+//     atomics this package replaced was the one substrate-wide hot spot.
+//     Reads aggregate over shards and are assumed rare (snapshots between
+//     epochs, experiment tables, expvar scrapes).
+//
+//   - Race-freedom by construction. Trace rings are per-shard and
+//     mutex-guarded: concurrent recorders on the same rank serialize briefly
+//     against each other (never across ranks), and a reader never observes a
+//     torn event. The previous design — one global ring indexed through one
+//     atomic counter — allowed torn reads by documented caveat.
+//
+//   - Zero interpretation. Events carry monotonic nanosecond timestamps and
+//     optional durations; everything else (epoch pairing, percentiles, load
+//     imbalance) is derived at export/analysis time.
+package obs

@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Meta is the header line of a JSONL trace export: universe shape and the
+// message-type name table needed to resolve Record.Type at analysis time.
+type Meta struct {
+	Kind    string   `json:"kind"` // always "meta"
+	Label   string   `json:"label,omitempty"`
+	Ranks   int      `json:"ranks"`
+	Types   []string `json:"types,omitempty"`
+	Dropped int64    `json:"dropped,omitempty"` // ring-overwritten events
+}
+
+// Record is one exported trace event. TS and Dur are monotonic nanoseconds
+// (Dur 0 for instants). Span records ("epoch", "deliver") carry a duration;
+// everything else is a point event. Arg/Arg2 keep the substrate's raw event
+// arguments; Type is the resolved message-type name where Arg is a type id.
+type Record struct {
+	Kind string `json:"kind"`
+	TS   int64  `json:"ts"`
+	Dur  int64  `json:"dur,omitempty"`
+	Rank int    `json:"rank"`
+	Arg  int64  `json:"arg,omitempty"`
+	Arg2 int64  `json:"arg2,omitempty"`
+	Type string `json:"type,omitempty"`
+}
+
+// WriteJSONL writes the meta header followed by one record per line.
+func WriteJSONL(w io.Writer, meta Meta, recs []Record) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	meta.Kind = "meta"
+	if err := enc.Encode(meta); err != nil {
+		return err
+	}
+	for _, r := range recs {
+		if err := enc.Encode(r); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a JSONL trace export. The meta header is optional (its
+// absence yields a zero Meta with Ranks inferred from the records).
+func ReadJSONL(r io.Reader) (Meta, []Record, error) {
+	var meta Meta
+	var recs []Record
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var probe struct {
+			Kind string `json:"kind"`
+		}
+		if err := json.Unmarshal(b, &probe); err != nil {
+			return meta, nil, fmt.Errorf("obs: line %d: %w", line, err)
+		}
+		if probe.Kind == "meta" {
+			if err := json.Unmarshal(b, &meta); err != nil {
+				return meta, nil, fmt.Errorf("obs: line %d: %w", line, err)
+			}
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(b, &rec); err != nil {
+			return meta, nil, fmt.Errorf("obs: line %d: %w", line, err)
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return meta, nil, err
+	}
+	if meta.Ranks == 0 {
+		for _, rec := range recs {
+			if rec.Rank+1 > meta.Ranks {
+				meta.Ranks = rec.Rank + 1
+			}
+		}
+	}
+	return meta, recs, nil
+}
+
+// ChromeEvent is one entry of the Chrome trace-event format (the JSON array
+// format understood by Perfetto and chrome://tracing). Timestamps and
+// durations are microseconds.
+type ChromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant scope ("t" = thread)
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// ChromeTrace is the top-level JSON object of a Chrome trace export.
+type ChromeTrace struct {
+	TraceEvents     []ChromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit,omitempty"`
+}
+
+// ToChrome converts a record stream into a Chrome trace: one process for the
+// universe, one thread row per rank. Records with a duration become complete
+// ("X") events; the rest become thread-scoped instants ("i").
+func ToChrome(meta Meta, recs []Record) ChromeTrace {
+	const pid = 1
+	evs := make([]ChromeEvent, 0, len(recs)+meta.Ranks+1)
+	procName := "declpat substrate"
+	if meta.Label != "" {
+		procName += " — " + meta.Label
+	}
+	evs = append(evs, ChromeEvent{
+		Name: "process_name", Ph: "M", PID: pid, TID: 0,
+		Args: map[string]any{"name": procName},
+	})
+	for r := 0; r < meta.Ranks; r++ {
+		evs = append(evs, ChromeEvent{
+			Name: "thread_name", Ph: "M", PID: pid, TID: r,
+			Args: map[string]any{"name": fmt.Sprintf("rank %d", r)},
+		})
+	}
+	for _, rec := range recs {
+		name := rec.Kind
+		if rec.Type != "" {
+			name += ":" + rec.Type
+		}
+		ev := ChromeEvent{
+			Name: name,
+			Cat:  rec.Kind,
+			TS:   float64(rec.TS) / 1e3,
+			PID:  pid,
+			TID:  rec.Rank,
+			Args: map[string]any{"arg": rec.Arg, "arg2": rec.Arg2},
+		}
+		if rec.Dur > 0 {
+			ev.Ph = "X"
+			ev.Dur = float64(rec.Dur) / 1e3
+		} else {
+			ev.Ph = "i"
+			ev.S = "t"
+		}
+		evs = append(evs, ev)
+	}
+	return ChromeTrace{TraceEvents: evs, DisplayTimeUnit: "ns"}
+}
+
+// WriteChromeTrace converts and writes a record stream as Chrome trace JSON.
+func WriteChromeTrace(w io.Writer, meta Meta, recs []Record) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(ToChrome(meta, recs))
+}

@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sampleTrace() (Meta, []Record) {
+	meta := Meta{Label: "test", Ranks: 2, Types: []string{"relax"}, Dropped: 3}
+	recs := []Record{
+		{Kind: "epoch", TS: 100, Dur: 900, Rank: 0, Arg: 0},
+		{Kind: "epoch", TS: 120, Dur: 880, Rank: 1, Arg: 0},
+		{Kind: "ship", TS: 200, Rank: 0, Arg: 0, Arg2: 64, Type: "relax"},
+		{Kind: "deliver", TS: 300, Dur: 50, Rank: 1, Arg: 0, Arg2: 64, Type: "relax"},
+		{Kind: "flush", TS: 400, Rank: 0},
+		{Kind: "td-wave", TS: 800, Rank: 0, Arg: 1},
+		{Kind: "epoch", TS: 1200, Dur: 100, Rank: 0, Arg: 1},
+		{Kind: "epoch", TS: 1200, Dur: 90, Rank: 1, Arg: 1},
+	}
+	return meta, recs
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	meta, recs := sampleTrace()
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, meta, recs); err != nil {
+		t.Fatal(err)
+	}
+	gotMeta, gotRecs, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotMeta.Ranks != 2 || gotMeta.Label != "test" || gotMeta.Dropped != 3 {
+		t.Fatalf("meta = %+v", gotMeta)
+	}
+	if len(gotMeta.Types) != 1 || gotMeta.Types[0] != "relax" {
+		t.Fatalf("types = %v", gotMeta.Types)
+	}
+	if len(gotRecs) != len(recs) {
+		t.Fatalf("got %d records, want %d", len(gotRecs), len(recs))
+	}
+	for i, r := range recs {
+		if gotRecs[i] != r {
+			t.Fatalf("record %d: got %+v, want %+v", i, gotRecs[i], r)
+		}
+	}
+}
+
+func TestReadJSONLWithoutMeta(t *testing.T) {
+	in := `{"kind":"ship","ts":5,"rank":3,"arg2":1}` + "\n"
+	meta, recs, err := ReadJSONL(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Ranks != 4 {
+		t.Fatalf("inferred ranks = %d, want 4", meta.Ranks)
+	}
+	if len(recs) != 1 || recs[0].Kind != "ship" {
+		t.Fatalf("recs = %+v", recs)
+	}
+}
+
+// TestChromeTraceSchema checks the exported Chrome trace against the
+// trace-event format: the traceEvents array must unmarshal cleanly and every
+// event must carry ph/ts/pid/tid, with spans as "X" + dur and instants as
+// thread-scoped "i".
+func TestChromeTraceSchema(t *testing.T) {
+	meta, recs := sampleTrace()
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, meta, recs); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("chrome trace does not unmarshal: %v", err)
+	}
+	// Metadata (process + 2 threads) plus one event per record.
+	if want := 3 + len(recs); len(parsed.TraceEvents) != want {
+		t.Fatalf("got %d traceEvents, want %d", len(parsed.TraceEvents), want)
+	}
+	spans, instants := 0, 0
+	for i, ev := range parsed.TraceEvents {
+		for _, field := range []string{"ph", "ts", "pid", "tid", "name"} {
+			if _, ok := ev[field]; !ok {
+				t.Fatalf("event %d missing %q: %v", i, field, ev)
+			}
+		}
+		switch ev["ph"] {
+		case "X":
+			spans++
+			if _, ok := ev["dur"]; !ok {
+				t.Fatalf("span without dur: %v", ev)
+			}
+		case "i":
+			instants++
+			if ev["s"] != "t" {
+				t.Fatalf("instant without thread scope: %v", ev)
+			}
+		case "M":
+		default:
+			t.Fatalf("unexpected ph %v", ev["ph"])
+		}
+	}
+	// 4 epoch spans + 1 deliver span; ship/flush/td-wave are instants.
+	if spans != 5 || instants != 3 {
+		t.Fatalf("spans=%d instants=%d, want 5/3", spans, instants)
+	}
+	// Type names are folded into event names.
+	round := ToChrome(meta, recs)
+	found := false
+	for _, ev := range round.TraceEvents {
+		if ev.Name == "ship:relax" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("expected a ship:relax event name")
+	}
+}
+
+func TestAnalyzeTables(t *testing.T) {
+	meta, recs := sampleTrace()
+	tables := Analyze(meta, recs)
+	if len(tables) != 3 {
+		t.Fatalf("got %d tables, want 3 (epoch, latency, rank)", len(tables))
+	}
+	es := tables[0].String()
+	if !strings.Contains(es, "per-epoch summary") {
+		t.Fatalf("missing epoch table: %s", es)
+	}
+	// Epoch 0 collects the ship of 64 messages and one td-wave.
+	if !strings.Contains(es, "64") {
+		t.Fatalf("epoch table lost the shipped batch:\n%s", es)
+	}
+	lat := tables[1].String()
+	if !strings.Contains(lat, "relax") {
+		t.Fatalf("latency table missing type name:\n%s", lat)
+	}
+	rank := tables[2].String()
+	if !strings.Contains(rank, "imbalance") {
+		t.Fatalf("rank table missing imbalance row:\n%s", rank)
+	}
+}

@@ -1,0 +1,231 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCountersShardingAndTotals(t *testing.T) {
+	c := NewCounters(4, "a", "b")
+	for shard := 0; shard < 4; shard++ {
+		v := c.Shard(shard)
+		v.Add(0, int64(shard+1))
+		v.Inc(1)
+	}
+	if got := c.Total(0); got != 1+2+3+4 {
+		t.Fatalf("Total(a) = %d, want 10", got)
+	}
+	if got := c.Total(1); got != 4 {
+		t.Fatalf("Total(b) = %d, want 4", got)
+	}
+	if got := c.ShardTotal(2, 0); got != 3 {
+		t.Fatalf("ShardTotal(2, a) = %d, want 3", got)
+	}
+	if got := c.Shard(2).Get(0); got != 3 {
+		t.Fatalf("Shard(2).Get(a) = %d, want 3", got)
+	}
+}
+
+func TestCountersConcurrent(t *testing.T) {
+	const shards, per = 8, 10000
+	c := NewCounters(shards, "n")
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			v := c.Shard(s)
+			for i := 0; i < per; i++ {
+				v.Inc(0)
+			}
+		}(s)
+	}
+	wg.Wait()
+	if got := c.Total(0); got != shards*per {
+		t.Fatalf("Total = %d, want %d", got, shards*per)
+	}
+}
+
+func TestGaugeCurrentAndPeak(t *testing.T) {
+	g := NewGauge(2)
+	g.Add(0, 5)
+	g.Add(0, -3)
+	g.Add(1, 4)
+	g.Add(1, 3)
+	g.Add(1, -6)
+	if got := g.Value(); got != 2+1 {
+		t.Fatalf("Value = %d, want 3", got)
+	}
+	if got := g.ShardMax(0); got != 5 {
+		t.Fatalf("ShardMax(0) = %d, want 5", got)
+	}
+	if got := g.ShardMax(1); got != 7 {
+		t.Fatalf("ShardMax(1) = %d, want 7", got)
+	}
+	if got := g.Max(); got != 7 {
+		t.Fatalf("Max = %d, want 7", got)
+	}
+}
+
+// TestHistogramBucketBoundaries pins the boundary semantics: bucket i counts
+// v <= bounds[i] (and > bounds[i-1]); values above the last bound land in the
+// overflow bucket.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := NewHistogram(1, 10, 100, 1000)
+	for _, v := range []int64{0, 1, 10} { // <= 10 → bucket 0
+		h.Observe(0, v)
+	}
+	for _, v := range []int64{11, 100} { // (10, 100] → bucket 1
+		h.Observe(0, v)
+	}
+	h.Observe(0, 101)  // (100, 1000] → bucket 2
+	h.Observe(0, 1001) // > 1000 → overflow
+	h.Observe(0, 5000)
+	s := h.Snapshot()
+	want := []int64{3, 2, 1, 2}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != 8 {
+		t.Fatalf("Count = %d, want 8", s.Count)
+	}
+	if s.Max != 5000 {
+		t.Fatalf("Max = %d, want 5000", s.Max)
+	}
+	if s.Sum != 0+1+10+11+100+101+1001+5000 {
+		t.Fatalf("Sum = %d", s.Sum)
+	}
+}
+
+func TestHistogramShardAggregation(t *testing.T) {
+	h := NewHistogram(4, ExpBounds(1, 10)...)
+	for s := 0; s < 4; s++ {
+		for i := 0; i < 100; i++ {
+			h.Observe(s, int64(i))
+		}
+	}
+	snap := h.Snapshot()
+	if snap.Count != 400 {
+		t.Fatalf("Count = %d, want 400", snap.Count)
+	}
+	var bucketSum int64
+	for _, c := range snap.Counts {
+		bucketSum += c
+	}
+	if bucketSum != snap.Count {
+		t.Fatalf("bucket sum %d != count %d", bucketSum, snap.Count)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(1, 10, 20, 30, 40)
+	for i := int64(1); i <= 40; i++ {
+		h.Observe(0, i)
+	}
+	s := h.Snapshot()
+	if q := s.Quantile(0.5); q < 15 || q > 25 {
+		t.Fatalf("p50 = %d, want ≈20", q)
+	}
+	if q := s.Quantile(1.0); q != 40 {
+		t.Fatalf("p100 = %d, want 40", q)
+	}
+	if q := s.Quantile(0); q > 10 {
+		t.Fatalf("p0 = %d, want <= 10", q)
+	}
+	var empty HistSnapshot
+	if empty.Quantile(0.5) != 0 || empty.Mean() != 0 {
+		t.Fatal("empty snapshot should report zeros")
+	}
+	// Overflow-bucket quantile reports the tracked max.
+	h2 := NewHistogram(1, 10)
+	h2.Observe(0, 999)
+	if q := h2.Snapshot().Quantile(0.9); q != 999 {
+		t.Fatalf("overflow quantile = %d, want 999", q)
+	}
+}
+
+func TestExpBounds(t *testing.T) {
+	b := ExpBounds(1000, 4)
+	want := []int64{1000, 2000, 4000, 8000}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("ExpBounds = %v, want %v", b, want)
+		}
+	}
+}
+
+func TestRingsOrderAndWrap(t *testing.T) {
+	r := NewRings[int](2, 4)
+	for i := 0; i < 10; i++ {
+		r.Append(0, i)
+	}
+	r.Append(1, 100)
+	got := r.Shard(0)
+	want := []int{6, 7, 8, 9}
+	if len(got) != len(want) {
+		t.Fatalf("Shard(0) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Shard(0) = %v, want %v", got, want)
+		}
+	}
+	if s1 := r.Shard(1); len(s1) != 1 || s1[0] != 100 {
+		t.Fatalf("Shard(1) = %v", s1)
+	}
+	if r.Recorded() != 11 {
+		t.Fatalf("Recorded = %d, want 11", r.Recorded())
+	}
+	if r.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", r.Dropped())
+	}
+}
+
+// TestRingsConcurrentReadWrite exercises concurrent recording on every shard
+// while a reader drains snapshots — race-free by construction (run under
+// -race in CI).
+func TestRingsConcurrentReadWrite(t *testing.T) {
+	const shards = 4
+	r := NewRings[[3]int64](shards, 64)
+	var writers, reader sync.WaitGroup
+	stop := make(chan struct{})
+	for s := 0; s < shards; s++ {
+		for w := 0; w < 2; w++ { // two writers per shard, like handler threads
+			writers.Add(1)
+			go func(s int) {
+				defer writers.Done()
+				for i := int64(0); i < 5000; i++ {
+					r.Append(s, [3]int64{int64(s), i, i * 2})
+				}
+			}(s)
+		}
+	}
+	reader.Add(1)
+	go func() {
+		defer reader.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for s := 0; s < shards; s++ {
+				for _, ev := range r.Shard(s) {
+					if ev[0] != int64(s) || ev[2] != ev[1]*2 {
+						t.Errorf("torn event on shard %d: %v", s, ev)
+						return
+					}
+				}
+			}
+			_ = r.Dropped()
+		}
+	}()
+	writers.Wait()
+	close(stop)
+	reader.Wait()
+	if got := r.Recorded(); got != shards*2*5000 {
+		t.Fatalf("Recorded = %d, want %d", got, shards*2*5000)
+	}
+}

@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// ringShard is one shard's event ring. The mutex serializes recorders on the
+// same shard (concurrent handler threads of one rank) and readers; recorders
+// on different shards never touch each other's state, so cross-rank recording
+// is contention-free and race-free by construction.
+type ringShard[T any] struct {
+	mu   sync.Mutex
+	buf  []T
+	next int64 // total appended on this shard
+	_    [cacheLine]byte
+}
+
+// Rings is a set of fixed-capacity per-shard event rings. When a shard's ring
+// is full, its oldest events are overwritten — the tail of a long run is
+// usually what matters.
+type Rings[T any] struct {
+	shards []*ringShard[T]
+}
+
+// NewRings allocates `shards` rings of `capacity` events each.
+func NewRings[T any](shards, capacity int) *Rings[T] {
+	if shards < 1 {
+		shards = 1
+	}
+	if capacity < 1 {
+		capacity = 1
+	}
+	r := &Rings[T]{shards: make([]*ringShard[T], shards)}
+	for i := range r.shards {
+		r.shards[i] = &ringShard[T]{buf: make([]T, 0, capacity)}
+	}
+	return r
+}
+
+// Append records v on the given shard.
+func (r *Rings[T]) Append(shard int, v T) {
+	s := r.shards[shard]
+	s.mu.Lock()
+	if len(s.buf) < cap(s.buf) {
+		s.buf = append(s.buf, v)
+	} else {
+		s.buf[s.next%int64(cap(s.buf))] = v
+	}
+	s.next++
+	s.mu.Unlock()
+}
+
+// Shard returns a copy of one shard's retained events, oldest first.
+func (r *Rings[T]) Shard(shard int) []T {
+	s := r.shards[shard]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := int64(len(s.buf))
+	out := make([]T, 0, n)
+	if s.next <= n {
+		// Ring never wrapped: buf is already oldest-first.
+		return append(out, s.buf...)
+	}
+	start := s.next % n
+	out = append(out, s.buf[start:]...)
+	return append(out, s.buf[:start]...)
+}
+
+// Merged returns all retained events across shards, stably sorted by less
+// (events comparing equal keep their per-shard recording order), with
+// finalize applied to each event and its merged index — the hook for
+// assigning a global sequence number.
+func (r *Rings[T]) Merged(less func(a, b T) bool, finalize func(i int, v T) T) []T {
+	var out []T
+	for shard := range r.shards {
+		out = append(out, r.Shard(shard)...)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return less(out[i], out[j]) })
+	if finalize != nil {
+		for i := range out {
+			out[i] = finalize(i, out[i])
+		}
+	}
+	return out
+}
+
+// Shards returns the shard count.
+func (r *Rings[T]) Shards() int { return len(r.shards) }
+
+// Recorded returns the total number of events appended across shards.
+func (r *Rings[T]) Recorded() int64 {
+	var total int64
+	for _, s := range r.shards {
+		s.mu.Lock()
+		total += s.next
+		s.mu.Unlock()
+	}
+	return total
+}
+
+// Dropped returns how many events were overwritten across shards.
+func (r *Rings[T]) Dropped() int64 {
+	var total int64
+	for _, s := range r.shards {
+		s.mu.Lock()
+		if d := s.next - int64(cap(s.buf)); d > 0 {
+			total += d
+		}
+		s.mu.Unlock()
+	}
+	return total
+}

@@ -54,9 +54,9 @@ func TestEngineOverGobTransport(t *testing.T) {
 			t.Fatalf("dist[%d] = %d, want %d", v, got[v], w)
 		}
 	}
-	if u.Stats.WireBytes.Load() == 0 {
+	if u.Stats.WireBytes() == 0 {
 		t.Fatal("no serialized bytes — gob transport not exercised")
 	}
 	t.Logf("wire bytes: %d for %d messages (%d raw payload bytes)",
-		u.Stats.WireBytes.Load(), u.Stats.MsgsSent.Load(), u.Stats.BytesSent.Load())
+		u.Stats.WireBytes(), u.Stats.MsgsSent(), u.Stats.BytesSent())
 }
