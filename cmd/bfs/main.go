@@ -42,7 +42,7 @@ func main() {
 	fmt.Printf("bfs: n=%d m=%d ranks=%d threads=%d roots=%d\n", n, len(edges), *ranks, *threads, *roots)
 	levels := make([][]int64, *roots)
 	i := 0
-	u.Run(func(r *declpat.Rank) {
+	err := u.Run(func(r *declpat.Rank) {
 		for ri, src := range srcs {
 			start := time.Now()
 			b.Run(r, src)
@@ -65,6 +65,10 @@ func main() {
 			r.Barrier()
 		}
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bfs: run failed:", err)
+		os.Exit(1)
+	}
 
 	if *verify {
 		bad := 0

@@ -38,7 +38,10 @@ func main() {
 	c.FlushEvery = *flushEvery
 
 	start := time.Now()
-	u.Run(func(r *declpat.Rank) { c.Run(r) })
+	if err := u.Run(func(r *declpat.Rank) { c.Run(r) }); err != nil {
+		fmt.Fprintln(os.Stderr, "cc: run failed:", err)
+		os.Exit(1)
+	}
 	elapsed := time.Since(start)
 
 	comp := c.Comp.Gather()

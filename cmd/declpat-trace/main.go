@@ -44,6 +44,8 @@ func main() {
 		u, err := runWorkload(*run, *scale, *ef, *seed, *ranks, *threads, *capacity)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "declpat-trace:", err)
+			fmt.Fprintln(os.Stderr, "usage: declpat-trace -run WORKLOAD [-scale N] [-ranks N] [-out FILE] [-chrome FILE]")
+			fmt.Fprintln(os.Stderr, "supported workloads: bfs, sssp, cc")
 			os.Exit(2)
 		}
 		meta, recs = u.ExportTrace(*run)
@@ -120,28 +122,32 @@ func runWorkload(name string, scale, ef int, seed uint64, ranks, threads, capaci
 	}
 	u := declpat.NewUniverse(cfg)
 	dist := declpat.NewBlockDist(1<<scale, ranks)
+	var err error
 	switch name {
 	case "bfs":
 		n, edges := declpat.RMAT(scale, ef, declpat.WeightSpec{}, seed)
 		g := declpat.BuildGraph(dist, edges, declpat.GraphOptions{})
 		eng := declpat.NewEngine(u, g, declpat.NewLockMap(dist, 1), declpat.DefaultPlanOptions())
 		b := declpat.NewBFS(eng)
-		u.Run(func(r *declpat.Rank) { b.Run(r, declpat.Vertex(seed%uint64(n))) })
+		err = u.Run(func(r *declpat.Rank) { b.Run(r, declpat.Vertex(seed%uint64(n))) })
 	case "sssp":
 		n, edges := declpat.RMAT(scale, ef, declpat.WeightSpec{Min: 1, Max: 100}, seed)
 		g := declpat.BuildGraph(dist, edges, declpat.GraphOptions{})
 		eng := declpat.NewEngine(u, g, declpat.NewLockMap(dist, 1), declpat.DefaultPlanOptions())
 		s := declpat.NewSSSP(eng)
-		u.Run(func(r *declpat.Rank) { s.Run(r, declpat.Vertex(seed%uint64(n))) })
+		err = u.Run(func(r *declpat.Rank) { s.Run(r, declpat.Vertex(seed%uint64(n))) })
 	case "cc":
 		_, edges := declpat.RMAT(scale, ef, declpat.WeightSpec{}, seed)
 		g := declpat.BuildGraph(dist, edges, declpat.GraphOptions{Symmetrize: true})
 		lm := declpat.NewLockMap(dist, 1)
 		eng := declpat.NewEngine(u, g, lm, declpat.DefaultPlanOptions())
 		c := declpat.NewCC(eng, lm)
-		u.Run(func(r *declpat.Rank) { c.Run(r) })
+		err = u.Run(func(r *declpat.Rank) { c.Run(r) })
 	default:
 		return nil, fmt.Errorf("unknown workload %q (want bfs, sssp, or cc)", name)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("%s run failed: %w", name, err)
 	}
 	return u, nil
 }

@@ -1,4 +1,4 @@
-// Command experiments runs the full reproduction suite (E1–E17, see
+// Command experiments runs the full reproduction suite (E1–E18, see
 // DESIGN.md) and prints every table. EXPERIMENTS.md records one run of this
 // command.
 //

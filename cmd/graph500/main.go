@@ -74,7 +74,7 @@ func main() {
 		parent    []int64
 	}
 	var results []result
-	u.Run(func(r *declpat.Rank) {
+	err := u.Run(func(r *declpat.Rank) {
 		for _, root := range rootList {
 			start := time.Now()
 			bfs.Run(r, root)
@@ -97,6 +97,10 @@ func main() {
 			r.Barrier()
 		}
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "graph500: run failed:", err)
+		os.Exit(1)
+	}
 
 	fmt.Printf("\n%-8s %-12s %-10s %s\n", "root", "time", "edges", "TEPS")
 	var teps []float64

@@ -49,7 +49,9 @@ func main() {
 	}
 
 	start := time.Now()
-	u.Run(func(r *declpat.Rank) { s.Run(r, declpat.Vertex(*src)) })
+	if err := u.Run(func(r *declpat.Rank) { s.Run(r, declpat.Vertex(*src)) }); err != nil {
+		log.Fatalf("run failed: %v", err)
+	}
 	elapsed := time.Since(start)
 
 	got := s.Dist.Gather()

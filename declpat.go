@@ -43,6 +43,20 @@ type (
 	// delay/reordering, corruption) and switches the universe onto the
 	// ack/retransmit reliable-delivery protocol.
 	FaultPlan = am.FaultPlan
+	// Crash schedules a deterministic crash-stop rank failure (at epoch
+	// entry, or after the k-th handled message).
+	Crash = am.Crash
+	// DeadLink permanently severs one directed link from a given epoch on.
+	DeadLink = am.DeadLink
+	// Checkpointer is rank-sharded state that can snapshot/restore at
+	// epoch boundaries; register with Universe.RegisterCheckpointer to
+	// participate in Recovery rollback/replay.
+	Checkpointer = am.Checkpointer
+	// RankFault describes a contained rank failure (crash, handler panic,
+	// dead link, watchdog) in Run errors and the fault log.
+	RankFault = am.RankFault
+	// FaultKind classifies a RankFault.
+	FaultKind = am.FaultKind
 	// Rank is one simulated node; SPMD bodies receive theirs from Run.
 	Rank = am.Rank
 	// EpochHandle is the in-epoch handle (Flush, TryFinish, AuxAdd).
@@ -57,6 +71,14 @@ type (
 const (
 	DetectorAtomic      = am.DetectorAtomic
 	DetectorFourCounter = am.DetectorFourCounter
+)
+
+// Rank-fault kinds (RankFault.Kind).
+const (
+	FaultCrash        = am.FaultCrash
+	FaultHandlerPanic = am.FaultHandlerPanic
+	FaultLinkDead     = am.FaultLinkDead
+	FaultWatchdog     = am.FaultWatchdog
 )
 
 // NewUniverse creates a simulated machine.

@@ -47,6 +47,7 @@ func NewBFS(eng *pattern.Engine) *BFS {
 	}
 	b.Visit = bound.Action("bfs")
 	b.fp = strategy.NewFixedPoint(b.Visit)
+	eng.Universe().RegisterCheckpointer(b.Level)
 	return b
 }
 

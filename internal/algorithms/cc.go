@@ -109,6 +109,13 @@ func NewCC(eng *pattern.Engine, lm *pmap.LockMap) *CC {
 	// The paper's work hook: continue the search from newly claimed
 	// vertices.
 	c.Search.SetWork(func(r *am.Rank, v distgraph.Vertex) { c.Search.InvokeAsync(r, v) })
+	// searchesStarted is a metric, not algorithm state; it is not
+	// checkpointed.
+	u := eng.Universe()
+	u.RegisterCheckpointer(c.Pnt)
+	u.RegisterCheckpointer(c.Chg)
+	u.RegisterCheckpointer(c.Comp)
+	u.RegisterCheckpointer(c.Conf)
 	return c
 }
 

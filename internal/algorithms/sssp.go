@@ -96,6 +96,7 @@ func NewSSSP(eng *pattern.Engine, opts ...func(*SSSP)) *SSSP {
 	}
 	s.Relax = bound.Action("relax")
 	s.fp = strategy.NewFixedPoint(s.Relax)
+	eng.Universe().RegisterCheckpointer(s.Dist)
 	for _, o := range opts {
 		o(s)
 	}

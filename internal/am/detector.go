@@ -87,7 +87,7 @@ func (d *fourCounterDriver) wave() bool {
 	u := d.u
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if u.epochDone.Load() {
+	if u.epochState.Load() == epochFinished {
 		return true
 	}
 	u.ranks[0].st.Inc(cTDWaves) // waves are driven from rank 0 only

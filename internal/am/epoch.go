@@ -40,86 +40,157 @@ func (r *Rank) Epoch(body func(ep *Epoch)) {
 // contents) must be registered with AuxAdd before the message that created
 // it finishes handling, and unregistered when consumed; otherwise the epoch
 // can terminate while work remains.
+//
+// With Config.Recovery the epoch boundary entered here is also the recovery
+// point: registered checkpointers are snapshotted before the opening
+// barrier (the previous epoch ended acknowledged-quiet, so the state is a
+// consistent cut), and a rank fault inside the epoch rolls every rank back
+// to that snapshot and re-runs the body. Bodies therefore re-execute after
+// a fault; they must be deterministic functions of the checkpointed state
+// (every property map and frontier they touch registered), which all
+// built-in strategies and algorithms are.
 func (r *Rank) EpochThreaded(nthreads int, body func(tid int, ep *Epoch)) {
 	if nthreads < 1 {
 		panic("am: EpochThreaded needs at least one body thread")
 	}
 	u := r.u
-	r.totalBodies.Store(int32(nthreads))
-	r.idleBodies.Store(0)
 	r.inEpoch.Store(true)
-	if u.cfg.Detector == DetectorFourCounter && r.id == 0 {
-		r.fc = newFourCounterDriver(u)
-	}
 	if u.tracer != nil {
 		// Stamp the span open so TraceEpochEnd can close it with a
-		// duration (the rank's wall time inside the epoch).
+		// duration (the rank's wall time inside the epoch, recovery
+		// attempts included).
 		r.epochBeginNs = obs.Now()
 		u.traceSpan(r.id, TraceEpochBegin, u.epochSeq.Load(), int64(nthreads), r.epochBeginNs, 0)
 	}
-	r.Barrier() // all ranks registered before anyone can quiesce
-
-	if nthreads == 1 {
-		body(0, &Epoch{r: r, tid: 0})
-		r.idleBodies.Add(1)
-	} else {
-		var wg sync.WaitGroup
-		for t := 0; t < nthreads; t++ {
-			wg.Add(1)
-			go func(t int) {
-				defer wg.Done()
-				body(t, &Epoch{r: r, tid: t})
-				r.idleBodies.Add(1)
-			}(t)
-		}
-		// The rank main participates in progress while bodies run.
-		r.progressUntilDone()
-		wg.Wait()
+	// Checkpoint at the boundary, before any rank can send into the epoch.
+	if u.cfg.Recovery {
+		u.snapshotRank(r.id)
+		r.st.Inc(cCheckpoints)
 	}
-	// Keep making progress until the whole universe is quiescent.
-	r.progressUntilDone()
-
-	r.Barrier()
+	for {
+		r.totalBodies.Store(int32(nthreads))
+		r.idleBodies.Store(0)
+		r.handledInEpoch.Store(0)
+		if u.cfg.Detector == DetectorFourCounter && r.id == 0 {
+			// A fresh driver per attempt: a rolled-back epoch must not
+			// inherit wave snapshots from the aborted attempt.
+			r.fc = newFourCounterDriver(u)
+		}
+		u.touchProgress()
+		// Arm (or fire) injected crashes before the barrier: an
+		// epoch-entry crash is visible before any peer's body can send,
+		// and a mid-epoch trigger is armed before any envelope of this
+		// attempt can arrive.
+		r.armCrashes()
+		r.Barrier() // all ranks registered before anyone can quiesce
+		r.runBodies(nthreads, body)
+		r.Barrier() // every rank observed the same commit-or-abort outcome
+		if u.epochState.Load() != epochAborting {
+			break
+		}
+		r.recoverEpoch() // unwinds via runAbort when the fault is unrecoverable
+	}
 	if u.tracer != nil {
 		now := obs.Now()
 		u.traceSpan(r.id, TraceEpochEnd, u.epochSeq.Load(), 0, now, now-r.epochBeginNs)
 	}
-	// All ranks observed epochDone and stopped sending; rank 0 resets the
-	// shared flag between the two barriers so the next epoch starts clean.
+	// All ranks observed the commit and stopped sending; rank 0 resets the
+	// shared state between the two barriers so the next epoch starts clean.
 	if r.id == 0 {
-		u.epochDone.Store(false)
+		u.epochState.Store(epochRunning)
 		u.epochSeq.Add(1)
+		u.recoveries = 0
 		r.st.Inc(cEpochs)
 	}
 	r.inEpoch.Store(false)
 	r.auxWork.Store(0)
 	r.totalBodies.Store(0)
 	r.idleBodies.Store(0)
+	// A crash that lost the race to the epoch commit (the detector finished
+	// first) dies with the epoch: the committed state is intact, and the
+	// rank must not stay silent into the next epoch.
+	r.crashed.Store(false)
 	r.fc = nil
 	r.Barrier()
 }
 
+// runBodies runs one epoch attempt: the body participants plus the rank
+// main's progress loop, returning once the epoch has globally finished or
+// is rolling back (with every participant goroutine joined either way).
+func (r *Rank) runBodies(nthreads int, body func(tid int, ep *Epoch)) {
+	if nthreads == 1 {
+		r.runBody(0, body)
+		r.idleBodies.Add(1)
+		r.progressUntilDone()
+		return
+	}
+	var wg sync.WaitGroup
+	for t := 0; t < nthreads; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			r.runBody(t, body)
+			r.idleBodies.Add(1)
+		}(t)
+	}
+	// The rank main participates in progress while bodies run.
+	r.progressUntilDone()
+	wg.Wait()
+	// Keep making progress until the whole universe is quiescent.
+	r.progressUntilDone()
+}
+
+// runBody runs one body participant, absorbing the epochAbort unwind: a
+// participant whose epoch is rolling back simply stops (Flush and TryFinish
+// throw the sentinel), and the restored state replays under a fresh call.
+// A rank that is dead on epoch entry never runs its body. All other panics
+// propagate — a body bug is not a containable rank fault.
+func (r *Rank) runBody(tid int, body func(int, *Epoch)) {
+	if r.crashed.Load() {
+		return
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			if _, ok := p.(epochAbort); !ok {
+				panic(p)
+			}
+		}
+	}()
+	body(tid, &Epoch{r: r, tid: tid})
+}
+
 // progressUntilDone flushes, delivers, and participates in termination
-// detection until the epoch is globally finished.
+// detection until the epoch is globally finished or rolling back.
 func (r *Rank) progressUntilDone() {
 	u := r.u
-	for !u.epochDone.Load() {
+	for u.epochState.Load() == epochRunning {
+		if r.crashed.Load() {
+			// Crash-stop: a dead rank neither flushes nor delivers; it
+			// waits for the abort its crash raised to become visible.
+			runtime.Gosched()
+			continue
+		}
 		flushed := r.flushAll()
 		worked := r.drainSome(64)
 		if flushed || worked {
+			u.touchProgress()
 			continue
 		}
 		switch u.cfg.Detector {
 		case DetectorAtomic:
 			if u.atomicQuiesced() {
-				u.epochDone.Store(true)
+				u.epochState.CompareAndSwap(epochRunning, epochFinished)
 			}
 		case DetectorFourCounter:
 			if r.fc != nil && r.fc.wave() {
-				u.epochDone.Store(true)
+				u.epochState.CompareAndSwap(epochRunning, epochFinished)
 			}
 		}
+		r.checkWatchdog()
 		runtime.Gosched()
+	}
+	if u.epochState.Load() == epochAborting {
+		return // recovery scrubs the leftovers
 	}
 	// Drain leftovers addressed to us that raced with the done flag. By
 	// the detector's guarantee no user envelope remains (in reliable mode
@@ -134,12 +205,14 @@ func (r *Rank) progressUntilDone() {
 
 // Flush implements the paper's epoch_flush: ship all locally buffered
 // messages and perform as much pending local work as possible before
-// returning control to the body.
+// returning control to the body. When the epoch is rolling back, Flush
+// unwinds the calling participant instead (see recovery.go).
 func (ep *Epoch) Flush() {
 	r := ep.r
 	r.st.Inc(cFlushes)
 	r.u.trace(r.id, TraceFlush, 0, 0)
 	for {
+		r.abortCheck()
 		flushed := r.flushAll()
 		worked := r.drainSome(1 << 30)
 		if !flushed && !worked {
@@ -164,29 +237,36 @@ const tryFinishSpins = 32
 // work, and attempt to end the epoch. It returns true when the epoch has
 // terminated globally (the caller must then leave the body); false means
 // more work may exist (possibly the caller's own, newly arrived) and the
-// body should continue.
+// body should continue. When the epoch is rolling back, TryFinish unwinds
+// the calling participant instead (see recovery.go).
 //
 // The caller must have drained its own deferred work (AuxAdd balance of its
 // contributions zero) before calling.
 func (ep *Epoch) TryFinish() bool {
 	r := ep.r
 	u := r.u
+	r.abortCheck()
 	r.flushAll()
 	r.drainSome(1 << 30)
-	if u.epochDone.Load() {
+	if u.epochState.Load() == epochFinished {
 		return true
 	}
 	r.idleBodies.Add(1)
 	for i := 0; i < tryFinishSpins; i++ {
-		if u.epochDone.Load() {
+		switch u.epochState.Load() {
+		case epochFinished:
 			// Stay counted as idle: the epoch is over.
 			return true
+		case epochAborting:
+			panic(epochAbort{})
 		}
 		switch u.cfg.Detector {
 		case DetectorAtomic:
 			if u.atomicQuiesced() {
-				u.epochDone.Store(true)
-				return true
+				if u.epochState.CompareAndSwap(epochRunning, epochFinished) {
+					return true
+				}
+				continue // lost to a fault: re-read the state
 			}
 			if u.pending.Load() > 0 || u.totalAux() > 0 || u.totalRelPending() > 0 {
 				// Real work exists somewhere — possibly an envelope
@@ -201,10 +281,13 @@ func (ep *Epoch) TryFinish() bool {
 			// loops on TryFinish still terminates; other ranks
 			// wait for the outcome while idle.
 			if r.fc != nil && r.fc.wave() {
-				u.epochDone.Store(true)
-				return true
+				if u.epochState.CompareAndSwap(epochRunning, epochFinished) {
+					return true
+				}
+				continue
 			}
 		}
+		r.checkWatchdog()
 		runtime.Gosched()
 	}
 	r.idleBodies.Add(-1)

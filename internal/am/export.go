@@ -12,7 +12,8 @@ import (
 func (u *Universe) typeNameOf(kind TraceKind, arg int64) string {
 	switch kind {
 	case TraceShip, TraceDeliver, TraceDrop, TraceDup, TraceDelay,
-		TraceRetransmit, TraceCorrupt, TraceSuppress, TraceAck:
+		TraceRetransmit, TraceCorrupt, TraceSuppress, TraceAck,
+		TracePanic, TraceLinkDead:
 		if arg == int64(ackTypeID) {
 			return "ack"
 		}

@@ -50,11 +50,44 @@ type FaultPlan struct {
 	// ticks; attempt n waits RetransmitBase << min(n, 6) ticks. 0 selects
 	// the default (8).
 	RetransmitBase int
-	// MaxAttempts bounds transmissions per envelope; exceeding it declares
-	// the link dead and panics (at Drop = 0.2 the default ceiling of 30 is
-	// reached with probability 0.2^30 ≈ 1e-21 per envelope). 0 selects the
-	// default (30).
+	// MaxAttempts bounds transmissions per envelope; exceeding it raises a
+	// structured LinkDead rank fault (at Drop = 0.2 the default ceiling of
+	// 30 is reached with probability 0.2^30 ≈ 1e-21 per envelope). With
+	// Config.Recovery the damaged epoch rolls back to its checkpoint and
+	// replays; without it Universe.Run returns the fault as an error.
+	// 0 selects the default (30).
 	MaxAttempts int
+	// Crashes injects deterministic crash-stop rank failures: each entry
+	// kills one rank during one epoch (at entry, or after its k-th handled
+	// message). A crashed rank stops handling, drops its inbox, and goes
+	// silent; peers observe it only through missing acknowledgements. Each
+	// entry fires at most once per run. Requires Config.Recovery for the
+	// run to survive.
+	Crashes []Crash
+	// DeadLinks severs directed links for one epoch each: every
+	// transmission (data and acks) from Src to Dest during that epoch
+	// vanishes, so the sender's retransmit ceiling eventually raises a
+	// LinkDead fault. A severed link is healed when the epoch recovers,
+	// making link death deterministic *and* recoverable.
+	DeadLinks []DeadLink
+}
+
+// Crash is one injected crash-stop failure: rank Rank dies during epoch
+// Epoch (the universe-wide epoch sequence number, starting at 0).
+type Crash struct {
+	Rank  int
+	Epoch int64
+	// AfterHandled delays the crash until the rank has handled this many
+	// messages within the epoch (a mid-epoch crash, with handlers half
+	// applied); <= 0 crashes at epoch entry, before the body runs.
+	AfterHandled int
+}
+
+// DeadLink severs the directed link Src→Dest for the duration of epoch
+// Epoch (until the epoch's recovery heals it).
+type DeadLink struct {
+	Src, Dest int
+	Epoch     int64
 }
 
 func (fp *FaultPlan) withDefaults() *FaultPlan {

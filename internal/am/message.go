@@ -28,6 +28,9 @@ type msgType struct {
 	// buffered counts messages currently held in r's coalescing buffers
 	// for this type (sampled occupancy gauge).
 	buffered func(r *Rank) int64
+	// clear discards r's coalescing buffers for this type (epoch recovery:
+	// buffered-but-unshipped messages belong to the rolled-back attempt).
+	clear func(r *Rank)
 }
 
 // Per-type counter ids within Universe.typeC (layout: typeID*3 + offset).
@@ -146,6 +149,17 @@ func Register[T any](u *Universe, name string, handler func(r *Rank, m T)) *MsgT
 			}
 			return n
 		},
+		clear: func(r *Rank) {
+			tb := r.bufs[mt.id].(*typedBufs[T])
+			for dest := range tb.buf {
+				tb.mu[dest].Lock()
+				tb.buf[dest] = nil
+				if tb.keys != nil {
+					tb.keys[dest] = nil
+				}
+				tb.mu[dest].Unlock()
+			}
+		},
 		newBufs: func(nranks int) any {
 			tb := &typedBufs[T]{
 				mu:  make([]sync.Mutex, nranks),
@@ -230,6 +244,14 @@ func (t *MsgType[T]) SendTo(r *Rank, dest int, m T) {
 	if !r.inEpoch.Load() {
 		panic("am: SendTo(" + t.name + ") outside an epoch")
 	}
+	if r.u.resilient() && (r.crashed.Load() || r.u.epochState.Load() == epochAborting) {
+		// A crashed rank sends nothing (crash-stop silence), and sends
+		// into a rolling-back epoch are moot — the attempt's effects are
+		// discarded and the restored state replays. Dropping here (not
+		// panicking) matters: handlers call SendTo, and a panic would be
+		// miscounted as a handler fault by the containment layer.
+		return
+	}
 	tb := r.bufs[t.id].(*typedBufs[T])
 	tb.mu[dest].Lock()
 	if t.key != nil {
@@ -290,7 +312,9 @@ func (t *MsgType[T]) ship(r *Rank, dest int, batch []T) {
 		if t.gobWire {
 			data = t.encode(r, batch)
 		}
-		u.ranks[dest].inbox.Push(envelope{typeID: t.id, src: int32(r.id), data: data})
+		u.ranks[dest].inbox.Push(envelope{
+			typeID: t.id, src: int32(r.id), gen: u.epochGen.Load(), data: data,
+		})
 		return
 	}
 	seq := r.nextSeq(dest, t.id, batch)
@@ -326,6 +350,13 @@ func (t *MsgType[T]) transmit(r *Rank, dest int, seq uint64, attempt int, batch 
 		u.trace(r.id, TraceRetransmit, int64(t.id), int64(seq))
 	}
 	r.st.Add(cBytesSent, t.size*int64(len(batch))+envelopeHeaderBytes)
+	if u.linkDown(r.id, dest) {
+		// A severed link swallows the transmission outright; the
+		// retransmit ceiling will eventually declare it dead.
+		r.st.Inc(cEnvelopesDropped)
+		u.trace(r.id, TraceDrop, int64(t.id), int64(seq))
+		return
+	}
 	if fp.roll(faultDrop, r.id, dest, int(t.id), seq, attempt) < fp.Drop {
 		r.st.Inc(cEnvelopesDropped)
 		u.trace(r.id, TraceDrop, int64(t.id), int64(seq))
@@ -342,7 +373,7 @@ func (t *MsgType[T]) transmit(r *Rank, dest int, seq uint64, attempt int, batch 
 		}
 		data = gp
 	}
-	e := envelope{typeID: t.id, src: int32(r.id), seq: seq, data: data}
+	e := envelope{typeID: t.id, src: int32(r.id), seq: seq, gen: u.epochGen.Load(), data: data}
 	if fp.roll(faultDup, r.id, dest, int(t.id), seq, attempt) < fp.Dup {
 		r.st.Inc(cEnvelopesDuplicated)
 		u.trace(r.id, TraceDup, int64(t.id), int64(seq))

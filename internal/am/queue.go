@@ -84,6 +84,20 @@ func (q *queue) take() envelope {
 	return e
 }
 
+// DropAll discards every queued envelope (a crashed rank drops its inbox;
+// epoch recovery scrubs leftovers of the aborted attempt) and reports how
+// many were dropped. Blocked consumers stay blocked.
+func (q *queue) DropAll() int {
+	q.mu.Lock()
+	n := q.n
+	for i := 0; i < n; i++ {
+		q.buf[(q.head+i)%len(q.buf)] = envelope{} // release payloads for GC
+	}
+	q.head, q.n = 0, 0
+	q.mu.Unlock()
+	return n
+}
+
 // Len reports the current number of queued envelopes.
 func (q *queue) Len() int {
 	q.mu.Lock()

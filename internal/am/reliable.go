@@ -169,6 +169,13 @@ func (r *Rank) admit(src int, typ int32, seq uint64) (fresh bool, salt uint64) {
 // suppresses and re-acknowledges with a fresh salt.
 func (r *Rank) sendAck(src int, typ int32, seq uint64, salt uint64) {
 	u := r.u
+	if u.linkDown(r.id, src) {
+		// Acks ride the same links: a severed (r → src) direction starves
+		// the peer's retransmit loop into declaring the link dead.
+		r.st.Inc(cAcksDropped)
+		u.trace(r.id, TraceDrop, int64(ackTypeID), int64(seq))
+		return
+	}
 	if u.fp.roll(faultAckDrop, r.id, src, int(typ), seq, int(salt)) < u.fp.Drop {
 		r.st.Inc(cAcksDropped)
 		u.trace(r.id, TraceDrop, int64(ackTypeID), int64(seq))
@@ -178,7 +185,7 @@ func (r *Rank) sendAck(src int, typ int32, seq uint64, salt uint64) {
 	r.st.Add(cBytesSent, envelopeHeaderBytes)
 	u.trace(r.id, TraceAck, int64(typ), int64(seq))
 	u.ranks[src].inbox.Push(envelope{
-		typeID: ackTypeID, src: int32(r.id), seq: seq, data: ackBody{typ: typ},
+		typeID: ackTypeID, src: int32(r.id), seq: seq, gen: u.epochGen.Load(), data: ackBody{typ: typ},
 	})
 }
 
@@ -221,6 +228,9 @@ func (r *Rank) pollLinks() bool {
 	u := r.u
 	if u.fp == nil || r.relPendingNow() == 0 {
 		return false
+	}
+	if u.epochState.Load() == epochAborting {
+		return false // the epoch is rolling back; recovery resets the links
 	}
 	now := r.linkTick.Add(1)
 	worked := false
@@ -265,10 +275,22 @@ func (r *Rank) pollLinks() bool {
 				o := l.out[seq]
 				o.attempts++
 				if o.attempts > u.fp.MaxAttempts {
+					// Retransmit ceiling: declare the link dead. The
+					// envelope is parked (never due again) and the
+					// structured fault aborts the epoch — recovery heals
+					// the link, resets this table, and replays; without
+					// recovery Universe.Run returns the fault.
+					o.due = ^uint64(0)
 					l.mu.Unlock()
-					panic(fmt.Sprintf(
-						"am: link %d->%d type %s seq %d dead after %d attempts (FaultPlan seed %d)",
-						r.id, dest, u.types[typ].name, seq, o.attempts, u.fp.Seed))
+					r.st.Inc(cLinkDeaths)
+					u.trace(r.id, TraceLinkDead, int64(typ), int64(seq))
+					u.raiseFault(RankFault{
+						Kind: FaultLinkDead, Rank: dest, Epoch: u.epochSeq.Load(),
+						Detail: fmt.Sprintf(
+							"link %d->%d type %s seq %d dead after %d attempts (FaultPlan seed %d)",
+							r.id, dest, u.types[typ].name, seq, o.attempts, u.fp.Seed),
+					})
+					return worked
 				}
 				o.due = now + backoffTicks(u.fp, o.attempts)
 				resends = append(resends, resend{u.types[typ], dest, seq, o.attempts, o.data})

@@ -27,6 +27,13 @@ const (
 	cCorruptionsDetected
 	cAckMsgs
 	cAcksDropped
+	cRankCrashes
+	cHandlerPanics
+	cLinkDeaths
+	cEpochAborts
+	cRecoveries
+	cCheckpoints
+	cWatchdogFires
 	numCounters
 )
 
@@ -38,6 +45,8 @@ var counterNames = [numCounters]string{
 	"envelopes_dropped", "envelopes_duplicated", "envelopes_delayed",
 	"retransmits", "dups_suppressed", "corruptions_detected",
 	"ack_msgs", "acks_dropped",
+	"rank_crashes", "handler_panics", "link_deaths",
+	"epoch_aborts", "recoveries", "checkpoints", "watchdog_fires",
 }
 
 // Stats is the read-side view of the universe's message accounting. It used
@@ -117,6 +126,28 @@ func (s *Stats) AckMsgs() int64 { return s.c.Total(cAckMsgs) }
 // AcksDropped counts acknowledgements the injector discarded.
 func (s *Stats) AcksDropped() int64 { return s.c.Total(cAcksDropped) }
 
+// RankCrashes counts injected crash-stop rank failures (FaultPlan.Crashes).
+func (s *Stats) RankCrashes() int64 { return s.c.Total(cRankCrashes) }
+
+// HandlerPanics counts message-handler panics contained as rank faults.
+func (s *Stats) HandlerPanics() int64 { return s.c.Total(cHandlerPanics) }
+
+// LinkDeaths counts links declared dead at the retransmit ceiling.
+func (s *Stats) LinkDeaths() int64 { return s.c.Total(cLinkDeaths) }
+
+// EpochAborts counts epoch attempts aborted by a rank fault.
+func (s *Stats) EpochAborts() int64 { return s.c.Total(cEpochAborts) }
+
+// Recoveries counts completed epoch rollback-and-replay cycles.
+func (s *Stats) Recoveries() int64 { return s.c.Total(cRecoveries) }
+
+// Checkpoints counts per-rank epoch-boundary snapshots (Config.Recovery).
+func (s *Stats) Checkpoints() int64 { return s.c.Total(cCheckpoints) }
+
+// WatchdogFires counts stuck-epoch watchdog activations (at most one per
+// run; the watchdog fault is fatal).
+func (s *Stats) WatchdogFires() int64 { return s.c.Total(cWatchdogFires) }
+
 // Snapshot is a plain-value copy of Stats, convenient for diffing across an
 // experiment phase.
 type Snapshot struct {
@@ -128,6 +159,9 @@ type Snapshot struct {
 	EnvelopesDelayed, Retransmits          int64
 	DupsSuppressed, CorruptionsDetected    int64
 	AckMsgs, AcksDropped                   int64
+	RankCrashes, HandlerPanics, LinkDeaths int64
+	EpochAborts, Recoveries, Checkpoints   int64
+	WatchdogFires                          int64
 }
 
 // snapshotOf builds a Snapshot from a per-counter read function.
@@ -153,6 +187,14 @@ func snapshotOf(get func(id int) int64) Snapshot {
 		CorruptionsDetected: get(cCorruptionsDetected),
 		AckMsgs:             get(cAckMsgs),
 		AcksDropped:         get(cAcksDropped),
+
+		RankCrashes:   get(cRankCrashes),
+		HandlerPanics: get(cHandlerPanics),
+		LinkDeaths:    get(cLinkDeaths),
+		EpochAborts:   get(cEpochAborts),
+		Recoveries:    get(cRecoveries),
+		Checkpoints:   get(cCheckpoints),
+		WatchdogFires: get(cWatchdogFires),
 	}
 }
 
@@ -196,5 +238,13 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 		CorruptionsDetected: s.CorruptionsDetected - o.CorruptionsDetected,
 		AckMsgs:             s.AckMsgs - o.AckMsgs,
 		AcksDropped:         s.AcksDropped - o.AcksDropped,
+
+		RankCrashes:   s.RankCrashes - o.RankCrashes,
+		HandlerPanics: s.HandlerPanics - o.HandlerPanics,
+		LinkDeaths:    s.LinkDeaths - o.LinkDeaths,
+		EpochAborts:   s.EpochAborts - o.EpochAborts,
+		Recoveries:    s.Recoveries - o.Recoveries,
+		Checkpoints:   s.Checkpoints - o.Checkpoints,
+		WatchdogFires: s.WatchdogFires - o.WatchdogFires,
 	}
 }

@@ -49,6 +49,25 @@ const (
 	// TraceAck: the receiver acknowledged an envelope (Arg = type id,
 	// Arg2 = seq).
 	TraceAck
+	// TraceCrash: a rank died crash-stop (Arg = epoch sequence,
+	// Arg2 = FaultKind).
+	TraceCrash
+	// TracePanic: a message handler panicked and was contained (Arg =
+	// message type id).
+	TracePanic
+	// TraceLinkDead: a link hit its retransmit ceiling and was declared
+	// dead (Arg = type id, Arg2 = seq).
+	TraceLinkDead
+	// TraceEpochAbort: a rank fault aborted the current epoch attempt
+	// (Arg = epoch sequence, Arg2 = FaultKind).
+	TraceEpochAbort
+	// TraceRecover: the universe rolled back to the epoch-boundary
+	// checkpoint and restarted the dead rank (Arg = epoch sequence,
+	// Arg2 = recovery count for this epoch).
+	TraceRecover
+	// TraceWatchdog: the stuck-epoch watchdog fired (Arg = epoch
+	// sequence).
+	TraceWatchdog
 )
 
 func (k TraceKind) String() string {
@@ -79,6 +98,18 @@ func (k TraceKind) String() string {
 		return "suppress"
 	case TraceAck:
 		return "ack"
+	case TraceCrash:
+		return "crash"
+	case TracePanic:
+		return "panic"
+	case TraceLinkDead:
+		return "link-dead"
+	case TraceEpochAbort:
+		return "abort"
+	case TraceRecover:
+		return "recover"
+	case TraceWatchdog:
+		return "watchdog"
 	}
 	return fmt.Sprintf("TraceKind(%d)", uint8(k))
 }

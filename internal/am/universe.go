@@ -2,8 +2,10 @@ package am
 
 import (
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"declpat/internal/obs"
 )
@@ -69,6 +71,25 @@ type Config struct {
 	// reliable.go) and injects the configured faults. A zero-valued plan
 	// injects nothing but still runs the full protocol.
 	FaultPlan *FaultPlan
+	// Recovery enables epoch-granular checkpoint/restart (see recovery.go):
+	// state registered via RegisterCheckpointer is snapshotted at every
+	// epoch boundary, and a rank fault (injected crash, contained handler
+	// panic, dead link) aborts the damaged epoch, rolls every rank back to
+	// the checkpoint, restarts the dead rank, and replays. Without it a
+	// rank fault makes Universe.Run return an error.
+	Recovery bool
+	// MaxRecoveries bounds recovery attempts per epoch; a fault that
+	// persists past the budget (e.g. a deterministic handler panic that
+	// recurs on every replay) fails the run. 0 selects the default (8).
+	MaxRecoveries int
+	// Watchdog arms the stuck-epoch watchdog: when no substrate progress
+	// (deliveries, flushes, detector transitions) is observed for this
+	// long, the run fails with a diagnostic dump of the detector counters
+	// and trace rings instead of hanging. 0 disables it. Set it well above
+	// the longest legitimate gap between deliveries (long-running handler
+	// bodies included), and leave it off for latency-insensitive batch
+	// work guarded by an external test timeout.
+	Watchdog time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -90,6 +111,7 @@ type envelope struct {
 	typeID int32  // registered message type, or ackTypeID for acks
 	src    int32  // sending rank
 	seq    uint64 // per-(src, dest, type) sequence number (reliable mode)
+	gen    uint64 // epoch generation at creation; stale generations are discarded
 	data   any    // []T, gobPayload (gob wire types), or ackBody
 }
 
@@ -109,12 +131,44 @@ type Universe struct {
 	// Maintained in all detector modes; consulted only by DetectorAtomic.
 	pending atomic.Int64
 
-	epochDone atomic.Bool
-	epochSeq  atomic.Int64
+	// epochState is the shared epoch state machine (running / finished /
+	// aborting — see recovery.go); epochGen numbers recovery generations
+	// so envelopes created before a rollback are recognizably stale; and
+	// epochSeq numbers committed epochs.
+	epochState atomic.Int32
+	epochGen   atomic.Uint64
+	epochSeq   atomic.Int64
 
 	barrier *Barrier
 	coll    collectives
 	tracer  *tracer
+
+	// Rank-fault containment and checkpoint/restart state (recovery.go).
+	// ckpts[rank][i] is checkpointers[i]'s snapshot for rank, retaken at
+	// every epoch boundary when Config.Recovery is on. faultMu guards
+	// fault (the aborting epoch's deciding fault), faultLog, and runErr;
+	// recoveries (rank-0-only) counts rollbacks of the current epoch.
+	checkpointers []Checkpointer
+	ckpts         [][]any
+	faultMu       sync.Mutex
+	fault         *RankFault
+	faultLog      []RankFault
+	runErr        error
+	runFailed     atomic.Bool
+	recoveries    int
+
+	// Injected-fault bookkeeping: one fired/healed flag per
+	// FaultPlan.Crashes / DeadLinks entry; the has* fields gate the hot
+	// paths.
+	crashFired   []atomic.Bool
+	linkHealed   []atomic.Bool
+	hasCrashes   bool
+	hasDeadLinks bool
+
+	// Watchdog state: the monotonic timestamp of the last observed
+	// substrate progress, and a once-flag for the fault.
+	lastProgress  atomic.Int64
+	watchdogFired atomic.Bool
 
 	// Observability state (internal/obs). c backs Stats; typeC holds the
 	// per-message-type counters (allocated in Run, once the type set is
@@ -144,6 +198,20 @@ func NewUniverse(cfg Config) *Universe {
 	u := &Universe{cfg: cfg}
 	if cfg.FaultPlan != nil {
 		u.fp = cfg.FaultPlan.withDefaults()
+		for i, c := range u.fp.Crashes {
+			if c.Rank < 0 || c.Rank >= cfg.Ranks {
+				panic(fmt.Sprintf("am: FaultPlan.Crashes[%d] targets rank %d outside [0,%d)", i, c.Rank, cfg.Ranks))
+			}
+		}
+		for i, dl := range u.fp.DeadLinks {
+			if dl.Src < 0 || dl.Src >= cfg.Ranks || dl.Dest < 0 || dl.Dest >= cfg.Ranks {
+				panic(fmt.Sprintf("am: FaultPlan.DeadLinks[%d] outside [0,%d)", i, cfg.Ranks))
+			}
+		}
+		u.crashFired = make([]atomic.Bool, len(u.fp.Crashes))
+		u.linkHealed = make([]atomic.Bool, len(u.fp.DeadLinks))
+		u.hasCrashes = len(u.fp.Crashes) > 0
+		u.hasDeadLinks = len(u.fp.DeadLinks) > 0
 	}
 	u.barrier = NewBarrier(cfg.Ranks)
 	u.coll.init(cfg.Ranks)
@@ -163,6 +231,7 @@ func NewUniverse(cfg Config) *Universe {
 			st:    u.c.Shard(i % cfg.statShards()),
 			shard: i % cfg.statShards(),
 		}
+		u.ranks[i].crashAfter.Store(-1)
 	}
 	return u
 }
@@ -192,10 +261,22 @@ type Rank struct {
 	// buffers indexed by message type id; element is *typedBufs[T].
 	bufs []any
 
-	// four-counter protocol counters.
+	// four-counter protocol counters. activeH covers the whole delivery
+	// path (checks through handler completion): recovery's quiesce phase
+	// spins on it to prove no in-flight delivery can still write state.
 	sentC   atomic.Int64
 	recvC   atomic.Int64
 	activeH atomic.Int32
+
+	// Crash-stop state (recovery.go): crashed marks the rank dead for the
+	// current epoch attempt; crashAfter (>= 0 when armed) is the
+	// handled-message count that triggers a mid-epoch injected crash, with
+	// crashIdx the FaultPlan.Crashes entry it consumes; handledInEpoch
+	// counts messages handled within the current epoch attempt.
+	crashed        atomic.Bool
+	crashAfter     atomic.Int64
+	crashIdx       int
+	handledInEpoch atomic.Int64
 
 	// epoch-body bookkeeping (see epoch.go).
 	idleBodies  atomic.Int32
@@ -277,11 +358,22 @@ func (u *Universe) initObs() {
 // with ThreadsPerRank handler threads per rank delivering messages
 // concurrently. It returns when every rank's body has returned and all
 // handler threads have drained. Run may be called only once per Universe.
-func (u *Universe) Run(body func(r *Rank)) {
+//
+// The returned error is nil on a clean run. It is non-nil when a rank fault
+// (injected crash, contained handler panic, dead link — see recovery.go)
+// could not be recovered: recovery disabled, the per-epoch recovery budget
+// exhausted, or the stuck-epoch watchdog fired. The wrapped *RankFault
+// carries the fault kind, rank, and epoch; every rank's body is unwound
+// before Run returns, so the process survives what used to be a panic.
+func (u *Universe) Run(body func(r *Rank)) error {
 	if !u.frozen.CompareAndSwap(false, true) {
 		panic("am: Universe.Run called twice")
 	}
 	u.initObs()
+	u.ckpts = make([][]any, u.cfg.Ranks)
+	for i := range u.ckpts {
+		u.ckpts[i] = make([]any, len(u.checkpointers))
+	}
 	// Allocate per-rank typed coalescing buffers now that the type set is
 	// final.
 	for _, r := range u.ranks {
@@ -336,6 +428,17 @@ func (u *Universe) Run(body func(r *Rank)) {
 		mains.Add(1)
 		go func(r *Rank) {
 			defer mains.Done()
+			defer func() {
+				// runAbort unwinds a rank main whose run has failed
+				// (recovery.go); every rank throws it from the same
+				// recovery barrier, so no rank is left waiting in a
+				// collective. Any other panic propagates.
+				if p := recover(); p != nil {
+					if _, ok := p.(runAbort); !ok {
+						panic(p)
+					}
+				}
+			}()
 			body(r)
 		}(r)
 	}
@@ -361,17 +464,39 @@ func (u *Universe) Run(body func(r *Rank)) {
 		close(r.ctrl)
 	}
 	responders.Wait()
+	return u.runError()
 }
 
 // deliverEnvelope runs the handlers for every message in e on rank r. In
 // reliable mode it first verifies the wire checksum (gob types), suppresses
 // duplicates, and acknowledges the envelope; corrupted envelopes are
 // discarded unacknowledged so the sender's retransmit recovers them.
+//
+// activeH brackets the whole function (not just the handler batch): the
+// recovery quiesce phase observes activeH == 0 to prove no delivery that
+// passed the admission checks can still be running, and the checks
+// themselves run after the increment so a delivery is either visibly
+// in-flight or sees the abort/stale-generation state and discards itself.
 func (r *Rank) deliverEnvelope(e envelope) {
 	u := r.u
+	r.activeH.Add(1)
+	defer r.activeH.Add(-1)
+	if u.resilient() {
+		// A crashed rank is silent (no handling, no acks — peers see only
+		// missing acknowledgements); an aborting epoch discards everything
+		// (recovery scrubs the links); and an envelope from a rolled-back
+		// generation is stale even if a descheduled worker surfaces it
+		// after the epoch replays.
+		if r.crashed.Load() || u.epochState.Load() == epochAborting || e.gen != u.epochGen.Load() {
+			return
+		}
+	}
 	if e.typeID == ackTypeID {
 		r.handleAck(e)
 		return
+	}
+	if u.hasCrashes && r.crashDue() {
+		return // the rank died before handling this envelope; it dies unacknowledged
 	}
 	mt := u.types[e.typeID]
 	data := e.data
@@ -404,9 +529,12 @@ func (r *Rank) deliverEnvelope(e envelope) {
 	if timed {
 		start = obs.Now()
 	}
-	r.activeH.Add(1)
-	mt.deliver(r, data)
-	r.activeH.Add(-1)
+	if !r.deliverBatch(mt, data) {
+		return // handler panicked; contained as a rank fault
+	}
+	if u.hasCrashes {
+		r.handledInEpoch.Add(int64(mt.batchLen(data)))
+	}
 	if timed {
 		end := obs.Now()
 		n := int64(mt.batchLen(data))
@@ -415,6 +543,30 @@ func (r *Rank) deliverEnvelope(e envelope) {
 			u.latHist[e.typeID].Observe(r.shard, end-start)
 		}
 	}
+	u.touchProgress()
+}
+
+// deliverBatch runs the handler batch, containing panics when the universe
+// is resilient: a panicking handler becomes a crash of the handling rank (a
+// contained rank fault) instead of a process abort. Reports whether the
+// batch completed. On the plain trusted transport handler panics propagate
+// unchanged (fail-fast).
+func (r *Rank) deliverBatch(mt *msgType, data any) (ok bool) {
+	if !r.u.resilient() {
+		mt.deliver(r, data)
+		return true
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			ok = false
+			r.st.Inc(cHandlerPanics)
+			r.u.trace(r.id, TracePanic, int64(mt.id), 0)
+			r.crashNow(FaultHandlerPanic,
+				fmt.Sprintf("handler for %s panicked: %v\n%s", mt.name, p, debug.Stack()))
+		}
+	}()
+	mt.deliver(r, data)
+	return true
 }
 
 // drainSome delivers up to max envelopes from r's inbox without blocking and
@@ -435,8 +587,12 @@ func (r *Rank) drainSome(max int) bool {
 // flushAll ships every non-empty coalescing buffer owned by r, then (in
 // reliable mode) polls this rank's links — releasing matured delayed
 // envelopes and retransmitting overdue unacknowledged ones. Reports whether
-// anything moved.
+// anything moved. A crashed rank moves nothing: crash-stop silence includes
+// buffered sends and retransmits.
 func (r *Rank) flushAll() bool {
+	if r.crashed.Load() {
+		return false
+	}
 	worked := false
 	for _, mt := range r.u.types {
 		if mt.flushRank(r) {

@@ -15,6 +15,7 @@ package chaos
 import (
 	"fmt"
 	"slices"
+	"time"
 
 	"declpat/internal/algorithms"
 	"declpat/internal/am"
@@ -44,6 +45,12 @@ type Scenario struct {
 	// GobWire routes the pattern engine's message type through the gob
 	// wire transport so Corrupt faults apply to it.
 	GobWire bool
+	// Recovery enables epoch-granular checkpoint/restart: rank faults
+	// (injected crashes, dead links, contained panics) roll the damaged
+	// epoch back and replay it instead of failing the run.
+	Recovery bool
+	// Watchdog arms the stuck-epoch watchdog (0 = off).
+	Watchdog time.Duration
 }
 
 // String names the scenario for test output.
@@ -51,9 +58,16 @@ func (sc Scenario) String() string {
 	if sc.Plan == nil {
 		return fmt.Sprintf("baseline/%dx%d/%s", sc.Ranks, sc.Threads, sc.Detector)
 	}
-	return fmt.Sprintf("drop=%g,dup=%g,delay=%g,corrupt=%g/%dx%d/%s/seed=%d",
+	rec := ""
+	if sc.Recovery {
+		rec = "/recovery"
+	}
+	if n := len(sc.Plan.Crashes) + len(sc.Plan.DeadLinks); n > 0 {
+		rec += fmt.Sprintf("/faults=%d", n)
+	}
+	return fmt.Sprintf("drop=%g,dup=%g,delay=%g,corrupt=%g/%dx%d/%s/seed=%d%s",
 		sc.Plan.Drop, sc.Plan.Dup, sc.Plan.Delay, sc.Plan.Corrupt,
-		sc.Ranks, sc.Threads, sc.Detector, sc.Plan.Seed)
+		sc.Ranks, sc.Threads, sc.Detector, sc.Plan.Seed, rec)
 }
 
 func (sc Scenario) config() am.Config {
@@ -63,6 +77,8 @@ func (sc Scenario) config() am.Config {
 		CoalesceSize:   sc.Coalesce,
 		Detector:       sc.Detector,
 		FaultPlan:      sc.Plan,
+		Recovery:       sc.Recovery,
+		Watchdog:       sc.Watchdog,
 	}
 }
 
@@ -85,8 +101,17 @@ func engine(w Workload, sc Scenario, gopts distgraph.Options) (*am.Universe, *pa
 func RunBFS(w Workload, sc Scenario, src distgraph.Vertex) ([]int64, am.Snapshot) {
 	u, eng, _ := engine(w, sc, distgraph.Options{})
 	b := algorithms.NewBFS(eng)
-	u.Run(func(r *am.Rank) { b.Run(r, src) })
+	mustRun(sc, u.Run(func(r *am.Rank) { b.Run(r, src) }))
 	return b.Level.Gather(), u.Stats.Snapshot()
+}
+
+// mustRun panics on an unexpected Run error: the harness's scenarios are all
+// expected to complete (faults are either absent or recoverable), so an
+// error here is a finding, not a usage mistake.
+func mustRun(sc Scenario, err error) {
+	if err != nil {
+		panic(fmt.Sprintf("chaos: run under %s failed: %v", sc, err))
+	}
 }
 
 // RunSSSP computes shortest distances from src under sc (Δ-stepping, the
@@ -96,7 +121,7 @@ func RunSSSP(w Workload, sc Scenario, src distgraph.Vertex, delta int64) ([]int6
 	u, eng, _ := engine(w, sc, distgraph.Options{})
 	s := algorithms.NewSSSP(eng)
 	s.UseDelta(u, delta)
-	u.Run(func(r *am.Rank) { s.Run(r, src) })
+	mustRun(sc, u.Run(func(r *am.Rank) { s.Run(r, src) }))
 	return s.Dist.Gather(), u.Stats.Snapshot()
 }
 
@@ -105,7 +130,7 @@ func RunSSSP(w Workload, sc Scenario, src distgraph.Vertex, delta int64) ([]int6
 func RunCC(w Workload, sc Scenario) ([]int64, am.Snapshot) {
 	u, eng, lm := engine(w, sc, distgraph.Options{Symmetrize: true})
 	c := algorithms.NewCC(eng, lm)
-	u.Run(func(r *am.Rank) { c.Run(r) })
+	mustRun(sc, u.Run(func(r *am.Rank) { c.Run(r) }))
 	return Canonicalize(c.Comp.Gather()), u.Stats.Snapshot()
 }
 

@@ -1,4 +1,4 @@
-// Package experiments implements the reproduction experiment suite E1–E17
+// Package experiments implements the reproduction experiment suite E1–E18
 // described in DESIGN.md: for every figure and performance-relevant claim of
 // the paper it regenerates a table (message counts, work counts, ablation
 // factors, scaling shape). cmd/experiments prints all tables; EXPERIMENTS.md
@@ -55,6 +55,7 @@ func All() []Experiment {
 		{"E15", "§VI — expressiveness: the pattern-based algorithm suite", E15Expressiveness},
 		{"E16", "robustness — fault overhead vs drop rate (reliable transport)", E16Chaos},
 		{"E17", "observability — sharded counters, timing, and tracing overhead", E17Observability},
+		{"E18", "robustness — checkpoint/recovery overhead vs crash rate", E18Recovery},
 	}
 }
 

@@ -58,11 +58,12 @@ func epochOf(idx [][]epochSpan, rank int, ts int64) int64 {
 
 // epochAgg accumulates one epoch's cross-rank totals.
 type epochAgg struct {
-	seq                              int64
-	dur                              int64 // max over ranks
-	msgs, envelopes, delivered       int64
-	tdWaves, flushes                 int64
+	seq                               int64
+	dur                               int64 // max over ranks
+	msgs, envelopes, delivered        int64
+	tdWaves, flushes                  int64
 	retransmits, drops, acks, corrupt int64
+	faults, aborts, recoveries        int64
 }
 
 // EpochSummary aggregates the trace into one row per epoch: message and
@@ -87,12 +88,32 @@ func EpochSummary(meta Meta, recs []Record) *harness.Table {
 			}
 			continue
 		}
+		// Fault-path events carry their epoch sequence in Arg, so they
+		// attribute exactly even when the epoch never completed (a failed
+		// run has no enclosing epoch span to look up).
+		switch r.Kind {
+		case "crash", "watchdog":
+			a := get(r.Arg)
+			a.faults++
+			continue
+		case "abort":
+			get(r.Arg).aborts++
+			continue
+		case "recover":
+			get(r.Arg).recoveries++
+			continue
+		}
 		seq := epochOf(idx, r.Rank, r.TS)
 		if seq < 0 {
 			continue
 		}
 		a := get(seq)
 		switch r.Kind {
+		case "panic", "link-dead":
+			// These carry the message type in Arg; attribute by span. The
+			// crash they trigger is already counted above, so they only
+			// add context within completed epochs.
+			a.faults++
 		case "ship":
 			a.envelopes++
 			a.msgs += r.Arg2
@@ -118,11 +139,13 @@ func EpochSummary(meta Meta, recs []Record) *harness.Table {
 	}
 	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
 	t := harness.NewTable("per-epoch summary",
-		"epoch", "duration", "messages", "envelopes", "delivered", "td-waves", "flushes", "retransmits", "drops", "acks")
+		"epoch", "duration", "messages", "envelopes", "delivered", "td-waves", "flushes", "retransmits", "drops", "acks",
+		"faults", "aborts", "recoveries")
 	for _, s := range seqs {
 		a := bysSeq[s]
 		t.Add(a.seq, time.Duration(a.dur), a.msgs, a.envelopes, a.delivered,
-			a.tdWaves, a.flushes, a.retransmits, a.drops, a.acks)
+			a.tdWaves, a.flushes, a.retransmits, a.drops, a.acks,
+			a.faults, a.aborts, a.recoveries)
 	}
 	return t
 }

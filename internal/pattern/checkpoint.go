@@ -1,0 +1,26 @@
+package pattern
+
+// Epoch-granular checkpoint/restart support (am.Checkpointer). The engine's
+// only mutable per-rank state outside the user's property maps is each bound
+// action's modification flag (the `once` strategy's changed-anything bit);
+// everything else — compiled actions, bindings, work hooks — is frozen
+// before Run. Action-level Stats counters are diagnostics, not algorithm
+// state, and are deliberately not rewound.
+
+// SnapshotRank saves every bound action's modification flag for one rank
+// (am.Checkpointer).
+func (e *Engine) SnapshotRank(rank int) any {
+	flags := make([]bool, len(e.actions))
+	for i, ba := range e.actions {
+		flags[i] = ba.modified[rank].Load()
+	}
+	return flags
+}
+
+// RestoreRank rolls every bound action's modification flag back for one rank
+// (am.Checkpointer).
+func (e *Engine) RestoreRank(rank int, snap any) {
+	for i, f := range snap.([]bool) {
+		e.actions[i].modified[rank].Store(f)
+	}
+}

@@ -62,6 +62,7 @@ func NewEngine(u *am.Universe, g *distgraph.Graph, lm *pmap.LockMap, opts PlanOp
 	e.msg = am.Register(u, "pattern-step", func(r *am.Rank, m patMsg) {
 		e.dispatch(r, m)
 	}).WithAddresser(func(m patMsg) int { return g.Owner(m.Dest) })
+	u.RegisterCheckpointer(e)
 	return e
 }
 

@@ -1,0 +1,87 @@
+package pmap
+
+import "declpat/internal/distgraph"
+
+// Epoch-granular checkpoint/restart support (am.Checkpointer). Each map type
+// snapshots one rank's shard by deep copy and restores by copying back, so a
+// snapshot survives arbitrary mutation of the live shard and may be restored
+// several times (repeated faults in one epoch). Both methods run at quiescent
+// points — SnapshotRank at the epoch boundary, RestoreRank between recovery
+// barriers — so no synchronization against handlers is needed.
+
+// SnapshotRank deep-copies rank's shard (am.Checkpointer).
+func (m *VertexWord) SnapshotRank(rank int) any {
+	s := m.shards[rank]
+	snap := make([]int64, len(s))
+	copy(snap, s)
+	return snap
+}
+
+// RestoreRank copies the snapshot back over rank's shard (am.Checkpointer).
+func (m *VertexWord) RestoreRank(rank int, snap any) {
+	copy(m.shards[rank], snap.([]int64))
+}
+
+// SnapshotRank deep-copies rank's shard, sets included (am.Checkpointer).
+func (m *VertexSet) SnapshotRank(rank int) any {
+	s := m.shards[rank]
+	snap := make([]map[distgraph.Vertex]struct{}, len(s))
+	for i, set := range s {
+		if set == nil {
+			continue
+		}
+		cp := make(map[distgraph.Vertex]struct{}, len(set))
+		for u := range set {
+			cp[u] = struct{}{}
+		}
+		snap[i] = cp
+	}
+	return snap
+}
+
+// RestoreRank rebuilds rank's shard from the snapshot (am.Checkpointer).
+// The snapshot's sets are cloned again on restore, so one snapshot can seed
+// several replays.
+func (m *VertexSet) RestoreRank(rank int, snap any) {
+	sets := snap.([]map[distgraph.Vertex]struct{})
+	s := m.shards[rank]
+	for i := range s {
+		if sets[i] == nil {
+			s[i] = nil
+			continue
+		}
+		cp := make(map[distgraph.Vertex]struct{}, len(sets[i]))
+		for u := range sets[i] {
+			cp[u] = struct{}{}
+		}
+		s[i] = cp
+	}
+}
+
+// edgeWordSnap is one rank's EdgeWord snapshot: canonical out-edge values
+// plus the in-edge mirrors (mirrors are restored too, so a replay sees the
+// same possibly-stale mirror state the original attempt saw).
+type edgeWordSnap struct {
+	out, in []int64
+}
+
+// SnapshotRank deep-copies rank's edge values (am.Checkpointer).
+func (m *EdgeWord) SnapshotRank(rank int) any {
+	snap := edgeWordSnap{out: make([]int64, len(m.out[rank]))}
+	copy(snap.out, m.out[rank])
+	if m.in[rank] != nil {
+		snap.in = make([]int64, len(m.in[rank]))
+		copy(snap.in, m.in[rank])
+	}
+	return snap
+}
+
+// RestoreRank copies the snapshot back over rank's edge values
+// (am.Checkpointer).
+func (m *EdgeWord) RestoreRank(rank int, snap any) {
+	s := snap.(edgeWordSnap)
+	copy(m.out[rank], s.out)
+	if m.in[rank] != nil {
+		copy(m.in[rank], s.in)
+	}
+}

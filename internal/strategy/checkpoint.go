@@ -1,0 +1,113 @@
+package strategy
+
+import "declpat/internal/distgraph"
+
+// Epoch-granular checkpoint/restart support (am.Checkpointer). The Δ-stepping
+// strategies auto-register their bucket structures at construction, so a
+// fault inside a per-bucket epoch rolls the buckets back together with the
+// property maps and the epoch replays from the same frontier.
+//
+// Snapshots are taken at epoch boundaries, i.e. before the body's
+// BeginBucket call: the boundary state always has no active bucket (cur ==
+// -1) and an empty deferred-work ledger (counted), so only the bucket
+// contents themselves need copying. DeltaLightHeavy's per-bucket settled set
+// is deliberately not checkpointed: a replayed light phase repopulates it,
+// and any extra vertices retained from an aborted attempt only cause
+// redundant heavy relaxations, which are monotone-min and therefore
+// harmless.
+
+// bucketsSnap is one bucket structure's epoch-boundary snapshot.
+type bucketsSnap struct {
+	items map[int][]distgraph.Vertex
+}
+
+func copyItems(items map[int][]distgraph.Vertex) map[int][]distgraph.Vertex {
+	cp := make(map[int][]distgraph.Vertex, len(items))
+	for idx, s := range items {
+		if len(s) == 0 {
+			continue
+		}
+		cp[idx] = append([]distgraph.Vertex(nil), s...)
+	}
+	return cp
+}
+
+// snapshot deep-copies the bucket contents. Called at an epoch boundary
+// (no active bucket).
+func (b *Buckets) snapshot() *bucketsSnap {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return &bucketsSnap{items: copyItems(b.items)}
+}
+
+// restore rebuilds the bucket contents from a snapshot, deactivating any
+// bucket the aborted attempt had begun. The snapshot is cloned again, so one
+// snapshot can seed several replays.
+func (b *Buckets) restore(s *bucketsSnap) {
+	b.mu.Lock()
+	b.items = copyItems(s.items)
+	b.cur = -1
+	for i := range b.counted {
+		delete(b.counted, i)
+	}
+	b.mu.Unlock()
+}
+
+// SnapshotRank checkpoints rank's bucket structure (am.Checkpointer). Nil
+// before the strategy's Run has installed it — epochs run before Δ-stepping
+// starts have no bucket state to save.
+func (d *Delta) SnapshotRank(rank int) any {
+	if b := d.buckets[rank]; b != nil {
+		return b.snapshot()
+	}
+	return nil
+}
+
+// RestoreRank rolls rank's bucket structure back (am.Checkpointer).
+func (d *Delta) RestoreRank(rank int, snap any) {
+	if snap == nil {
+		return
+	}
+	d.buckets[rank].restore(snap.(*bucketsSnap))
+}
+
+// SnapshotRank checkpoints rank's bucket structure (am.Checkpointer).
+func (d *DeltaLightHeavy) SnapshotRank(rank int) any {
+	if b := d.buckets[rank]; b != nil {
+		return b.snapshot()
+	}
+	return nil
+}
+
+// RestoreRank rolls rank's bucket structure back (am.Checkpointer).
+func (d *DeltaLightHeavy) RestoreRank(rank int, snap any) {
+	if snap == nil {
+		return
+	}
+	d.buckets[rank].restore(snap.(*bucketsSnap))
+}
+
+// SnapshotRank checkpoints rank's per-thread bucket structures
+// (am.Checkpointer).
+func (d *DeltaDistributed) SnapshotRank(rank int) any {
+	locals := d.buckets[rank]
+	if locals == nil {
+		return nil
+	}
+	snaps := make([]*bucketsSnap, len(locals))
+	for t, lb := range locals {
+		snaps[t] = lb.snapshot()
+	}
+	return snaps
+}
+
+// RestoreRank rolls rank's per-thread bucket structures back
+// (am.Checkpointer).
+func (d *DeltaDistributed) RestoreRank(rank int, snap any) {
+	if snap == nil {
+		return
+	}
+	for t, s := range snap.([]*bucketsSnap) {
+		d.buckets[rank][t].restore(s)
+	}
+}

@@ -94,6 +94,7 @@ func NewDelta(u *am.Universe, a *pattern.BoundAction, keys *pmap.VertexWord, del
 	a.SetWork(func(r *am.Rank, v distgraph.Vertex) {
 		d.buckets[r.ID()].Insert(v, keys.Get(r.ID(), v))
 	})
+	u.RegisterCheckpointer(d)
 	return d
 }
 
@@ -160,6 +161,7 @@ func NewDeltaLightHeavy(u *am.Universe, light, heavy *pattern.BoundAction, keys 
 	}
 	light.SetWork(hook)
 	heavy.SetWork(hook)
+	u.RegisterCheckpointer(d)
 	return d
 }
 
@@ -238,6 +240,7 @@ func NewDeltaDistributed(u *am.Universe, a *pattern.BoundAction, keys *pmap.Vert
 		lb := d.buckets[r.ID()]
 		lb[int(uint32(v)*2654435761)%len(lb)].Insert(v, keys.Get(r.ID(), v))
 	})
+	u.RegisterCheckpointer(d)
 	return d
 }
 
