@@ -352,6 +352,25 @@ func BenchmarkE17Observability(b *testing.B) {
 	}
 }
 
+// BenchmarkE19Lineage measures the causal lineage plane on the traced
+// fixed-point SSSP: per-handler id stamping, parent propagation through
+// coalescing, and the handler trace events, vs the same traced run with
+// lineage forced off.
+func BenchmarkE19Lineage(b *testing.B) {
+	for _, v := range []struct {
+		name string
+		cfg  am.Config
+	}{
+		{"lineage-off", am.Config{Ranks: 4, ThreadsPerRank: 2, TraceCapacity: 1 << 20, Lineage: am.LineageOff}},
+		{"lineage-on", am.Config{Ranks: 4, ThreadsPerRank: 2, TraceCapacity: 1 << 20}},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			runSSSPBench(b, v.cfg, pattern.DefaultPlanOptions(),
+				func(u *am.Universe, s *algorithms.SSSP) { s.UseFixedPoint() })
+		})
+	}
+}
+
 // BenchmarkGobTransport measures the cost of real serialization on the
 // engine's messages.
 func BenchmarkGobTransport(b *testing.B) {

@@ -12,12 +12,21 @@
 //
 //	declpat-trace -run bfs -scale 12 -ranks 4 -out bfs.jsonl -chrome bfs.chrome.json
 //
+// With -critical-path the tool reconstructs the causal lineage DAG from the
+// handler events and reports, per epoch, the weighted critical path (handler
+// execution + queue/link wait + quiescence tail), per-rank slack, chain-depth
+// histograms, and the slowest epoch's chain itself, rank by rank:
+//
+//	declpat-trace -run bfs -critical-path
+//	declpat-trace -in run.jsonl -critical-path -path-epoch 2 -path-max 32
+//
 // Supported -run workloads: bfs, sssp, cc.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"declpat"
@@ -35,13 +44,17 @@ func main() {
 	ranks := flag.Int("ranks", 4, "with -run: simulated ranks")
 	threads := flag.Int("threads", 2, "with -run: handler threads per rank")
 	capacity := flag.Int("cap", 1<<20, "with -run: trace ring capacity (events, split across ranks)")
+	ring := flag.Int("ring", 0, "with -run: per-rank trace ring size in events (0 = derive from -cap)")
+	critPath := flag.Bool("critical-path", false, "reconstruct the causal lineage DAG and report per-epoch critical paths")
+	pathEpoch := flag.Int64("path-epoch", -1, "with -critical-path: print the chain of this epoch (-1 = slowest)")
+	pathMax := flag.Int("path-max", 48, "with -critical-path: elide chain rows beyond this many hops (0 = no limit)")
 	flag.Parse()
 
 	var meta obs.Meta
 	var recs []obs.Record
 	switch {
 	case *run != "":
-		u, err := runWorkload(*run, *scale, *ef, *seed, *ranks, *threads, *capacity)
+		u, err := runWorkload(*run, *scale, *ef, *seed, *ranks, *threads, *capacity, *ring)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "declpat-trace:", err)
 			fmt.Fprintln(os.Stderr, "usage: declpat-trace -run WORKLOAD [-scale N] [-ranks N] [-out FILE] [-chrome FILE]")
@@ -94,10 +107,66 @@ func main() {
 		fmt.Printf(" (%d events overwritten by the ring — raise -cap or TraceCapacity)", meta.Dropped)
 	}
 	fmt.Println()
+	if *critPath {
+		if err := criticalPathReport(os.Stdout, meta, recs, *pathEpoch, *pathMax); err != nil {
+			fmt.Fprintln(os.Stderr, "declpat-trace:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	for _, t := range obs.Analyze(meta, recs) {
 		fmt.Println()
 		t.Fprint(os.Stdout)
 	}
+}
+
+// criticalPathReport reconstructs the lineage forest and prints the
+// per-epoch critical-path summary, per-rank slack, the chain-depth
+// histogram, and the hop-by-hop chain of one epoch (the slowest by span
+// unless epochSel selects another). It errors — so the CLI can exit
+// non-zero — when the trace carries no lineage or yields no path.
+func criticalPathReport(w io.Writer, meta obs.Meta, recs []obs.Record, epochSel int64, maxHops int) error {
+	lin := obs.BuildLineage(meta, recs)
+	if lin.Handlers() == 0 {
+		return fmt.Errorf("trace has no handler lineage events (captured with Lineage off, or before lineage existed)")
+	}
+	paths := lin.CriticalPaths()
+	if len(paths) == 0 {
+		return fmt.Errorf("no epoch yielded a critical path")
+	}
+	if !lin.Connected() {
+		fmt.Fprintf(w, "warning: %d handler events have unresolvable parents (ring overwrote their producers — raise -cap/-ring); paths may be truncated\n\n", lin.Orphans)
+	}
+	obs.CriticalPathTable(lin).Fprint(w)
+	fmt.Fprintln(w)
+	obs.RankSlackTable(lin).Fprint(w)
+	fmt.Fprintln(w)
+	obs.ChainDepthTable(lin).Fprint(w)
+	fmt.Fprintln(w)
+
+	var pick *obs.CriticalPath
+	if epochSel >= 0 {
+		for _, cp := range paths {
+			if cp.Epoch == epochSel {
+				pick = cp
+				break
+			}
+		}
+		if pick == nil {
+			return fmt.Errorf("epoch %d not in trace (epochs 0..%d)", epochSel, len(lin.Epochs)-1)
+		}
+	} else {
+		for _, cp := range paths {
+			if pick == nil || cp.SpanNs > pick.SpanNs {
+				pick = cp
+			}
+		}
+	}
+	if len(pick.Hops) == 0 {
+		return fmt.Errorf("epoch %d has an empty critical path", pick.Epoch)
+	}
+	obs.ChainTable(pick, maxHops).Fprint(w)
+	return nil
 }
 
 func writeFile(path string, write func(*os.File) error) error {
@@ -113,11 +182,12 @@ func writeFile(path string, write func(*os.File) error) error {
 }
 
 // runWorkload executes one traced built-in workload and returns its universe.
-func runWorkload(name string, scale, ef int, seed uint64, ranks, threads, capacity int) (*declpat.Universe, error) {
+func runWorkload(name string, scale, ef int, seed uint64, ranks, threads, capacity, ring int) (*declpat.Universe, error) {
 	cfg := declpat.Config{
 		Ranks:          ranks,
 		ThreadsPerRank: threads,
 		TraceCapacity:  capacity,
+		TraceRingSize:  ring,
 		Timing:         true,
 	}
 	u := declpat.NewUniverse(cfg)

@@ -1,10 +1,15 @@
-// Command experiments runs the full reproduction suite (E1–E18, see
+// Command experiments runs the full reproduction suite (E1–E19, see
 // DESIGN.md) and prints every table. EXPERIMENTS.md records one run of this
 // command.
 //
 // Usage:
 //
-//	experiments [-scale N] [-edgefactor N] [-seed N] [-only E5,E8] [-debug ADDR]
+//	experiments [-scale N] [-edgefactor N] [-seed N] [-only E5,E8] [-debug ADDR] [-bench-json FILE]
+//
+// With -bench-json the suite additionally writes a machine-readable report
+// (per-experiment wall time plus message/envelope/handler totals summed
+// from Universe.Metrics of every universe the experiment built); CI archives
+// it so substrate-cost regressions are a diffable artifact.
 package main
 
 import (
@@ -24,6 +29,7 @@ func main() {
 	seed := flag.Uint64("seed", 42, "generator seed")
 	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
 	debug := flag.String("debug", "", "serve pprof/expvar on this address (e.g. localhost:6060) while the suite runs")
+	benchJSON := flag.String("bench-json", "", "write a machine-readable per-experiment bench report to this file")
 	flag.Parse()
 
 	if *debug != "" {
@@ -42,6 +48,10 @@ func main() {
 		}
 	}
 	sc := experiments.Scale{RMATScale: *scale, EdgeFactor: *ef, Seed: *seed}
+	rep := experiments.BenchReport{RMATScale: *scale, EdgeFactor: *ef, Seed: *seed}
+	if *benchJSON != "" {
+		experiments.BenchEnable()
+	}
 	fmt.Printf("# Experiment suite — RMAT scale %d, edge factor %d, seed %d\n\n", *scale, *ef, *seed)
 	total := time.Now()
 	for _, ex := range experiments.All() {
@@ -54,7 +64,30 @@ func main() {
 		for _, t := range tables {
 			t.Fprint(os.Stdout)
 		}
-		fmt.Printf("(%s in %s)\n\n", ex.ID, time.Since(start).Round(time.Millisecond))
+		elapsed := time.Since(start)
+		fmt.Printf("(%s in %s)\n\n", ex.ID, elapsed.Round(time.Millisecond))
+		if *benchJSON != "" {
+			msgs, envelopes, handlers, universes := experiments.BenchCollect()
+			rep.Records = append(rep.Records, experiments.BenchRecord{
+				ID: ex.ID, Title: ex.Title, WallNs: elapsed.Nanoseconds(),
+				Msgs: msgs, Envelopes: envelopes, Handlers: handlers, Universes: universes,
+			})
+		}
 	}
 	fmt.Printf("# total: %s\n", time.Since(total).Round(time.Millisecond))
+	if *benchJSON != "" {
+		rep.TotalNs = time.Since(total).Nanoseconds()
+		f, err := os.Create(*benchJSON)
+		if err == nil {
+			err = experiments.WriteBenchJSON(f, rep)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("# bench report: %s (%d experiments)\n", *benchJSON, len(rep.Records))
+	}
 }

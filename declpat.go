@@ -63,6 +63,8 @@ type (
 	EpochHandle = am.Epoch
 	// DetectorKind selects the termination-detection protocol.
 	DetectorKind = am.DetectorKind
+	// LineageMode controls causal message lineage (Config.Lineage).
+	LineageMode = am.LineageMode
 	// MessageStats is the universe-wide message accounting.
 	MessageStats = am.Stats
 )
@@ -71,6 +73,15 @@ type (
 const (
 	DetectorAtomic      = am.DetectorAtomic
 	DetectorFourCounter = am.DetectorFourCounter
+)
+
+// Lineage modes (Config.Lineage): LineageAuto stamps causal lineage exactly
+// when tracing is enabled; LineageOn forces stamping without tracing;
+// LineageOff disables it even in traced runs.
+const (
+	LineageAuto = am.LineageAuto
+	LineageOn   = am.LineageOn
+	LineageOff  = am.LineageOff
 )
 
 // Rank-fault kinds (RankFault.Kind).

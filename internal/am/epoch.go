@@ -55,12 +55,16 @@ func (r *Rank) EpochThreaded(nthreads int, body func(tid int, ep *Epoch)) {
 	}
 	u := r.u
 	r.inEpoch.Store(true)
+	// Capture the epoch sequence once: rank 0 advances epochSeq before the
+	// closing barrier, so a slower rank reading it at TraceEpochEnd would
+	// mislabel its span (and mis-attribute every event inside it).
+	epochSeq := u.epochSeq.Load()
 	if u.tracer != nil {
 		// Stamp the span open so TraceEpochEnd can close it with a
 		// duration (the rank's wall time inside the epoch, recovery
 		// attempts included).
 		r.epochBeginNs = obs.Now()
-		u.traceSpan(r.id, TraceEpochBegin, u.epochSeq.Load(), int64(nthreads), r.epochBeginNs, 0)
+		u.traceSpan(r.id, TraceEpochBegin, epochSeq, int64(nthreads), r.epochBeginNs, 0)
 	}
 	// Checkpoint at the boundary, before any rank can send into the epoch.
 	if u.cfg.Recovery {
@@ -92,7 +96,7 @@ func (r *Rank) EpochThreaded(nthreads int, body func(tid int, ep *Epoch)) {
 	}
 	if u.tracer != nil {
 		now := obs.Now()
-		u.traceSpan(r.id, TraceEpochEnd, u.epochSeq.Load(), 0, now, now-r.epochBeginNs)
+		u.traceSpan(r.id, TraceEpochEnd, epochSeq, 0, now, now-r.epochBeginNs)
 	}
 	// All ranks observed the commit and stopped sending; rank 0 resets the
 	// shared state between the two barriers so the next epoch starts clean.
@@ -145,6 +149,11 @@ func (r *Rank) runBodies(nthreads int, body func(tid int, ep *Epoch)) {
 // throw the sentinel), and the restored state replays under a fresh call.
 // A rank that is dead on epoch entry never runs its body. All other panics
 // propagate — a body bug is not a containable rank fault.
+//
+// The participant runs on a fresh facet of the rank: its deliveries (Flush,
+// TryFinish drain envelopes inline) set the facet's ambient lineage parent
+// without racing sibling participants, and an attempt unwound mid-handler
+// cannot leak a stale parent into the replay.
 func (r *Rank) runBody(tid int, body func(int, *Epoch)) {
 	if r.crashed.Load() {
 		return
@@ -156,12 +165,15 @@ func (r *Rank) runBody(tid int, body func(int, *Epoch)) {
 			}
 		}
 	}()
-	body(tid, &Epoch{r: r, tid: tid})
+	body(tid, &Epoch{r: r.facet(), tid: tid})
 }
 
 // progressUntilDone flushes, delivers, and participates in termination
-// detection until the epoch is globally finished or rolling back.
+// detection until the epoch is globally finished or rolling back. It runs on
+// its own facet: the deliveries of drainSome need a lineage context separate
+// from the body participants'.
 func (r *Rank) progressUntilDone() {
+	r = r.facet()
 	u := r.u
 	for u.epochState.Load() == epochRunning {
 		if r.crashed.Load() {

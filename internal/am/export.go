@@ -13,7 +13,7 @@ func (u *Universe) typeNameOf(kind TraceKind, arg int64) string {
 	switch kind {
 	case TraceShip, TraceDeliver, TraceDrop, TraceDup, TraceDelay,
 		TraceRetransmit, TraceCorrupt, TraceSuppress, TraceAck,
-		TracePanic, TraceLinkDead:
+		TracePanic, TraceLinkDead, TraceHandler:
 		if arg == int64(ackTypeID) {
 			return "ack"
 		}
@@ -28,8 +28,10 @@ func (u *Universe) typeNameOf(kind TraceKind, arg int64) string {
 // by internal/obs (and the declpat-trace CLI): a Meta header plus one Record
 // per event, timestamps in monotonic nanoseconds. Per-rank epoch begin/end
 // pairs fold into single "epoch" span records; deliver events are spans
-// covering decode + dedup + every handler of the batch; everything else is a
-// point event. Returns a zero Meta and nil records when tracing is disabled.
+// covering decode + dedup + every handler of the batch; handler events
+// (lineage) are per-invocation spans carrying their causal id and parent;
+// everything else is a point event. Returns a zero Meta and nil records when
+// tracing is disabled.
 func (u *Universe) ExportTrace(label string) (obs.Meta, []obs.Record) {
 	if u.tracer == nil {
 		return obs.Meta{}, nil
@@ -63,6 +65,13 @@ func (u *Universe) ExportTrace(label string) (obs.Meta, []obs.Record) {
 				Kind: "deliver", TS: ev.TS - ev.Dur, Dur: ev.Dur,
 				Rank: int(ev.Rank), Arg: ev.Arg, Arg2: ev.Arg2,
 				Type: u.typeNameOf(ev.Kind, ev.Arg),
+			})
+		case TraceHandler:
+			recs = append(recs, obs.Record{
+				Kind: "handler", TS: ev.TS - ev.Dur, Dur: ev.Dur,
+				Rank: int(ev.Rank), Arg: ev.Arg,
+				Type: u.typeNameOf(ev.Kind, ev.Arg),
+				ID:   ev.ID, Parent: ev.Parent,
 			})
 		default:
 			recs = append(recs, obs.Record{

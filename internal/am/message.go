@@ -6,14 +6,18 @@ import (
 	"fmt"
 	"reflect"
 	"sync"
+
+	"declpat/internal/obs"
 )
 
 // msgType is the type-erased registration record for one message type.
 type msgType struct {
-	id      int32
-	name    string
-	size    int64 // payload bytes per message
-	deliver func(r *Rank, data any)
+	id   int32
+	name string
+	size int64 // payload bytes per message
+	// deliver runs the handler for every message of an envelope payload;
+	// lin is the batch-aligned lineage-id slice (nil when lineage is off).
+	deliver func(r *Rank, data any, lin []uint64)
 	// flushRank ships all non-empty buffers owned by r for this type.
 	flushRank func(r *Rank) bool
 	// newBufs allocates the per-rank typed coalescing buffers.
@@ -24,7 +28,7 @@ type msgType struct {
 	decode func(b []byte) any
 	// xmit performs one (re)transmission of an outstanding batch; used by
 	// the reliable layer's type-erased retransmit path.
-	xmit func(r *Rank, dest int, seq uint64, attempt int, data any)
+	xmit func(r *Rank, dest int, seq uint64, attempt int, data any, lin []uint64)
 	// buffered counts messages currently held in r's coalescing buffers
 	// for this type (sampled occupancy gauge).
 	buffered func(r *Rank) int64
@@ -92,6 +96,7 @@ type MsgType[T any] struct {
 type typedBufs[T any] struct {
 	mu   []sync.Mutex
 	buf  [][]T
+	par  [][]uint64       // causal parent per buffered message; nil when lineage off
 	keys []map[uint64]int // reduction index; nil when reduction disabled
 }
 
@@ -117,15 +122,47 @@ func Register[T any](u *Universe, name string, handler func(r *Rank, m T)) *MsgT
 		id:   mt.id,
 		name: name,
 		size: mt.size,
-		deliver: func(r *Rank, data any) {
+		deliver: func(r *Rank, data any, lin []uint64) {
 			batch := data.([]T)
-			for _, m := range batch {
+			u := r.u
+			if !u.lineage {
+				for _, m := range batch {
+					mt.handler(r, m)
+					r.st.Inc(cHandlersRun)
+					r.tst.Inc(int(mt.id)*tcPerType + tcHandled)
+					r.recvC.Add(1)
+					u.pending.Add(-1)
+				}
+				return
+			}
+			// Lineage path: each invocation gets its own id, the ambient
+			// parent (r.cur, facet-local) covers the handler's sends, and a
+			// TraceHandler span records the (id, parent) edge. r.cur returns
+			// to 0 before the function exits, so subsequent epoch-body sends
+			// on this facet stamp as roots again.
+			traced := u.tracer != nil
+			for i, m := range batch {
+				var parent uint64
+				if i < len(lin) {
+					parent = lin[i]
+				}
+				self := obs.HandlerLineageID(r.id, r.linSeq.Add(1))
+				r.cur = self
+				var start int64
+				if traced {
+					start = obs.Now()
+				}
 				mt.handler(r, m)
+				if traced {
+					end := obs.Now()
+					u.traceHandler(r.id, int64(mt.id), self, parent, end, end-start)
+				}
 				r.st.Inc(cHandlersRun)
 				r.tst.Inc(int(mt.id)*tcPerType + tcHandled)
 				r.recvC.Add(1)
-				r.u.pending.Add(-1)
+				u.pending.Add(-1)
 			}
+			r.cur = 0
 		},
 		flushRank: func(r *Rank) bool { return mt.flushBuffers(r) },
 		batchLen:  func(data any) int { return len(data.([]T)) },
@@ -136,8 +173,8 @@ func Register[T any](u *Universe, name string, handler func(r *Rank, m T)) *MsgT
 			}
 			return decoded
 		},
-		xmit: func(r *Rank, dest int, seq uint64, attempt int, data any) {
-			mt.transmit(r, dest, seq, attempt, data.([]T))
+		xmit: func(r *Rank, dest int, seq uint64, attempt int, data any, lin []uint64) {
+			mt.transmit(r, dest, seq, attempt, data.([]T), lin)
 		},
 		buffered: func(r *Rank) int64 {
 			tb := r.bufs[mt.id].(*typedBufs[T])
@@ -154,6 +191,9 @@ func Register[T any](u *Universe, name string, handler func(r *Rank, m T)) *MsgT
 			for dest := range tb.buf {
 				tb.mu[dest].Lock()
 				tb.buf[dest] = nil
+				if tb.par != nil {
+					tb.par[dest] = nil
+				}
 				if tb.keys != nil {
 					tb.keys[dest] = nil
 				}
@@ -164,6 +204,9 @@ func Register[T any](u *Universe, name string, handler func(r *Rank, m T)) *MsgT
 			tb := &typedBufs[T]{
 				mu:  make([]sync.Mutex, nranks),
 				buf: make([][]T, nranks),
+			}
+			if mt.u.lineage {
+				tb.par = make([][]uint64, nranks)
 			}
 			if mt.key != nil {
 				tb.keys = make([]map[uint64]int, nranks)
@@ -252,6 +295,15 @@ func (t *MsgType[T]) SendTo(r *Rank, dest int, m T) {
 		// miscounted as a handler fault by the containment layer.
 		return
 	}
+	// Causal lineage: the message's parent is the handler invocation
+	// currently running on this facet, or — when none is (epoch-body code)
+	// — the synthetic root of (current epoch, this rank).
+	var parent uint64
+	if r.u.lineage {
+		if parent = r.cur; parent == 0 {
+			parent = obs.RootLineageID(r.u.epochSeq.Load(), r.id)
+		}
+	}
 	tb := r.bufs[t.id].(*typedBufs[T])
 	tb.mu[dest].Lock()
 	if t.key != nil {
@@ -265,6 +317,12 @@ func (t *MsgType[T]) SendTo(r *Rank, dest int, m T) {
 			merged, changed := t.combine(tb.buf[dest][i], m)
 			if changed {
 				tb.buf[dest][i] = merged
+				if tb.par != nil {
+					// Lineage follows the surviving value: the incoming
+					// message won the combine, so its producer is the one
+					// the eventual handler causally descends from.
+					tb.par[dest][i] = parent
+				}
 				r.st.Inc(cMsgsCombined)
 			}
 			tb.mu[dest].Unlock()
@@ -277,21 +335,29 @@ func (t *MsgType[T]) SendTo(r *Rank, dest int, m T) {
 		tb.buf[dest] = make([]T, 0, t.coalesce)
 	}
 	tb.buf[dest] = append(tb.buf[dest], m)
+	if tb.par != nil {
+		tb.par[dest] = append(tb.par[dest], parent)
+	}
 	r.st.Inc(cMsgsSent)
 	r.tst.Inc(int(t.id)*tcPerType + tcSent)
 	r.sentC.Add(1)
 	r.u.pending.Add(1)
 	var ship []T
+	var shipLin []uint64
 	if len(tb.buf[dest]) >= t.coalesce {
 		ship = tb.buf[dest]
 		tb.buf[dest] = nil
+		if tb.par != nil {
+			shipLin = tb.par[dest]
+			tb.par[dest] = nil
+		}
 		if tb.keys != nil {
 			tb.keys[dest] = nil
 		}
 	}
 	tb.mu[dest].Unlock()
 	if ship != nil {
-		t.ship(r, dest, ship)
+		t.ship(r, dest, ship, shipLin)
 	}
 }
 
@@ -300,25 +366,36 @@ func (t *MsgType[T]) SendTo(r *Rank, dest int, m T) {
 // in reliable mode it is assigned a sequence number, recorded as
 // outstanding until acknowledged, and transmitted through the fault
 // injector (transmit).
-func (t *MsgType[T]) ship(r *Rank, dest int, batch []T) {
+func (t *MsgType[T]) ship(r *Rank, dest int, batch []T, lin []uint64) {
 	u := r.u
 	r.st.Inc(cEnvelopes)
 	r.tst.Inc(int(t.id)*tcPerType + tcEnvelopes)
 	u.batchHist[t.id].Observe(r.shard, int64(len(batch)))
 	u.trace(r.id, TraceShip, int64(t.id), int64(len(batch)))
 	if u.fp == nil {
-		r.st.Add(cBytesSent, t.size*int64(len(batch))+envelopeHeaderBytes)
+		r.st.Add(cBytesSent, t.wireSize(len(batch)))
 		var data any = batch
 		if t.gobWire {
 			data = t.encode(r, batch)
 		}
 		u.ranks[dest].inbox.Push(envelope{
-			typeID: t.id, src: int32(r.id), gen: u.epochGen.Load(), data: data,
+			typeID: t.id, src: int32(r.id), gen: u.epochGen.Load(), data: data, lin: lin,
 		})
 		return
 	}
-	seq := r.nextSeq(dest, t.id, batch)
-	t.transmit(r, dest, seq, 0, batch)
+	seq := r.nextSeq(dest, t.id, batch, lin)
+	t.transmit(r, dest, seq, 0, batch, lin)
+}
+
+// wireSize models the accounted bytes of one envelope: payload plus header,
+// plus one lineage id per message when lineage is on (the id would ride the
+// wire in a real deployment).
+func (t *MsgType[T]) wireSize(n int) int64 {
+	size := t.size*int64(n) + envelopeHeaderBytes
+	if t.u.lineage {
+		size += lineageIDBytes * int64(n)
+	}
+	return size
 }
 
 // encode serializes a batch for the gob wire transport, accounting the true
@@ -342,14 +419,14 @@ func (t *MsgType[T]) encode(r *Rank, batch []T) gobPayload {
 // (seed, link, seq, attempt). attempt 0 is the initial send; retransmits
 // arrive here through msgType.xmit with fresh attempt numbers (and fresh
 // fault rolls, so delivery eventually succeeds).
-func (t *MsgType[T]) transmit(r *Rank, dest int, seq uint64, attempt int, batch []T) {
+func (t *MsgType[T]) transmit(r *Rank, dest int, seq uint64, attempt int, batch []T, lin []uint64) {
 	u := r.u
 	fp := u.fp
 	if attempt > 0 {
 		r.st.Inc(cRetransmits)
 		u.trace(r.id, TraceRetransmit, int64(t.id), int64(seq))
 	}
-	r.st.Add(cBytesSent, t.size*int64(len(batch))+envelopeHeaderBytes)
+	r.st.Add(cBytesSent, t.wireSize(len(batch)))
 	if u.linkDown(r.id, dest) {
 		// A severed link swallows the transmission outright; the
 		// retransmit ceiling will eventually declare it dead.
@@ -373,7 +450,7 @@ func (t *MsgType[T]) transmit(r *Rank, dest int, seq uint64, attempt int, batch 
 		}
 		data = gp
 	}
-	e := envelope{typeID: t.id, src: int32(r.id), seq: seq, gen: u.epochGen.Load(), data: data}
+	e := envelope{typeID: t.id, src: int32(r.id), seq: seq, gen: u.epochGen.Load(), data: data, lin: lin}
 	if fp.roll(faultDup, r.id, dest, int(t.id), seq, attempt) < fp.Dup {
 		r.st.Inc(cEnvelopesDuplicated)
 		u.trace(r.id, TraceDup, int64(t.id), int64(seq))
@@ -393,6 +470,9 @@ func (t *MsgType[T]) transmit(r *Rank, dest int, seq uint64, attempt int, batch 
 // count, routing) included in the byte accounting.
 const envelopeHeaderBytes = 16
 
+// lineageIDBytes models the per-message wire cost of a causal lineage id.
+const lineageIDBytes = 8
+
 // flushBuffers ships every non-empty buffer r owns for this type.
 func (t *MsgType[T]) flushBuffers(r *Rank) bool {
 	tb := r.bufs[t.id].(*typedBufs[T])
@@ -405,11 +485,16 @@ func (t *MsgType[T]) flushBuffers(r *Rank) bool {
 			continue
 		}
 		tb.buf[dest] = nil
+		var lin []uint64
+		if tb.par != nil {
+			lin = tb.par[dest]
+			tb.par[dest] = nil
+		}
 		if tb.keys != nil {
 			tb.keys[dest] = nil
 		}
 		tb.mu[dest].Unlock()
-		t.ship(r, dest, batch)
+		t.ship(r, dest, batch, lin)
 		worked = true
 	}
 	return worked

@@ -35,7 +35,7 @@ func TestTraceConcurrentWithRecording(t *testing.T) {
 					t.Errorf("Seq %d at index %d", ev.Seq, i)
 					return
 				}
-				if ev.Rank < 0 || ev.Rank >= 4 || ev.Kind > TraceAck {
+				if ev.Rank < 0 || ev.Rank >= 4 || ev.Kind > maxTraceKind {
 					t.Errorf("malformed event %+v", ev)
 					return
 				}

@@ -58,8 +58,9 @@ type gobPayload struct {
 
 // outEnvelope is one unacknowledged envelope held by the sender.
 type outEnvelope struct {
-	data     any // the original []T batch; re-encoded per attempt for gob types
-	attempts int // transmissions performed so far
+	data     any      // the original []T batch; re-encoded per attempt for gob types
+	lin      []uint64 // causal lineage per message, preserved across retransmits
+	attempts int      // transmissions performed so far
 	due      uint64
 	sentNs   int64 // first-transmission timestamp (Config.Timing ack RTT)
 }
@@ -103,10 +104,11 @@ func (r *Rank) initReliability(ntypes int) {
 
 // nextSeq assigns the next sequence number on (r → dest, typ) and records
 // the batch as outstanding.
-func (r *Rank) nextSeq(dest int, typ int32, data any) uint64 {
+func (r *Rank) nextSeq(dest int, typ int32, data any, lin []uint64) uint64 {
 	l := &r.send[dest][typ]
 	o := &outEnvelope{
 		data: data,
+		lin:  lin,
 		due:  r.linkTick.Load() + uint64(r.u.fp.RetransmitBase),
 	}
 	if r.u.ackRTT != nil {
@@ -240,6 +242,7 @@ func (r *Rank) pollLinks() bool {
 		seq     uint64
 		attempt int
 		data    any
+		lin     []uint64
 	}
 	var resends []resend
 	var releases []envelope
@@ -293,7 +296,7 @@ func (r *Rank) pollLinks() bool {
 					return worked
 				}
 				o.due = now + backoffTicks(u.fp, o.attempts)
-				resends = append(resends, resend{u.types[typ], dest, seq, o.attempts, o.data})
+				resends = append(resends, resend{u.types[typ], dest, seq, o.attempts, o.data, o.lin})
 			}
 			l.mu.Unlock()
 		}
@@ -304,7 +307,7 @@ func (r *Rank) pollLinks() bool {
 		worked = true
 	}
 	for _, rs := range resends {
-		rs.rec.xmit(r, rs.dest, rs.seq, rs.attempt, rs.data)
+		rs.rec.xmit(r, rs.dest, rs.seq, rs.attempt, rs.data, rs.lin)
 		worked = true
 	}
 	return worked

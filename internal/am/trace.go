@@ -68,6 +68,16 @@ const (
 	// TraceWatchdog: the stuck-epoch watchdog fired (Arg = epoch
 	// sequence).
 	TraceWatchdog
+	// TraceHandler: one handler invocation completed (Arg = message type
+	// id; Dur = handler execution time, so the span covers [TS-Dur, TS]).
+	// ID is the invocation's lineage id and Parent the lineage id of the
+	// invocation (or epoch-body root) whose send triggered it — recorded
+	// only when lineage is on (Config.Lineage).
+	TraceHandler
+
+	// maxTraceKind is the highest valid TraceKind (tests use it to detect
+	// torn/garbage events).
+	maxTraceKind = TraceHandler
 )
 
 func (k TraceKind) String() string {
@@ -110,6 +120,8 @@ func (k TraceKind) String() string {
 		return "recover"
 	case TraceWatchdog:
 		return "watchdog"
+	case TraceHandler:
+		return "handler"
 	}
 	return fmt.Sprintf("TraceKind(%d)", uint8(k))
 }
@@ -125,6 +137,12 @@ type TraceEvent struct {
 	Kind TraceKind
 	Arg  int64
 	Arg2 int64
+	// Causal lineage (TraceHandler only, zero elsewhere): ID identifies
+	// this handler invocation, Parent the invocation or epoch-body root
+	// whose send triggered it. See internal/obs lineage helpers for the id
+	// scheme.
+	ID     uint64
+	Parent uint64
 }
 
 func (e TraceEvent) String() string {
@@ -134,19 +152,16 @@ func (e TraceEvent) String() string {
 // tracer records events into per-rank rings (obs.Rings): each rank appends
 // under its own shard's lock, so recording never contends across ranks and —
 // unlike the old single atomic-indexed global ring — a concurrent Trace()
-// reads fully written events only (no torn reads). The configured capacity is
-// split evenly across ranks; when a rank's ring fills, its oldest events are
-// overwritten (the tail of a long run is usually what matters).
+// reads fully written events only (no torn reads). Each rank's ring holds
+// perRank events (Config.TraceRingSize, or TraceCapacity split evenly); when
+// a ring fills, its oldest events are overwritten (the tail of a long run is
+// usually what matters).
 type tracer struct {
 	rings *obs.Rings[TraceEvent]
 }
 
-func newTracer(capacity, ranks int) *tracer {
-	per := capacity / ranks
-	if per < 1 {
-		per = 1
-	}
-	return &tracer{rings: obs.NewRings[TraceEvent](ranks, per)}
+func newTracer(perRank, ranks int) *tracer {
+	return &tracer{rings: obs.NewRings[TraceEvent](ranks, perRank)}
 }
 
 func (t *tracer) record(rank int, kind TraceKind, arg, arg2, ts, dur int64) {
@@ -168,6 +183,15 @@ func (u *Universe) traceSpan(rank int, kind TraceKind, arg, arg2, ts, dur int64)
 	if u.tracer != nil {
 		u.tracer.record(rank, kind, arg, arg2, ts, dur)
 	}
+}
+
+// traceHandler records one handler invocation's lineage span (timestamps
+// supplied by the caller; the caller checks that tracing is enabled).
+func (u *Universe) traceHandler(rank int, typeID int64, id, parent uint64, ts, dur int64) {
+	u.tracer.rings.Append(rank, TraceEvent{
+		TS: ts, Dur: dur, Rank: int32(rank), Kind: TraceHandler, Arg: typeID,
+		ID: id, Parent: parent,
+	})
 }
 
 // Trace returns the recorded events merged across ranks in timestamp order

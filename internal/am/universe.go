@@ -37,6 +37,45 @@ func (d DetectorKind) String() string {
 	return fmt.Sprintf("DetectorKind(%d)", int(d))
 }
 
+// LineageMode controls causal message lineage: stamping every sent message
+// with the id of the handler invocation that produced it (sends issued by an
+// epoch body carry a synthetic per-(epoch, rank) root id). Lineage rides the
+// envelope through coalescing, retransmission, and recovery replay, and —
+// when tracing is enabled — every handler invocation records a TraceHandler
+// span carrying its own id and its parent's, from which internal/obs
+// reconstructs the per-epoch causal DAG and its critical path.
+type LineageMode int
+
+const (
+	// LineageAuto (the default) enables lineage exactly when tracing is
+	// enabled: a traced run gets causal attribution for free, an untraced
+	// run pays nothing.
+	LineageAuto LineageMode = iota
+	// LineageOn forces lineage stamping even without tracing (ids propagate
+	// through the message plane but no handler events are recorded); mainly
+	// useful for measuring the stamping cost in isolation.
+	LineageOn
+	// LineageOff disables lineage stamping even in traced runs.
+	LineageOff
+)
+
+func (m LineageMode) String() string {
+	switch m {
+	case LineageAuto:
+		return "auto"
+	case LineageOn:
+		return "on"
+	case LineageOff:
+		return "off"
+	}
+	return fmt.Sprintf("LineageMode(%d)", int(m))
+}
+
+// maxTraceRingSize bounds Config.TraceRingSize: beyond 1<<26 events per rank
+// (~4 GiB of TraceEvent per rank) a configuration is assumed to be a units
+// mistake rather than an intent.
+const maxTraceRingSize = 1 << 26
+
 // Config configures a simulated machine.
 type Config struct {
 	// Ranks is the number of simulated distributed-memory nodes (>= 1).
@@ -56,6 +95,19 @@ type Config struct {
 	// this many events (0 disables tracing). Traced events carry monotonic
 	// timestamps; epoch and delivery events become spans.
 	TraceCapacity int
+	// TraceRingSize, when > 0, sets each rank's trace ring to exactly this
+	// many events, overriding the TraceCapacity/Ranks split (and enabling
+	// tracing by itself). The default — TraceRingSize 0 with TraceCapacity
+	// set — gives each rank TraceCapacity/Ranks events (minimum 1). Use it
+	// to bound memory on lineage-heavy runs: a full ring overwrites its
+	// oldest events, which the DAG reconstructor reports as orphaned
+	// parents rather than failing. Negative values, or values above 2^26
+	// events per rank, are configuration errors and panic in NewUniverse.
+	TraceRingSize int
+	// Lineage controls causal message lineage (see LineageMode). The
+	// default, LineageAuto, turns lineage on exactly when tracing is
+	// enabled.
+	Lineage LineageMode
 	// Timing enables clock-based latency histograms: handler latency per
 	// message type and (in reliable mode) ack round-trip time. Off by
 	// default because it adds two monotonic clock reads per delivered
@@ -105,6 +157,23 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// perRankRing resolves the per-rank trace-ring size: an explicit
+// TraceRingSize wins, otherwise TraceCapacity is split evenly across ranks.
+// 0 means tracing is disabled.
+func (c Config) perRankRing() int {
+	if c.TraceRingSize > 0 {
+		return c.TraceRingSize
+	}
+	if c.TraceCapacity <= 0 {
+		return 0
+	}
+	per := c.TraceCapacity / c.Ranks
+	if per < 1 {
+		per = 1
+	}
+	return per
+}
+
 // envelope is one coalesced batch of messages of a single type, shipped
 // between two ranks.
 type envelope struct {
@@ -113,6 +182,10 @@ type envelope struct {
 	seq    uint64 // per-(src, dest, type) sequence number (reliable mode)
 	gen    uint64 // epoch generation at creation; stale generations are discarded
 	data   any    // []T, gobPayload (gob wire types), or ackBody
+	// lin carries one causal-lineage id per message of the batch, aligned
+	// with data (nil when lineage is off). Read-only once shipped, so
+	// duplicates and retransmits share the slice safely.
+	lin []uint64
 }
 
 // Universe is a simulated distributed machine: a set of ranks connected by
@@ -142,6 +215,11 @@ type Universe struct {
 	barrier *Barrier
 	coll    collectives
 	tracer  *tracer
+
+	// lineage is the resolved Config.Lineage decision (LineageAuto folds to
+	// whether tracing is on); when set, every send is stamped with its
+	// causal parent and every handler invocation gets a lineage id.
+	lineage bool
 
 	// Rank-fault containment and checkpoint/restart state (recovery.go).
 	// ckpts[rank][i] is checkpointers[i]'s snapshot for rank, retaken at
@@ -215,22 +293,27 @@ func NewUniverse(cfg Config) *Universe {
 	}
 	u.barrier = NewBarrier(cfg.Ranks)
 	u.coll.init(cfg.Ranks)
-	if cfg.TraceCapacity > 0 {
-		u.tracer = newTracer(cfg.TraceCapacity, cfg.Ranks)
+	if cfg.TraceRingSize < 0 || cfg.TraceRingSize > maxTraceRingSize {
+		panic(fmt.Sprintf("am: Config.TraceRingSize %d out of range [0, %d] events per rank",
+			cfg.TraceRingSize, maxTraceRingSize))
 	}
+	if per := cfg.perRankRing(); per > 0 {
+		u.tracer = newTracer(per, cfg.Ranks)
+	}
+	u.lineage = cfg.Lineage == LineageOn || (cfg.Lineage == LineageAuto && u.tracer != nil)
 	u.c = obs.NewCounters(cfg.statShards(), counterNames[:]...)
 	u.Stats = Stats{c: u.c}
 	u.relPending = obs.NewGauge(cfg.Ranks)
 	u.ranks = make([]*Rank, cfg.Ranks)
 	for i := range u.ranks {
-		u.ranks[i] = &Rank{
+		u.ranks[i] = &Rank{rankState: &rankState{
 			u:     u,
 			id:    i,
 			inbox: newQueue(),
 			ctrl:  make(chan ctrlProbe, cfg.Ranks+1),
 			st:    u.c.Shard(i % cfg.statShards()),
 			shard: i % cfg.statShards(),
-		}
+		}}
 		u.ranks[i].crashAfter.Store(-1)
 	}
 	return u
@@ -244,11 +327,39 @@ func (u *Universe) Ranks() int { return u.cfg.Ranks }
 
 // Rank is one simulated node. The SPMD body passed to Run receives its own
 // Rank; all sends and property-map accesses happen through it.
+//
+// Internally a Rank value is a *facet*: all durable state lives in the
+// embedded rankState (shared by every facet of the node), while the facet
+// itself carries only goroutine-local context — the ambient lineage parent.
+// Every goroutine that can deliver envelopes (handler workers, epoch-body
+// participants, the rank main's progress loop) runs on its own facet, so a
+// handler's sends can be stamped with the invocation that made them without
+// any synchronization and without racing sibling threads of the same rank.
 type Rank struct {
+	*rankState
+
+	// cur is the lineage id of the handler invocation currently executing
+	// on this facet, or 0 when the facet is running epoch-body code (whose
+	// sends are stamped with the synthetic per-(epoch, rank) root id).
+	// Facet-local by construction; never touched when lineage is off.
+	cur uint64
+}
+
+// facet derives a fresh goroutine-local view of the same rank. The canonical
+// facets in Universe.ranks never have cur set, so code holding one (send
+// paths reached outside any handler) stamps root lineage.
+func (r *Rank) facet() *Rank { return &Rank{rankState: r.rankState} }
+
+// rankState is the durable per-node state shared by all facets of one rank.
+type rankState struct {
 	u     *Universe
 	id    int
 	inbox *queue
 	ctrl  chan ctrlProbe
+
+	// linSeq numbers this rank's handler invocations for lineage ids
+	// (first invocation gets 1, so no handler id collides with 0 = none).
+	linSeq atomic.Uint64
 
 	// st / tst are this rank's shards of the universe counters and the
 	// per-message-type counters: every hot-path count lands on this rank's
@@ -392,6 +503,7 @@ func (u *Universe) Run(body func(r *Rank)) error {
 			workers.Add(1)
 			go func(r *Rank) {
 				defer workers.Done()
+				r = r.facet() // this worker's own lineage context
 				for {
 					e, ok := r.inbox.Pop()
 					if !ok {
@@ -529,7 +641,7 @@ func (r *Rank) deliverEnvelope(e envelope) {
 	if timed {
 		start = obs.Now()
 	}
-	if !r.deliverBatch(mt, data) {
+	if !r.deliverBatch(mt, data, e.lin) {
 		return // handler panicked; contained as a rank fault
 	}
 	if u.hasCrashes {
@@ -551,21 +663,22 @@ func (r *Rank) deliverEnvelope(e envelope) {
 // contained rank fault) instead of a process abort. Reports whether the
 // batch completed. On the plain trusted transport handler panics propagate
 // unchanged (fail-fast).
-func (r *Rank) deliverBatch(mt *msgType, data any) (ok bool) {
+func (r *Rank) deliverBatch(mt *msgType, data any, lin []uint64) (ok bool) {
 	if !r.u.resilient() {
-		mt.deliver(r, data)
+		mt.deliver(r, data, lin)
 		return true
 	}
 	defer func() {
 		if p := recover(); p != nil {
 			ok = false
+			r.cur = 0 // the poisoned ambient parent dies with the attempt
 			r.st.Inc(cHandlerPanics)
 			r.u.trace(r.id, TracePanic, int64(mt.id), 0)
 			r.crashNow(FaultHandlerPanic,
 				fmt.Sprintf("handler for %s panicked: %v\n%s", mt.name, p, debug.Stack()))
 		}
 	}()
-	mt.deliver(r, data)
+	mt.deliver(r, data, lin)
 	return true
 }
 

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+
+	"declpat/internal/am"
+)
+
+// BenchRecord is one experiment's machine-readable substrate cost: wall
+// time plus the message and envelope totals of every universe the
+// experiment built, summed from Universe.Metrics(). CI archives a run of
+// these so regressions in message volume or runtime show up as a diffable
+// artifact rather than a table buried in logs.
+type BenchRecord struct {
+	ID        string `json:"id"`
+	Title     string `json:"title"`
+	WallNs    int64  `json:"wall_ns"`
+	Msgs      int64  `json:"msgs"`
+	Envelopes int64  `json:"envelopes"`
+	Handlers  int64  `json:"handlers"`
+	Universes int    `json:"universes"`
+}
+
+// BenchReport is the top-level BENCH json document.
+type BenchReport struct {
+	RMATScale  int           `json:"rmat_scale"`
+	EdgeFactor int           `json:"edge_factor"`
+	Seed       uint64        `json:"seed"`
+	TotalNs    int64         `json:"total_ns"`
+	Records    []BenchRecord `json:"records"`
+}
+
+var benchMu sync.Mutex
+var benchOn bool
+var benchUs []*am.Universe
+
+// BenchEnable turns on universe tracking for bench collection (set once by
+// cmd/experiments before the suite runs; the suite itself is sequential).
+func BenchEnable() {
+	benchMu.Lock()
+	benchOn = true
+	benchUs = nil
+	benchMu.Unlock()
+}
+
+// benchTrack registers a universe with the bench collector. Called from
+// newEnv and from the experiments that build universes directly.
+func benchTrack(u *am.Universe) {
+	benchMu.Lock()
+	if benchOn {
+		benchUs = append(benchUs, u)
+	}
+	benchMu.Unlock()
+}
+
+// BenchCollect drains the universes tracked since the last call and returns
+// their summed counters (read via Universe.Metrics, so the numbers match
+// what the metrics endpoint would report).
+func BenchCollect() (msgs, envelopes, handlers int64, universes int) {
+	benchMu.Lock()
+	us := benchUs
+	benchUs = nil
+	benchMu.Unlock()
+	for _, u := range us {
+		c := u.Metrics().Counters
+		msgs += c.MsgsSent
+		envelopes += c.Envelopes
+		handlers += c.HandlersRun
+	}
+	return msgs, envelopes, handlers, len(us)
+}
+
+// WriteBenchJSON writes the report as indented JSON.
+func WriteBenchJSON(w io.Writer, rep BenchReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -32,6 +32,7 @@ func E14Codegen(sc Scale) []*harness.Table {
 	// Translator-generated.
 	{
 		u := am.NewUniverse(cfg)
+		benchTrack(u)
 		d := distgraph.NewBlockDist(n, cfg.Ranks)
 		g := distgraph.Build(d, edges, defaultGOpts())
 		dist := pmap.NewVertexWord(d, pattern.Inf)
@@ -56,6 +57,7 @@ func E14Codegen(sc Scale) []*harness.Table {
 	// Hand-written.
 	{
 		u := am.NewUniverse(cfg)
+		benchTrack(u)
 		g := buildGraph(u, n, edges, defaultGOpts())
 		h := algorithms.NewHandSSSP(u, g)
 		dur := harness.Time(func() { u.Run(func(r *am.Rank) { h.Run(r, 0) }) })

@@ -159,6 +159,7 @@ func E15Expressiveness(sc Scale) []*harness.Table {
 		sources := []distgraph.Vertex{0, 7, 19}
 		gopts := distgraph.Options{Bidirectional: true}
 		u := am.NewUniverse(cfg)
+		benchTrack(u)
 		d := distgraph.NewBlockDist(bn, cfg.Ranks)
 		g := distgraph.Build(d, bedges, gopts)
 		eng := pattern.NewEngine(u, g, newLockMap(d), pattern.DefaultPlanOptions())

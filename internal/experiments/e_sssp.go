@@ -68,6 +68,7 @@ func E6Reduction(sc Scale) []*harness.Table {
 		"cache", "accepted", "suppressed", "handlers", "envelopes", "time", "wrong")
 	for _, cached := range []bool{false, true} {
 		u := am.NewUniverse(am.Config{Ranks: 4, ThreadsPerRank: 2, CoalesceSize: 256})
+		benchTrack(u)
 		g := buildGraph(u, n, edges, defaultGOpts())
 		h := algorithms.NewHandSSSP(u, g)
 		if cached {
@@ -172,6 +173,7 @@ func E9Abstraction(sc Scale) []*harness.Table {
 	}
 	{
 		u := am.NewUniverse(cfg)
+		benchTrack(u)
 		g := buildGraph(u, n, edges, defaultGOpts())
 		h := algorithms.NewHandSSSP(u, g)
 		d := harness.Time(func() { u.Run(func(r *am.Rank) { h.Run(r, 0) }) })
@@ -187,6 +189,7 @@ func E9Abstraction(sc Scale) []*harness.Table {
 	}
 	{
 		u := am.NewUniverse(cfg)
+		benchTrack(u)
 		g := buildGraph(u, n, edges, defaultGOpts())
 		h := algorithms.NewHandBFS(u, g)
 		d := harness.Time(func() { u.Run(func(r *am.Rank) { h.Run(r, 0) }) })

@@ -1,4 +1,4 @@
-// Package experiments implements the reproduction experiment suite E1–E18
+// Package experiments implements the reproduction experiment suite E1–E19
 // described in DESIGN.md: for every figure and performance-relevant claim of
 // the paper it regenerates a table (message counts, work counts, ablation
 // factors, scaling shape). cmd/experiments prints all tables; EXPERIMENTS.md
@@ -56,6 +56,7 @@ func All() []Experiment {
 		{"E16", "robustness — fault overhead vs drop rate (reliable transport)", E16Chaos},
 		{"E17", "observability — sharded counters, timing, and tracing overhead", E17Observability},
 		{"E18", "robustness — checkpoint/recovery overhead vs crash rate", E18Recovery},
+		{"E19", "observability — causal lineage: critical paths, chain depth, overhead", E19Lineage},
 	}
 }
 
@@ -76,6 +77,7 @@ type env struct {
 
 func newEnv(cfg am.Config, n int, edges []distgraph.Edge, gopts distgraph.Options, popts pattern.PlanOptions) *env {
 	u := am.NewUniverse(cfg)
+	benchTrack(u)
 	d := distgraph.NewBlockDist(n, cfg.Ranks)
 	g := distgraph.Build(d, edges, gopts)
 	lm := pmap.NewLockMap(d, 1)

@@ -29,6 +29,11 @@ type Record struct {
 	Arg  int64  `json:"arg,omitempty"`
 	Arg2 int64  `json:"arg2,omitempty"`
 	Type string `json:"type,omitempty"`
+	// Causal lineage ("handler" records only): ID identifies the handler
+	// invocation, Parent the invocation (or epoch-body root) whose send
+	// triggered it. See lineage.go for the id scheme.
+	ID     uint64 `json:"id,omitempty"`
+	Parent uint64 `json:"parent,omitempty"`
 }
 
 // WriteJSONL writes the meta header followed by one record per line.
@@ -103,7 +108,9 @@ type ChromeEvent struct {
 	Dur  float64        `json:"dur,omitempty"`
 	PID  int            `json:"pid"`
 	TID  int            `json:"tid"`
-	S    string         `json:"s,omitempty"` // instant scope ("t" = thread)
+	S    string         `json:"s,omitempty"`  // instant scope ("t" = thread)
+	ID   uint64         `json:"id,omitempty"` // flow-event binding id ("s"/"f")
+	BP   string         `json:"bp,omitempty"` // flow binding point ("e" = enclosing slice)
 	Args map[string]any `json:"args,omitempty"`
 }
 
@@ -115,10 +122,21 @@ type ChromeTrace struct {
 
 // ToChrome converts a record stream into a Chrome trace: one process for the
 // universe, one thread row per rank. Records with a duration become complete
-// ("X") events; the rest become thread-scoped instants ("i").
+// ("X") events; the rest become thread-scoped instants ("i"). Lineage-stamped
+// "handler" records additionally emit flow-event pairs ("s" on the producing
+// invocation's slice, "f" bound to the consuming one), which Perfetto renders
+// as causal arrows between ranks.
 func ToChrome(meta Meta, recs []Record) ChromeTrace {
 	const pid = 1
 	evs := make([]ChromeEvent, 0, len(recs)+meta.Ranks+1)
+	// Handler index for flow-arrow sources (the producing invocation's
+	// slice). Root parents (epoch-body sends) have no slice to anchor on.
+	handlers := map[uint64]Record{}
+	for _, rec := range recs {
+		if rec.Kind == "handler" && rec.ID != 0 {
+			handlers[rec.ID] = rec
+		}
+	}
 	procName := "declpat substrate"
 	if meta.Label != "" {
 		procName += " — " + meta.Label
@@ -146,12 +164,34 @@ func ToChrome(meta Meta, recs []Record) ChromeTrace {
 			TID:  rec.Rank,
 			Args: map[string]any{"arg": rec.Arg, "arg2": rec.Arg2},
 		}
-		if rec.Dur > 0 {
+		if rec.Dur > 0 || rec.Kind == "handler" {
 			ev.Ph = "X"
 			ev.Dur = float64(rec.Dur) / 1e3
 		} else {
 			ev.Ph = "i"
 			ev.S = "t"
+		}
+		if rec.Kind == "handler" && rec.ID != 0 {
+			ev.Args["id"] = rec.ID
+			ev.Args["parent"] = rec.Parent
+			evs = append(evs, ev)
+			if p, ok := handlers[rec.Parent]; ok {
+				// Bind the arrow just inside the producing slice's end (an
+				// exact end timestamp could fall outside it) and at the
+				// consuming slice's start; bp "e" attaches "f" to the
+				// enclosing slice. The binding id is the consumer's lineage
+				// id — unique, since each invocation has one parent.
+				src := float64(p.TS+p.Dur) / 1e3
+				if p.Dur > 0 {
+					src -= 0.0005
+				}
+				evs = append(evs,
+					ChromeEvent{Name: "lineage", Cat: "lineage", Ph: "s",
+						ID: rec.ID, TS: src, PID: pid, TID: p.Rank},
+					ChromeEvent{Name: "lineage", Cat: "lineage", Ph: "f", BP: "e",
+						ID: rec.ID, TS: float64(rec.TS) / 1e3, PID: pid, TID: rec.Rank})
+			}
+			continue
 		}
 		evs = append(evs, ev)
 	}

@@ -1,0 +1,194 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLineageIDScheme(t *testing.T) {
+	root := RootLineageID(37, 1023)
+	if !IsRootLineageID(root) {
+		t.Fatal("root id not recognized")
+	}
+	if e := RootLineageEpoch(root); e != 37 {
+		t.Fatalf("epoch %d, want 37", e)
+	}
+	if r := RootLineageRank(root); r != 1023 {
+		t.Fatalf("rank %d, want 1023", r)
+	}
+	h := HandlerLineageID(7, 123456)
+	if IsRootLineageID(h) {
+		t.Fatal("handler id misread as root")
+	}
+	if r := HandlerLineageRank(h); r != 7 {
+		t.Fatalf("handler rank %d, want 7", r)
+	}
+	if h == 0 || root == 0 {
+		t.Fatal("ids must not collide with 0 = none")
+	}
+	if RootLineageID(0, 0) == HandlerLineageID(0, 1) {
+		t.Fatal("root and handler id spaces overlap")
+	}
+}
+
+// syntheticTrace builds a two-rank, one-epoch trace: rank 0's epoch body
+// seeds a chain r0→r1→r0, plus an independent shallow handler on rank 1.
+// Timestamps (ns): epoch spans [100, 1000] on both ranks; chain handlers
+// a [200,300] r1, b [400,450] r0, c [500,700] r1; shallow d [250,260] r1.
+func syntheticTrace() (Meta, []Record, [4]uint64) {
+	root := RootLineageID(0, 0)
+	a := HandlerLineageID(1, 1)
+	b := HandlerLineageID(0, 1)
+	c := HandlerLineageID(1, 2)
+	d := HandlerLineageID(1, 3)
+	meta := Meta{Ranks: 2, Types: []string{"relax"}}
+	recs := []Record{
+		{Kind: "epoch", TS: 100, Dur: 900, Rank: 0, Arg: 0},
+		{Kind: "epoch", TS: 100, Dur: 900, Rank: 1, Arg: 0},
+		{Kind: "handler", TS: 200, Dur: 100, Rank: 1, Type: "relax", ID: a, Parent: root},
+		{Kind: "handler", TS: 400, Dur: 50, Rank: 0, Type: "relax", ID: b, Parent: a},
+		{Kind: "handler", TS: 500, Dur: 200, Rank: 1, Type: "relax", ID: c, Parent: b},
+		{Kind: "handler", TS: 250, Dur: 10, Rank: 1, Type: "relax", ID: d, Parent: root},
+	}
+	return meta, recs, [4]uint64{a, b, c, d}
+}
+
+func TestBuildLineageSynthetic(t *testing.T) {
+	meta, recs, ids := syntheticTrace()
+	a, b, c, d := ids[0], ids[1], ids[2], ids[3]
+	l := BuildLineage(meta, recs)
+	if !l.Connected() {
+		t.Fatalf("orphans = %d, want 0", l.Orphans)
+	}
+	if l.Handlers() != 4 {
+		t.Fatalf("handlers = %d, want 4", l.Handlers())
+	}
+	wantDepth := map[uint64]int{a: 1, b: 2, c: 3, d: 1}
+	for id, want := range wantDepth {
+		if got := l.ByID[id].Depth; got != want {
+			t.Fatalf("depth(%#x) = %d, want %d", id, got, want)
+		}
+	}
+	e := l.Epoch(0)
+	if e == nil || len(e.Nodes) != 4 {
+		t.Fatalf("epoch 0 lineage = %+v", e)
+	}
+	if e.Begin != 100 || e.End != 1000 {
+		t.Fatalf("epoch span [%d, %d], want [100, 1000]", e.Begin, e.End)
+	}
+
+	cp := l.CriticalPathOf(e)
+	if cp == nil {
+		t.Fatal("no critical path")
+	}
+	// Sink is c (End 700); backwalk c→b→a→root.
+	if cp.Root != RootLineageID(0, 0) || cp.RootRank != 0 {
+		t.Fatalf("path root %#x rank %d", cp.Root, cp.RootRank)
+	}
+	if len(cp.Hops) != 3 ||
+		cp.Hops[0].Node.ID != a || cp.Hops[1].Node.ID != b || cp.Hops[2].Node.ID != c {
+		t.Fatalf("hops = %+v", cp.Hops)
+	}
+	// Waits: a waits from rank 0's epoch begin (100) to 200 = 100;
+	// b from a's end (300) to 400 = 100; c from b's end (450) to 500 = 50.
+	for i, want := range []int64{100, 100, 50} {
+		if cp.Hops[i].Wait != want {
+			t.Fatalf("hop %d wait = %d, want %d", i, cp.Hops[i].Wait, want)
+		}
+	}
+	// Execs: 100, 50, 200; tail = 1000 − 700 = 300; span = 900.
+	if cp.ExecNs != 350 || cp.WaitNs != 250 || cp.TailNs != 300 || cp.SpanNs != 900 {
+		t.Fatalf("decomposition exec=%d wait=%d tail=%d span=%d", cp.ExecNs, cp.WaitNs, cp.TailNs, cp.SpanNs)
+	}
+	// The decomposition is exhaustive here: 350+250+300 == 900.
+	if cp.ExecNs+cp.WaitNs+cp.TailNs != cp.SpanNs {
+		t.Fatalf("path does not explain the span")
+	}
+
+	if tb := CriticalPathTable(l); tb.Rows() != 1 {
+		t.Fatalf("critical-path table rows = %d", tb.Rows())
+	}
+	if tb := ChainDepthTable(l); tb.Rows() != 3 { // depths 1 (×2), 2, 3
+		t.Fatalf("chain-depth table rows = %d", tb.Rows())
+	}
+	if tb := RankSlackTable(l); tb.Rows() != 2 {
+		t.Fatalf("slack table rows = %d", tb.Rows())
+	}
+	chain := ChainTable(cp, 0).String()
+	for _, want := range []string{"relax", "quiescence"} {
+		if !strings.Contains(chain, want) {
+			t.Fatalf("chain table missing %q:\n%s", want, chain)
+		}
+	}
+	// Eliding works and keeps head and tail.
+	elided := ChainTable(cp, 2).String()
+	if !strings.Contains(elided, "elided") {
+		t.Fatalf("no elision marker:\n%s", elided)
+	}
+}
+
+func TestBuildLineageOrphans(t *testing.T) {
+	meta, recs, ids := syntheticTrace()
+	// Drop handler a (ring overwrite): b's parent becomes unresolvable.
+	var pruned []Record
+	for _, r := range recs {
+		if r.ID == ids[0] {
+			continue
+		}
+		pruned = append(pruned, r)
+	}
+	l := BuildLineage(meta, pruned)
+	if l.Connected() || l.Orphans != 1 {
+		t.Fatalf("orphans = %d, want 1", l.Orphans)
+	}
+	b, c := ids[1], ids[2]
+	if !l.ByID[b].Orphan || l.ByID[b].Depth != 1 {
+		t.Fatalf("orphaned node b = %+v", l.ByID[b])
+	}
+	if l.ByID[c].Depth != 2 {
+		t.Fatalf("depth below orphan = %d, want 2", l.ByID[c].Depth)
+	}
+	cp := l.CriticalPathOf(l.Epoch(0))
+	if cp == nil || !cp.Broken {
+		t.Fatalf("critical path through an orphan must be marked broken: %+v", cp)
+	}
+}
+
+func TestChromeFlowEvents(t *testing.T) {
+	meta, recs, ids := syntheticTrace()
+	ct := ToChrome(meta, recs)
+	slices, starts, finishes := 0, 0, 0
+	for _, ev := range ct.TraceEvents {
+		switch {
+		case ev.Cat == "handler" && ev.Ph == "X":
+			slices++
+		case ev.Cat == "lineage" && ev.Ph == "s":
+			starts++
+		case ev.Cat == "lineage" && ev.Ph == "f":
+			finishes++
+			if ev.BP != "e" {
+				t.Fatalf("flow finish without bp=e: %+v", ev)
+			}
+		}
+	}
+	if slices != 4 {
+		t.Fatalf("handler slices = %d, want 4", slices)
+	}
+	// Arrows exist only for handler→handler edges (b←a, c←b); root edges
+	// have no producing slice to anchor on.
+	if starts != 2 || finishes != 2 {
+		t.Fatalf("flow events s=%d f=%d, want 2/2", starts, finishes)
+	}
+	// The binding id pairs s with f and matches the consumer's lineage id.
+	for _, want := range []uint64{ids[1], ids[2]} {
+		n := 0
+		for _, ev := range ct.TraceEvents {
+			if ev.Cat == "lineage" && ev.ID == want {
+				n++
+			}
+		}
+		if n != 2 {
+			t.Fatalf("flow pair for id %#x has %d events", want, n)
+		}
+	}
+}
