@@ -1,0 +1,201 @@
+// Command benchcheck turns `go test -bench -benchmem` output into a
+// machine-readable JSON report and gates CI on allocation/size regressions.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'BenchmarkCodec' -benchmem ./internal/am/ > bench.txt
+//	benchcheck -in bench.txt [-e20 e20.json] [-json BENCH_codec.json] \
+//	           [-baseline BENCH_codec.json] [-filter fixed] [-max-regress 0.20]
+//
+// Parsing accepts any benchmark line (name, iterations, then value/unit
+// pairs); the trailing -N GOMAXPROCS suffix is stripped so results match
+// across machines with different core counts. With -baseline, every parsed
+// benchmark whose name contains -filter is compared against the same name
+// in the baseline on the B/op, allocs/op, and wire_B metrics; a current
+// value exceeding baseline*(1+max-regress)+slack fails the run. ns/op is
+// deliberately not gated — wall time is too machine-dependent for CI.
+//
+// With -e20 the given JSON file (the E20 codec matrix from
+// `experiments -codec-json`) is embedded in the report, so BENCH_codec.json
+// carries both the microbenchmark baseline and the end-to-end table.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result.
+type Benchmark struct {
+	Name    string             `json:"name"`
+	Iters   int64              `json:"iters"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Report is the BENCH_codec.json document.
+type Report struct {
+	Benchmarks []Benchmark     `json:"benchmarks"`
+	E20        json.RawMessage `json:"e20,omitempty"`
+}
+
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// parse reads `go test -bench` output: every line starting with "Benchmark"
+// becomes one Benchmark; everything else (goos/pkg headers, PASS) is
+// ignored.
+func parse(r io.Reader) ([]Benchmark, error) {
+	var out []Benchmark
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Benchmark{
+			Name:    gomaxprocsSuffix.ReplaceAllString(fields[0], ""),
+			Iters:   iters,
+			Metrics: map[string]float64{},
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchcheck: bad value %q on line %q", fields[i], sc.Text())
+			}
+			b.Metrics[fields[i+1]] = v
+		}
+		out = append(out, b)
+	}
+	return out, sc.Err()
+}
+
+// gatedMetrics are the deterministic-enough metrics compared against the
+// baseline. ns/op is excluded on purpose.
+var gatedMetrics = []string{"B/op", "allocs/op", "wire_B"}
+
+// compare checks every current benchmark matching filter against the
+// baseline and returns the list of violations.
+func compare(current, baseline []Benchmark, filter string, maxRegress, slack float64) []string {
+	base := map[string]Benchmark{}
+	for _, b := range baseline {
+		base[b.Name] = b
+	}
+	var bad []string
+	matched := 0
+	for _, b := range current {
+		if filter != "" && !strings.Contains(b.Name, filter) {
+			continue
+		}
+		ref, ok := base[b.Name]
+		if !ok {
+			continue // new benchmark: no baseline yet, passes
+		}
+		matched++
+		for _, m := range gatedMetrics {
+			cur, ok1 := b.Metrics[m]
+			was, ok2 := ref.Metrics[m]
+			if !ok1 || !ok2 {
+				continue
+			}
+			limit := was*(1+maxRegress) + slack
+			if cur > limit {
+				bad = append(bad, fmt.Sprintf("%s %s: %.1f > limit %.1f (baseline %.1f, +%.0f%% + %.0f slack)",
+					b.Name, m, cur, limit, was, maxRegress*100, slack))
+			}
+		}
+	}
+	if matched == 0 {
+		bad = append(bad, fmt.Sprintf("no current benchmark matching %q had a baseline entry — wrong -filter or empty baseline?", filter))
+	}
+	return bad
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "benchcheck:", err)
+	os.Exit(1)
+}
+
+func main() {
+	in := flag.String("in", "", "bench output file (default: stdin)")
+	e20 := flag.String("e20", "", "E20 codec-matrix JSON to embed in the report")
+	jsonOut := flag.String("json", "", "write the parsed report to this file")
+	baseline := flag.String("baseline", "", "compare against this committed report")
+	filter := flag.String("filter", "fixed", "substring of benchmark names to gate")
+	maxRegress := flag.Float64("max-regress", 0.20, "allowed fractional regression vs baseline")
+	slack := flag.Float64("slack", 64, "absolute slack added to each limit (absorbs noise on near-zero baselines)")
+	flag.Parse()
+
+	var src io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		src = f
+	}
+	benches, err := parse(src)
+	if err != nil {
+		fail(err)
+	}
+	if len(benches) == 0 {
+		fail(fmt.Errorf("no benchmark lines found in input"))
+	}
+	rep := Report{Benchmarks: benches}
+	if *e20 != "" {
+		raw, err := os.ReadFile(*e20)
+		if err != nil {
+			fail(err)
+		}
+		if !json.Valid(raw) {
+			fail(fmt.Errorf("%s: not valid JSON", *e20))
+		}
+		rep.E20 = json.RawMessage(raw)
+	}
+
+	// Compare BEFORE writing: -json and -baseline may be the same path.
+	if *baseline != "" {
+		raw, err := os.ReadFile(*baseline)
+		if err != nil {
+			fail(err)
+		}
+		var ref Report
+		if err := json.Unmarshal(raw, &ref); err != nil {
+			fail(fmt.Errorf("%s: %v", *baseline, err))
+		}
+		if bad := compare(benches, ref.Benchmarks, *filter, *maxRegress, *slack); len(bad) > 0 {
+			for _, m := range bad {
+				fmt.Fprintln(os.Stderr, "REGRESSION:", m)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("benchcheck: %d benchmarks, %q gate passed vs %s\n", len(benches), *filter, *baseline)
+	}
+
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fail(err)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		err = enc.Encode(rep)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("benchcheck: wrote %s (%d benchmarks)\n", *jsonOut, len(benches))
+	}
+}

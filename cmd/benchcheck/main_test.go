@@ -1,0 +1,52 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: declpat/internal/am
+BenchmarkCodecEncode/fixed-8   200   5690 ns/op   598.0 wire_B   9 B/op   0 allocs/op
+BenchmarkCodecEncode/gob-8     200  17777 ns/op  1731 wire_B  8081 B/op  89 allocs/op
+PASS
+ok  	declpat/internal/am	0.217s
+`
+
+func TestParse(t *testing.T) {
+	bs, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bs) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(bs))
+	}
+	b := bs[0]
+	if b.Name != "BenchmarkCodecEncode/fixed" {
+		t.Fatalf("GOMAXPROCS suffix not stripped: %q", b.Name)
+	}
+	if b.Iters != 200 || b.Metrics["B/op"] != 9 || b.Metrics["wire_B"] != 598 || b.Metrics["allocs/op"] != 0 {
+		t.Fatalf("bad parse: %+v", b)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	base := []Benchmark{{Name: "BenchmarkCodecEncode/fixed",
+		Metrics: map[string]float64{"B/op": 100, "allocs/op": 0, "wire_B": 600}}}
+	ok := []Benchmark{{Name: "BenchmarkCodecEncode/fixed",
+		Metrics: map[string]float64{"B/op": 110, "allocs/op": 1, "wire_B": 600}}}
+	if bad := compare(ok, base, "fixed", 0.20, 64); len(bad) != 0 {
+		t.Fatalf("within-limit run flagged: %v", bad)
+	}
+	regressed := []Benchmark{{Name: "BenchmarkCodecEncode/fixed",
+		Metrics: map[string]float64{"B/op": 100, "allocs/op": 0, "wire_B": 900}}}
+	if bad := compare(regressed, base, "fixed", 0.20, 64); len(bad) != 1 {
+		t.Fatalf("wire_B regression not flagged: %v", bad)
+	}
+	// A filter that matches nothing in the baseline must fail loudly, not
+	// silently pass.
+	if bad := compare(ok, nil, "fixed", 0.20, 64); len(bad) == 0 {
+		t.Fatal("empty baseline passed silently")
+	}
+}

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -30,7 +31,28 @@ func main() {
 	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
 	debug := flag.String("debug", "", "serve pprof/expvar on this address (e.g. localhost:6060) while the suite runs")
 	benchJSON := flag.String("bench-json", "", "write a machine-readable per-experiment bench report to this file")
+	codecJSON := flag.String("codec-json", "", "run only the E20 codec matrix and write its records as JSON to this file")
 	flag.Parse()
+
+	if *codecJSON != "" {
+		sc := experiments.Scale{RMATScale: *scale, EdgeFactor: *ef, Seed: *seed}
+		recs := experiments.E20CodecRecords(sc)
+		f, err := os.Create(*codecJSON)
+		if err == nil {
+			enc := json.NewEncoder(f)
+			enc.SetIndent("", "  ")
+			err = enc.Encode(recs)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("# codec report: %s (%d records)\n", *codecJSON, len(recs))
+		return
+	}
 
 	if *debug != "" {
 		addr, err := harness.ServeDebug(*debug)

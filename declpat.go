@@ -92,7 +92,112 @@ const (
 	FaultWatchdog     = am.FaultWatchdog
 )
 
-// NewUniverse creates a simulated machine.
+// Option configures a Universe built with New.
+type Option = am.Option
+
+// Universe construction options (see internal/am's Config fields for the
+// full semantics of each knob).
+var (
+	// WithThreads sets message-handler threads per rank.
+	WithThreads = am.WithThreads
+	// WithCoalesce sets the default coalescing factor.
+	WithCoalesce = am.WithCoalesce
+	// WithDetector selects the termination-detection protocol.
+	WithDetector = am.WithDetector
+	// WithFaultPlan enables reliable delivery and injects transport faults.
+	WithFaultPlan = am.WithFaultPlan
+	// WithRecovery enables epoch-granular checkpoint/restart.
+	WithRecovery = am.WithRecovery
+	// WithMaxRecoveries bounds recovery attempts per epoch.
+	WithMaxRecoveries = am.WithMaxRecoveries
+	// WithTraceCapacity enables event tracing (total events across ranks).
+	WithTraceCapacity = am.WithTraceCapacity
+	// WithTraceRingSize pins each rank's trace ring size.
+	WithTraceRingSize = am.WithTraceRingSize
+	// WithLineage sets the causal-lineage mode.
+	WithLineage = am.WithLineage
+	// WithTiming enables latency histograms.
+	WithTiming = am.WithTiming
+	// WithUnshardedStats collapses metric shards (measurement only).
+	WithUnshardedStats = am.WithUnshardedStats
+	// WithWatchdog arms the stuck-epoch watchdog.
+	WithWatchdog = am.WithWatchdog
+)
+
+// New creates a simulated machine of `ranks` ranks configured by options:
+//
+//	u := declpat.New(4, declpat.WithThreads(2))
+func New(ranks int, opts ...Option) *Universe { return am.New(ranks, opts...) }
+
+// Active-message types and wire codecs (internal/am). These generic aliases
+// expose the codec seam on the facade so downstream users never import
+// internal packages.
+type (
+	// MsgType is a registered active-message type with payload T.
+	MsgType[T any] = am.MsgType[T]
+	// Codec serializes batches of one message type for the wire transport.
+	// Implementations must be safe for concurrent use, must reject
+	// malformed input from Decode with an error (never a panic), and — for
+	// custom codecs — must keep Append(Decode(b)) bit-identical to b's
+	// source batch.
+	Codec[T any] = am.Codec[T]
+)
+
+// MsgOption configures a message type at registration.
+type MsgOption[T any] func(*MsgType[T])
+
+// WithCodec routes the message type through the wire transport with the
+// given codec: batches are serialized, checksummed, accounted in
+// Stats.WireBytes, and decoded on arrival.
+func WithCodec[T any](c Codec[T]) MsgOption[T] {
+	return func(t *MsgType[T]) { t.WithCodec(c) }
+}
+
+// WithWire routes the message type through the wire transport with the best
+// bundled codec: the zero-reflection fixed word-schema codec when T is a
+// fixed-layout type, the gob fallback otherwise.
+func WithWire[T any]() MsgOption[T] {
+	return func(t *MsgType[T]) { t.WithWire() }
+}
+
+// WithAddresser installs an object-based address function so Send can route
+// from the payload itself.
+func WithAddresser[T any](f func(m T) int) MsgOption[T] {
+	return func(t *MsgType[T]) { t.WithAddresser(f) }
+}
+
+// WithCoalescing overrides the universe-default coalescing factor for this
+// message type.
+func WithCoalescing[T any](n int) MsgOption[T] {
+	return func(t *MsgType[T]) { t.WithCoalescing(n) }
+}
+
+// RegisterMsgType declares a new active-message type on u. The handler runs
+// on the destination rank, possibly concurrently on several handler threads.
+// Must be called before Universe.Run.
+//
+//	pings := declpat.RegisterMsgType(u, "ping", handlePing, declpat.WithWire[Ping]())
+func RegisterMsgType[T any](u *Universe, name string, handler func(r *Rank, m T), opts ...MsgOption[T]) *MsgType[T] {
+	mt := am.Register(u, name, handler)
+	for _, opt := range opts {
+		opt(mt)
+	}
+	return mt
+}
+
+// FixedCodec constructs the zero-reflection fixed word-schema codec for T,
+// or an error when T contains reference or complex components (use GobCodec
+// for those).
+func FixedCodec[T any]() (Codec[T], error) { return am.FixedCodec[T]() }
+
+// GobCodec returns the encoding/gob fallback codec for T.
+func GobCodec[T any]() Codec[T] { return am.GobCodec[T]() }
+
+// HasFixedLayout reports whether FixedCodec[T] would succeed.
+func HasFixedLayout[T any]() bool { return am.HasFixedLayout[T]() }
+
+// NewUniverse creates a simulated machine from a Config literal. Prefer New
+// with functional options for new code.
 func NewUniverse(cfg Config) *Universe { return am.NewUniverse(cfg) }
 
 // Distributed graph (internal/distgraph).

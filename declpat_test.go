@@ -2,6 +2,7 @@ package declpat_test
 
 import (
 	"strings"
+	"sync"
 	"testing"
 
 	"declpat"
@@ -137,5 +138,63 @@ func TestPublicAPIStats(t *testing.T) {
 	}
 	if s.MinW < 1 || s.MaxW > 3 {
 		t.Fatalf("weights %+v", s)
+	}
+}
+
+// TestPublicAPICodecSeam exercises the exported message-type and codec
+// surface: RegisterMsgType with options, the fixed/gob codec constructors,
+// and a custom Codec implementation, all without touching internal/am.
+func TestPublicAPICodecSeam(t *testing.T) {
+	type pair struct {
+		V declpat.Vertex
+		D int64
+	}
+	if !declpat.HasFixedLayout[pair]() {
+		t.Fatal("pair should have a fixed layout")
+	}
+	if declpat.HasFixedLayout[struct{ S string }]() {
+		t.Fatal("string payloads must not qualify for the fixed codec")
+	}
+
+	run := func(opt declpat.MsgOption[pair]) int64 {
+		u := declpat.New(2, declpat.WithThreads(1), declpat.WithCoalesce(8))
+		var sum int64
+		var mu sync.Mutex
+		opts := []declpat.MsgOption[pair]{
+			declpat.WithAddresser[pair](func(m pair) int { return int(m.V) % 2 }),
+		}
+		if opt != nil {
+			opts = append(opts, opt)
+		}
+		mt := declpat.RegisterMsgType(u, "pair", func(r *declpat.Rank, m pair) {
+			mu.Lock()
+			sum += int64(m.V) + m.D
+			mu.Unlock()
+		}, opts...)
+		if err := u.Run(func(r *declpat.Rank) {
+			r.Epoch(func(ep *declpat.EpochHandle) {
+				for i := 0; i < 50; i++ {
+					mt.Send(r, pair{V: declpat.Vertex(i), D: int64(i) * 3})
+				}
+			})
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return sum
+	}
+
+	fixed, err := declpat.FixedCodec[pair]()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := run(nil)
+	for name, opt := range map[string]declpat.MsgOption[pair]{
+		"wire-auto":   declpat.WithWire[pair](),
+		"codec-fixed": declpat.WithCodec(fixed),
+		"codec-gob":   declpat.WithCodec(declpat.GobCodec[pair]()),
+	} {
+		if got := run(opt); got != base {
+			t.Fatalf("%s: sum = %d, want %d", name, got, base)
+		}
 	}
 }

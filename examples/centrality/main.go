@@ -21,7 +21,7 @@ func main() {
 	fmt.Printf("network: %d nodes, %d links, avg degree %.1f, max out-degree %d\n\n",
 		s.Vertices, s.Edges, s.AvgDeg, s.MaxOutDeg)
 
-	u := declpat.NewUniverse(declpat.Config{Ranks: ranks, ThreadsPerRank: 2})
+	u := declpat.New(ranks, declpat.WithThreads(2))
 	dist := declpat.NewBlockDist(n, ranks)
 	g := declpat.BuildGraphParallel(dist, edges, declpat.GraphOptions{Symmetrize: true, Bidirectional: true})
 	eng := declpat.NewEngine(u, g, declpat.NewLockMap(dist, 1), declpat.DefaultPlanOptions())

@@ -18,7 +18,7 @@ func run(n int, edges []declpat.Edge, mode declpat.PageRankMode) (*declpat.PageR
 	if mode == declpat.PageRankPull {
 		gopts.Bidirectional = true
 	}
-	u := declpat.NewUniverse(declpat.Config{Ranks: ranks, ThreadsPerRank: 2})
+	u := declpat.New(ranks, declpat.WithThreads(2))
 	dist := declpat.NewBlockDist(n, ranks)
 	g := declpat.BuildGraph(dist, edges, gopts)
 	eng := declpat.NewEngine(u, g, declpat.NewLockMap(dist, 1), declpat.DefaultPlanOptions())

@@ -16,7 +16,7 @@ func main() {
 	// Ring plus a few long-range "influencer" links.
 	_, edges := declpat.Torus2D(8, 8, declpat.WeightSpec{}, 5)
 
-	u := declpat.NewUniverse(declpat.Config{Ranks: ranks, ThreadsPerRank: 1})
+	u := declpat.New(ranks, declpat.WithThreads(1))
 	dist := declpat.NewBlockDist(n, ranks)
 	g := declpat.BuildGraph(dist, edges, declpat.GraphOptions{Symmetrize: true})
 	lm := declpat.NewLockMap(dist, 1)

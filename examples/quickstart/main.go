@@ -24,7 +24,7 @@ func main() {
 	}
 	const n, ranks = 4, 2
 
-	u := declpat.NewUniverse(declpat.Config{Ranks: ranks, ThreadsPerRank: 1})
+	u := declpat.New(ranks, declpat.WithThreads(1))
 	dist := declpat.NewBlockDist(n, ranks)
 	g := declpat.BuildGraph(dist, edges, declpat.GraphOptions{})
 	eng := declpat.NewEngine(u, g, declpat.NewLockMap(dist, 1), declpat.DefaultPlanOptions())

@@ -14,7 +14,7 @@ import (
 
 func run(n int, edges []declpat.Edge, configure func(*declpat.Universe, *declpat.SSSP)) (dur time.Duration, attempts, succeeded int64, epochs int) {
 	const ranks = 4
-	u := declpat.NewUniverse(declpat.Config{Ranks: ranks, ThreadsPerRank: 2})
+	u := declpat.New(ranks, declpat.WithThreads(2))
 	dist := declpat.NewBlockDist(n, ranks)
 	g := declpat.BuildGraph(dist, edges, declpat.GraphOptions{})
 	eng := declpat.NewEngine(u, g, declpat.NewLockMap(dist, 1), declpat.DefaultPlanOptions())

@@ -20,7 +20,7 @@ func main() {
 	n, edges := declpat.RMAT(scale, edgeFactor, declpat.WeightSpec{}, 2026)
 	fmt.Printf("social graph: %d users, %d friendships (RMAT scale %d)\n", n, len(edges), scale)
 
-	u := declpat.NewUniverse(declpat.Config{Ranks: ranks, ThreadsPerRank: 2})
+	u := declpat.New(ranks, declpat.WithThreads(2))
 	dist := declpat.NewBlockDist(n, ranks)
 	g := declpat.BuildGraph(dist, edges, declpat.GraphOptions{Symmetrize: true})
 	lm := declpat.NewLockMap(dist, 1)

@@ -40,10 +40,10 @@ type FaultPlan struct {
 	// polls its links). 0 selects the default (8).
 	DelayTicks int
 	// Corrupt is the probability that the payload of an envelope of a
-	// WithGobTransport type is corrupted in flight (a byte of the encoded
-	// stream is flipped after the wire checksum is computed, so the
+	// wire (codec-equipped) type is corrupted in flight (a byte of the
+	// encoded stream is flipped after the wire checksum is computed, so the
 	// receiver detects the damage, discards the envelope, and lets the
-	// retransmit path recover). Types without gob transport ship by
+	// retransmit path recover). Types without a wire codec ship by
 	// reference and cannot be corrupted.
 	Corrupt float64
 	// RetransmitBase is the initial retransmit timeout in sender progress

@@ -1,8 +1,6 @@
 package am
 
 import (
-	"bytes"
-	"encoding/gob"
 	"fmt"
 	"reflect"
 	"sync"
@@ -15,6 +13,12 @@ type msgType struct {
 	id   int32
 	name string
 	size int64 // payload bytes per message
+	// wire marks codec-equipped types: envelopes ship as encoded bytes, so
+	// the receiver holds a decoded copy and the sender may recycle the
+	// original batch once it is no longer reachable (trusted mode: after
+	// encode; reliable mode: when the last ack or in-flight retransmit
+	// releases it).
+	wire bool
 	// deliver runs the handler for every message of an envelope payload;
 	// lin is the batch-aligned lineage-id slice (nil when lineage is off).
 	deliver func(r *Rank, data any, lin []uint64)
@@ -24,8 +28,16 @@ type msgType struct {
 	newBufs func(nranks int) any
 	// batchLen reports the number of messages in an envelope payload.
 	batchLen func(data any) int
-	// decode turns a checksum-verified gob wire payload back into []T.
-	decode func(b []byte) any
+	// decode turns a checksum-verified wire payload back into []T (drawn
+	// from the type's batch pool). Malformed bytes return an error; in
+	// reliable mode the caller routes it through the corruption→retransmit
+	// path instead of crashing the rank.
+	decode func(b []byte) (any, error)
+	// recycle returns a []T batch to the type's pool. Callers must hold the
+	// only reference: the receiver after delivering a wire-decoded (or
+	// trusted reference-shipped) batch, the reliable layer when the last
+	// ack/retransmit reference to a wire type's outstanding batch drops.
+	recycle func(data any)
 	// xmit performs one (re)transmission of an outstanding batch; used by
 	// the reliable layer's type-erased retransmit path.
 	xmit func(r *Rank, dest int, seq uint64, attempt int, data any, lin []uint64)
@@ -82,12 +94,39 @@ type MsgType[T any] struct {
 	handler  func(r *Rank, m T)
 	addr     func(m T) int
 	coalesce int
-	gobWire  bool
-	rec      *msgType
+	// codec, when non-nil, routes this type's envelopes through the wire
+	// transport: batches are encoded, checksummed, accounted in
+	// Stats.WireBytes, and decoded on arrival.
+	codec Codec[T]
+	rec   *msgType
+
+	// batchPool recycles []T slices: coalescing buffers on the send side,
+	// decoded batches on the receive side. See newBatch/putBatch for the
+	// ownership rules.
+	batchPool sync.Pool
 
 	// reduction layer (nil key disables it).
 	key     func(m T) uint64
 	combine func(old, incoming T) (merged T, changed bool)
+}
+
+// newBatch returns an empty batch with reusable capacity, drawn from the
+// type's pool when one is available.
+func (t *MsgType[T]) newBatch() []T {
+	if p, _ := t.batchPool.Get().(*[]T); p != nil {
+		return (*p)[:0]
+	}
+	return make([]T, 0, t.coalesce)
+}
+
+// putBatch returns a batch to the pool. The caller must hold the only
+// reference to b's backing array.
+func (t *MsgType[T]) putBatch(b []T) {
+	if cap(b) == 0 {
+		return
+	}
+	b = b[:0]
+	t.batchPool.Put(&b)
 }
 
 // typedBufs holds one rank's per-destination coalescing buffers for one
@@ -166,13 +205,16 @@ func Register[T any](u *Universe, name string, handler func(r *Rank, m T)) *MsgT
 		},
 		flushRank: func(r *Rank) bool { return mt.flushBuffers(r) },
 		batchLen:  func(data any) int { return len(data.([]T)) },
-		decode: func(b []byte) any {
-			var decoded []T
-			if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&decoded); err != nil {
-				panic(fmt.Sprintf("am: gob decode %s: %v", name, err))
+		decode: func(b []byte) (any, error) {
+			dst := mt.newBatch()
+			decoded, err := mt.codec.Decode(dst, b)
+			if err != nil {
+				mt.putBatch(dst)
+				return nil, err
 			}
-			return decoded
+			return decoded, nil
 		},
+		recycle: func(data any) { mt.putBatch(data.([]T)) },
 		xmit: func(r *Rank, dest int, seq uint64, attempt int, data any, lin []uint64) {
 			mt.transmit(r, dest, seq, attempt, data.([]T), lin)
 		},
@@ -190,6 +232,9 @@ func Register[T any](u *Universe, name string, handler func(r *Rank, m T)) *MsgT
 			tb := r.bufs[mt.id].(*typedBufs[T])
 			for dest := range tb.buf {
 				tb.mu[dest].Lock()
+				// Buffered-but-unshipped batches are exclusively owned by
+				// the coalescing layer, so the rollback may recycle them.
+				mt.putBatch(tb.buf[dest])
 				tb.buf[dest] = nil
 				if tb.par != nil {
 					tb.par[dest] = nil
@@ -252,15 +297,50 @@ func (t *MsgType[T]) WithReduction(key func(m T) uint64, combine func(old, incom
 	return t
 }
 
-// WithGobTransport routes this type's envelopes through a real
-// serialization round trip (encoding/gob): every shipped batch is encoded to
-// bytes, accounted in Stats.WireBytes, and decoded on arrival. This both
-// validates that the message type is wire-safe (a distributed deployment
-// could ship it as-is) and measures true serialized sizes. Payload type T
-// must be gob-encodable (exported fields).
-func (t *MsgType[T]) WithGobTransport() *MsgType[T] {
-	t.gobWire = true
+// WithCodec routes this type's envelopes through a real serialization round
+// trip with the given codec: every shipped batch is encoded to bytes, sealed
+// with the wire checksum, accounted in Stats.WireBytes, and decoded on
+// arrival. This both validates that the message type is wire-safe (a
+// distributed deployment could ship it as-is) and measures true serialized
+// sizes.
+func (t *MsgType[T]) WithCodec(c Codec[T]) *MsgType[T] {
+	if t.u.frozen.Load() {
+		panic("am: WithCodec after Run")
+	}
+	if c == nil {
+		panic("am: nil codec for message type " + t.name)
+	}
+	t.codec = c
+	t.rec.wire = true
 	return t
+}
+
+// WithWire enables the wire transport with the best available codec: the
+// zero-reflection fixed word-schema codec when T qualifies (no reference
+// types), the gob fallback otherwise.
+func (t *MsgType[T]) WithWire() *MsgType[T] {
+	if c, err := FixedCodec[T](); err == nil {
+		return t.WithCodec(c)
+	}
+	return t.WithCodec(GobCodec[T]())
+}
+
+// CodecName reports the wire codec in use ("" when the type ships in-memory).
+func (t *MsgType[T]) CodecName() string {
+	if t.codec == nil {
+		return ""
+	}
+	return t.codec.Name()
+}
+
+// WithGobTransport routes this type's envelopes through the encoding/gob
+// wire codec. Payload type T must be gob-encodable (exported fields).
+//
+// Deprecated: use WithWire (auto-selects the fixed codec when T qualifies)
+// or WithCodec. WithGobTransport remains for measuring the gob fallback and
+// for types that need gob's self-describing stream.
+func (t *MsgType[T]) WithGobTransport() *MsgType[T] {
+	return t.WithCodec(GobCodec[T]())
 }
 
 // Name returns the registration name.
@@ -332,7 +412,7 @@ func (t *MsgType[T]) SendTo(r *Rank, dest int, m T) {
 		km[k] = len(tb.buf[dest])
 	}
 	if tb.buf[dest] == nil {
-		tb.buf[dest] = make([]T, 0, t.coalesce)
+		tb.buf[dest] = t.newBatch()
 	}
 	tb.buf[dest] = append(tb.buf[dest], m)
 	if tb.par != nil {
@@ -375,8 +455,13 @@ func (t *MsgType[T]) ship(r *Rank, dest int, batch []T, lin []uint64) {
 	if u.fp == nil {
 		r.st.Add(cBytesSent, t.wireSize(len(batch)))
 		var data any = batch
-		if t.gobWire {
-			data = t.encode(r, batch)
+		if t.codec != nil {
+			wp := t.encode(r, batch)
+			wp.eb.refs.Store(1)
+			data = wp
+			// The receiver gets a decoded copy, so the sender's batch is
+			// unreachable after encode — recycle it now.
+			t.putBatch(batch)
 		}
 		u.ranks[dest].inbox.Push(envelope{
 			typeID: t.id, src: int32(r.id), gen: u.epochGen.Load(), data: data, lin: lin,
@@ -398,23 +483,25 @@ func (t *MsgType[T]) wireSize(n int) int64 {
 	return size
 }
 
-// encode serializes a batch for the gob wire transport, accounting the true
-// serialized size, and seals it with the wire checksum. Encoding failure is
-// a programmer error (non-wire-safe type) in every mode: retransmitting a
+// encode serializes a batch with the type's codec into a pooled buffer,
+// accounts the true serialized size, and seals it with the wire checksum.
+// The caller must set the returned payload's delivery refcount (one per
+// envelope push) before the envelope escapes. Encoding failure is a
+// programmer error (non-wire-safe type) in every mode: retransmitting a
 // batch that cannot be encoded would never succeed, so it panics rather
 // than entering the corruption→retransmit path.
-func (t *MsgType[T]) encode(r *Rank, batch []T) gobPayload {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(batch); err != nil {
-		panic(fmt.Sprintf("am: gob encode %s: %v", t.name, err))
+func (t *MsgType[T]) encode(r *Rank, batch []T) wirePayload {
+	eb := encBufPool.Get().(*encBuf)
+	b, err := t.codec.Append(eb.b[:0], batch)
+	if err != nil {
+		panic(fmt.Sprintf("am: %s encode %s: %v", t.codec.Name(), t.name, err))
 	}
-	r.st.Add(cWireBytes, int64(buf.Len()))
-	b := buf.Bytes()
-	return gobPayload{b: b, sum: crc64Sum(b)}
+	r.st.Add(cWireBytes, int64(len(b)))
+	return wirePayload{b: b, sum: crc64Sum(b), eb: eb}
 }
 
 // transmit performs one transmission attempt of envelope (r→dest, t, seq)
-// through the fault injector: the envelope may be dropped, corrupted (gob
+// through the fault injector: the envelope may be dropped, corrupted (wire
 // types), duplicated, or delayed, each decided deterministically from
 // (seed, link, seq, attempt). attempt 0 is the initial send; retransmits
 // arrive here through msgType.xmit with fresh attempt numbers (and fresh
@@ -439,19 +526,27 @@ func (t *MsgType[T]) transmit(r *Rank, dest int, seq uint64, attempt int, batch 
 		u.trace(r.id, TraceDrop, int64(t.id), int64(seq))
 		return
 	}
+	dup := fp.roll(faultDup, r.id, dest, int(t.id), seq, attempt) < fp.Dup
 	var data any = batch
-	if t.gobWire {
-		gp := t.encode(r, batch)
+	if t.codec != nil {
+		wp := t.encode(r, batch)
 		if fp.roll(faultCorrupt, r.id, dest, int(t.id), seq, attempt) < fp.Corrupt {
 			// Flip one byte after sealing the checksum: the receiver
 			// detects the mismatch, discards, and awaits retransmit.
-			i := fp.rollN(faultCorruptByte, r.id, dest, int(t.id), seq, attempt, len(gp.b)) - 1
-			gp.b[i] ^= 0xff
+			i := fp.rollN(faultCorruptByte, r.id, dest, int(t.id), seq, attempt, len(wp.b)) - 1
+			wp.b[i] ^= 0xff
 		}
-		data = gp
+		// Each pushed copy of the envelope (original + duplicate) holds one
+		// reference to the pooled buffer; the receiver releases per copy.
+		if dup {
+			wp.eb.refs.Store(2)
+		} else {
+			wp.eb.refs.Store(1)
+		}
+		data = wp
 	}
 	e := envelope{typeID: t.id, src: int32(r.id), seq: seq, gen: u.epochGen.Load(), data: data, lin: lin}
-	if fp.roll(faultDup, r.id, dest, int(t.id), seq, attempt) < fp.Dup {
+	if dup {
 		r.st.Inc(cEnvelopesDuplicated)
 		u.trace(r.id, TraceDup, int64(t.id), int64(seq))
 		u.ranks[dest].inbox.Push(e)

@@ -1,0 +1,66 @@
+package am
+
+import "time"
+
+// Option configures a Universe at construction. Options are applied in order
+// over the defaults, so later options win; the zero behaviour of every knob
+// is documented on the corresponding Config field.
+//
+// New(ranks, opts...) is the preferred constructor. The Config struct form
+// (NewUniverse) keeps working for existing callers, but it is a grow-only
+// literal — every new knob is a new field — whereas options let call sites
+// name exactly the knobs they set:
+//
+//	u := am.New(4, am.WithThreads(2), am.WithFaultPlan(&am.FaultPlan{Drop: 0.05}))
+type Option func(*Config)
+
+// New creates a simulated machine of `ranks` ranks configured by opts.
+func New(ranks int, opts ...Option) *Universe {
+	cfg := Config{Ranks: ranks}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return NewUniverse(cfg)
+}
+
+// WithThreads sets the number of message-handler threads per rank
+// (Config.ThreadsPerRank). 0 gives deterministic poll-driven handling.
+func WithThreads(n int) Option { return func(c *Config) { c.ThreadsPerRank = n } }
+
+// WithCoalesce sets the default coalescing factor (Config.CoalesceSize).
+func WithCoalesce(n int) Option { return func(c *Config) { c.CoalesceSize = n } }
+
+// WithDetector selects the termination-detection protocol (Config.Detector).
+func WithDetector(d DetectorKind) Option { return func(c *Config) { c.Detector = d } }
+
+// WithFaultPlan switches the transport into reliable mode and injects the
+// plan's faults (Config.FaultPlan).
+func WithFaultPlan(fp *FaultPlan) Option { return func(c *Config) { c.FaultPlan = fp } }
+
+// WithRecovery enables epoch-granular checkpoint/restart (Config.Recovery).
+func WithRecovery() Option { return func(c *Config) { c.Recovery = true } }
+
+// WithMaxRecoveries bounds recovery attempts per epoch
+// (Config.MaxRecoveries).
+func WithMaxRecoveries(n int) Option { return func(c *Config) { c.MaxRecoveries = n } }
+
+// WithTraceCapacity enables event tracing with per-rank rings totalling n
+// events (Config.TraceCapacity).
+func WithTraceCapacity(n int) Option { return func(c *Config) { c.TraceCapacity = n } }
+
+// WithTraceRingSize pins each rank's trace ring to exactly n events
+// (Config.TraceRingSize).
+func WithTraceRingSize(n int) Option { return func(c *Config) { c.TraceRingSize = n } }
+
+// WithLineage sets the causal-lineage mode (Config.Lineage).
+func WithLineage(m LineageMode) Option { return func(c *Config) { c.Lineage = m } }
+
+// WithTiming enables clock-based latency histograms (Config.Timing).
+func WithTiming() Option { return func(c *Config) { c.Timing = true } }
+
+// WithUnshardedStats collapses the metric shards into one
+// (Config.UnshardedStats; measurement only — see E17).
+func WithUnshardedStats() Option { return func(c *Config) { c.UnshardedStats = true } }
+
+// WithWatchdog arms the stuck-epoch watchdog (Config.Watchdog).
+func WithWatchdog(d time.Duration) Option { return func(c *Config) { c.Watchdog = d } }

@@ -2,9 +2,9 @@ package am
 
 import (
 	"fmt"
-	"hash/crc64"
 	"slices"
 	"sync"
+	"sync/atomic"
 
 	"declpat/internal/obs"
 )
@@ -43,26 +43,30 @@ type ackBody struct {
 	typ int32
 }
 
-// crcTable is the checksum polynomial for gob wire payloads.
-var crcTable = crc64.MakeTable(crc64.ECMA)
-
-// crc64Sum computes the wire checksum of an encoded batch.
-func crc64Sum(b []byte) uint64 { return crc64.Checksum(b, crcTable) }
-
-// gobPayload is the wire form of a WithGobTransport envelope: the encoded
-// batch plus a checksum computed over the clean bytes at the sender.
-type gobPayload struct {
-	b   []byte
-	sum uint64
-}
-
 // outEnvelope is one unacknowledged envelope held by the sender.
 type outEnvelope struct {
-	data     any      // the original []T batch; re-encoded per attempt for gob types
+	data     any      // the original []T batch; re-encoded per attempt for wire types
 	lin      []uint64 // causal lineage per message, preserved across retransmits
 	attempts int      // transmissions performed so far
 	due      uint64
 	sentNs   int64 // first-transmission timestamp (Config.Timing ack RTT)
+	// refs guards the batch against recycling while still reachable: the
+	// outstanding table holds one reference and every in-flight
+	// retransmission takes one more for the duration of its re-encode.
+	// Whoever drops the count to zero owns the batch; for wire types it
+	// returns the batch to the type's pool (the receiver only ever sees a
+	// decoded copy, so the ack proves the sender's copy is dead). Non-wire
+	// batches ship by reference and are never pooled here — the ack precedes
+	// the receiver's handler loop, which still reads them.
+	refs atomic.Int32
+}
+
+// release drops one reference to the outstanding batch and recycles it on
+// the last drop (wire types only; see refs).
+func (o *outEnvelope) release(rec *msgType) {
+	if o.refs.Add(-1) == 0 && rec.wire {
+		rec.recycle(o.data)
+	}
 }
 
 // delayedEnvelope is an envelope held back by the simulated network.
@@ -111,6 +115,7 @@ func (r *Rank) nextSeq(dest int, typ int32, data any, lin []uint64) uint64 {
 		lin:  lin,
 		due:  r.linkTick.Load() + uint64(r.u.fp.RetransmitBase),
 	}
+	o.refs.Store(1) // the outstanding table's reference; dropped by handleAck
 	if r.u.ackRTT != nil {
 		o.sentNs = obs.Now()
 	}
@@ -209,6 +214,7 @@ func (r *Rank) handleAck(e envelope) {
 			r.u.ackRTT.Observe(r.shard, obs.Now()-o.sentNs)
 		}
 		r.relAdd(-1)
+		o.release(r.u.types[ab.typ])
 	}
 }
 
@@ -238,11 +244,10 @@ func (r *Rank) pollLinks() bool {
 	worked := false
 	type resend struct {
 		rec     *msgType
+		o       *outEnvelope
 		dest    int
 		seq     uint64
 		attempt int
-		data    any
-		lin     []uint64
 	}
 	var resends []resend
 	var releases []envelope
@@ -296,7 +301,10 @@ func (r *Rank) pollLinks() bool {
 					return worked
 				}
 				o.due = now + backoffTicks(u.fp, o.attempts)
-				resends = append(resends, resend{u.types[typ], dest, seq, o.attempts, o.data, o.lin})
+				// Pin the batch across the retransmission: a concurrent ack
+				// must not recycle it while xmit is still re-encoding.
+				o.refs.Add(1)
+				resends = append(resends, resend{u.types[typ], o, dest, seq, o.attempts})
 			}
 			l.mu.Unlock()
 		}
@@ -307,7 +315,8 @@ func (r *Rank) pollLinks() bool {
 		worked = true
 	}
 	for _, rs := range resends {
-		rs.rec.xmit(r, rs.dest, rs.seq, rs.attempt, rs.data, rs.lin)
+		rs.rec.xmit(r, rs.dest, rs.seq, rs.attempt, rs.o.data, rs.o.lin)
+		rs.o.release(rs.rec)
 		worked = true
 	}
 	return worked

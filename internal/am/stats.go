@@ -25,6 +25,7 @@ const (
 	cRetransmits
 	cDupsSuppressed
 	cCorruptionsDetected
+	cDecodeErrors
 	cAckMsgs
 	cAcksDropped
 	cRankCrashes
@@ -44,6 +45,7 @@ var counterNames = [numCounters]string{
 	"handlers_run", "ctrl_msgs", "epochs", "flushes", "td_waves",
 	"envelopes_dropped", "envelopes_duplicated", "envelopes_delayed",
 	"retransmits", "dups_suppressed", "corruptions_detected",
+	"decode_errors",
 	"ack_msgs", "acks_dropped",
 	"rank_crashes", "handler_panics", "link_deaths",
 	"epoch_aborts", "recoveries", "checkpoints", "watchdog_fires",
@@ -116,9 +118,13 @@ func (s *Stats) Retransmits() int64 { return s.c.Total(cRetransmits) }
 // DupsSuppressed counts envelopes the receiver's dedup window discarded.
 func (s *Stats) DupsSuppressed() int64 { return s.c.Total(cDupsSuppressed) }
 
-// CorruptionsDetected counts gob-wire envelopes whose checksum failed at the
+// CorruptionsDetected counts wire envelopes whose checksum failed at the
 // receiver (discarded; recovered by retransmit).
 func (s *Stats) CorruptionsDetected() int64 { return s.c.Total(cCorruptionsDetected) }
+
+// DecodeErrors counts wire envelopes that passed the checksum but failed to
+// decode (discarded unacknowledged; recovered by retransmit).
+func (s *Stats) DecodeErrors() int64 { return s.c.Total(cDecodeErrors) }
 
 // AckMsgs counts acknowledgement envelopes actually sent.
 func (s *Stats) AckMsgs() int64 { return s.c.Total(cAckMsgs) }
@@ -158,6 +164,7 @@ type Snapshot struct {
 	EnvelopesDropped, EnvelopesDuplicated  int64
 	EnvelopesDelayed, Retransmits          int64
 	DupsSuppressed, CorruptionsDetected    int64
+	DecodeErrors                           int64
 	AckMsgs, AcksDropped                   int64
 	RankCrashes, HandlerPanics, LinkDeaths int64
 	EpochAborts, Recoveries, Checkpoints   int64
@@ -185,6 +192,7 @@ func snapshotOf(get func(id int) int64) Snapshot {
 		Retransmits:         get(cRetransmits),
 		DupsSuppressed:      get(cDupsSuppressed),
 		CorruptionsDetected: get(cCorruptionsDetected),
+		DecodeErrors:        get(cDecodeErrors),
 		AckMsgs:             get(cAckMsgs),
 		AcksDropped:         get(cAcksDropped),
 
@@ -236,6 +244,7 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 		Retransmits:         s.Retransmits - o.Retransmits,
 		DupsSuppressed:      s.DupsSuppressed - o.DupsSuppressed,
 		CorruptionsDetected: s.CorruptionsDetected - o.CorruptionsDetected,
+		DecodeErrors:        s.DecodeErrors - o.DecodeErrors,
 		AckMsgs:             s.AckMsgs - o.AckMsgs,
 		AcksDropped:         s.AcksDropped - o.AcksDropped,
 

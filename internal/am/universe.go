@@ -76,7 +76,10 @@ func (m LineageMode) String() string {
 // mistake rather than an intent.
 const maxTraceRingSize = 1 << 26
 
-// Config configures a simulated machine.
+// Config configures a simulated machine. New callers should prefer the
+// functional-options constructor New (options.go), which names exactly the
+// knobs a call site sets; the struct form remains supported for existing
+// code and for programmatic construction.
 type Config struct {
 	// Ranks is the number of simulated distributed-memory nodes (>= 1).
 	Ranks int
@@ -181,7 +184,7 @@ type envelope struct {
 	src    int32  // sending rank
 	seq    uint64 // per-(src, dest, type) sequence number (reliable mode)
 	gen    uint64 // epoch generation at creation; stale generations are discarded
-	data   any    // []T, gobPayload (gob wire types), or ackBody
+	data   any    // []T, wirePayload (codec-equipped wire types), or ackBody
 	// lin carries one causal-lineage id per message of the batch, aligned
 	// with data (nil when lineage is off). Read-only once shipped, so
 	// duplicates and retransmits share the slice safely.
@@ -580,9 +583,12 @@ func (u *Universe) Run(body func(r *Rank)) error {
 }
 
 // deliverEnvelope runs the handlers for every message in e on rank r. In
-// reliable mode it first verifies the wire checksum (gob types), suppresses
-// duplicates, and acknowledges the envelope; corrupted envelopes are
-// discarded unacknowledged so the sender's retransmit recovers them.
+// reliable mode it first verifies the wire checksum (codec-equipped types),
+// decodes, suppresses duplicates, and acknowledges the envelope; corrupted
+// or undecodable envelopes are discarded unacknowledged so the sender's
+// retransmit recovers them. Every exit path releases the envelope's pooled
+// wire buffer exactly once, and decoded batches the receiver exclusively
+// owns return to the type's batch pool after delivery.
 //
 // activeH brackets the whole function (not just the handler batch): the
 // recovery quiesce phase observes activeH == 0 to prove no delivery that
@@ -600,6 +606,9 @@ func (r *Rank) deliverEnvelope(e envelope) {
 		// generation is stale even if a descheduled worker surfaces it
 		// after the epoch replays.
 		if r.crashed.Load() || u.epochState.Load() == epochAborting || e.gen != u.epochGen.Load() {
+			if wp, ok := e.data.(wirePayload); ok {
+				wp.release()
+			}
 			return
 		}
 	}
@@ -608,12 +617,18 @@ func (r *Rank) deliverEnvelope(e envelope) {
 		return
 	}
 	if u.hasCrashes && r.crashDue() {
-		return // the rank died before handling this envelope; it dies unacknowledged
+		// The rank died before handling this envelope; it dies unacknowledged.
+		if wp, ok := e.data.(wirePayload); ok {
+			wp.release()
+		}
+		return
 	}
 	mt := u.types[e.typeID]
 	data := e.data
-	if gp, ok := data.(gobPayload); ok {
-		if crc64Sum(gp.b) != gp.sum {
+	fromWire := false
+	if wp, ok := data.(wirePayload); ok {
+		if crc64Sum(wp.b) != wp.sum {
+			wp.release()
 			if u.fp == nil {
 				panic("am: wire corruption on trusted transport: " + mt.name)
 			}
@@ -621,9 +636,23 @@ func (r *Rank) deliverEnvelope(e envelope) {
 			u.trace(r.id, TraceCorrupt, int64(e.typeID), int64(e.seq))
 			return
 		}
-		// A decode error after a checksum match is a programmer error
-		// (non-wire-safe type), not a network fault: decode panics.
-		data = mt.decode(gp.b)
+		decoded, err := mt.decode(wp.b)
+		wp.release()
+		if err != nil {
+			// Malformed bytes that slipped past the checksum. On the
+			// trusted transport nothing mutates the wire, so this is a
+			// codec bug and fails fast; in reliable mode it is treated
+			// exactly like detected corruption — discarded unacknowledged,
+			// so the sender's retransmit (a fresh encode) recovers.
+			if u.fp == nil {
+				panic("am: wire decode on trusted transport: " + mt.name + ": " + err.Error())
+			}
+			r.st.Inc(cDecodeErrors)
+			u.trace(r.id, TraceCorrupt, int64(e.typeID), int64(e.seq))
+			return
+		}
+		data = decoded
+		fromWire = true
 	}
 	if u.fp != nil {
 		fresh, salt := r.admit(int(e.src), e.typeID, e.seq)
@@ -631,6 +660,9 @@ func (r *Rank) deliverEnvelope(e envelope) {
 		if !fresh {
 			r.st.Inc(cDupsSuppressed)
 			u.trace(r.id, TraceSuppress, int64(e.typeID), int64(e.seq))
+			if fromWire {
+				mt.recycle(data)
+			}
 			return
 		}
 	}
@@ -654,6 +686,13 @@ func (r *Rank) deliverEnvelope(e envelope) {
 		if u.latHist != nil {
 			u.latHist[e.typeID].Observe(r.shard, end-start)
 		}
+	}
+	// The receiver exclusively owns wire-decoded batches, and on the trusted
+	// transport reference-shipped batches too (the sender relinquished the
+	// buffer at push). Reliable-mode reference batches stay with the
+	// retransmit table and are never pooled.
+	if fromWire || u.fp == nil {
+		mt.recycle(data)
 	}
 	u.touchProgress()
 }

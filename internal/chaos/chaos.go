@@ -42,8 +42,13 @@ type Scenario struct {
 	// Plan is the fault plan; nil runs the trusted transport (the
 	// fault-free baseline).
 	Plan *am.FaultPlan
+	// WireCodec routes the pattern engine's message type through the wire
+	// transport (so Corrupt faults apply to it) with the named codec:
+	// "gob" (the reflective fallback), "fixed" (the zero-reflection
+	// word-schema codec), or "" for the in-memory reference transport.
+	WireCodec string
 	// GobWire routes the pattern engine's message type through the gob
-	// wire transport so Corrupt faults apply to it.
+	// wire transport. Deprecated: set WireCodec to "gob".
 	GobWire bool
 	// Recovery enables epoch-granular checkpoint/restart: rank faults
 	// (injected crashes, dead links, contained panics) roll the damaged
@@ -55,12 +60,18 @@ type Scenario struct {
 
 // String names the scenario for test output.
 func (sc Scenario) String() string {
-	if sc.Plan == nil {
-		return fmt.Sprintf("baseline/%dx%d/%s", sc.Ranks, sc.Threads, sc.Detector)
+	wire := ""
+	if sc.WireCodec != "" {
+		wire = "/wire=" + sc.WireCodec
+	} else if sc.GobWire {
+		wire = "/wire=gob"
 	}
-	rec := ""
+	if sc.Plan == nil {
+		return fmt.Sprintf("baseline/%dx%d/%s%s", sc.Ranks, sc.Threads, sc.Detector, wire)
+	}
+	rec := wire
 	if sc.Recovery {
-		rec = "/recovery"
+		rec += "/recovery"
 	}
 	if n := len(sc.Plan.Crashes) + len(sc.Plan.DeadLinks); n > 0 {
 		rec += fmt.Sprintf("/faults=%d", n)
@@ -70,28 +81,45 @@ func (sc Scenario) String() string {
 		sc.Ranks, sc.Threads, sc.Detector, sc.Plan.Seed, rec)
 }
 
-func (sc Scenario) config() am.Config {
-	return am.Config{
-		Ranks:          sc.Ranks,
-		ThreadsPerRank: sc.Threads,
-		CoalesceSize:   sc.Coalesce,
-		Detector:       sc.Detector,
-		FaultPlan:      sc.Plan,
-		Recovery:       sc.Recovery,
-		Watchdog:       sc.Watchdog,
+func (sc Scenario) options() []am.Option {
+	opts := []am.Option{
+		am.WithThreads(sc.Threads),
+		am.WithCoalesce(sc.Coalesce),
+		am.WithDetector(sc.Detector),
+		am.WithFaultPlan(sc.Plan),
+		am.WithWatchdog(sc.Watchdog),
 	}
+	if sc.Recovery {
+		opts = append(opts, am.WithRecovery())
+	}
+	return opts
 }
 
 // engine builds a fresh universe + engine over w for one algorithm run.
 func engine(w Workload, sc Scenario, gopts distgraph.Options) (*am.Universe, *pattern.Engine, *pmap.LockMap) {
-	cfg := sc.config()
-	u := am.NewUniverse(cfg)
+	u := am.New(sc.Ranks, sc.options()...)
 	d := distgraph.NewBlockDist(w.N, u.Ranks())
 	g := distgraph.Build(d, w.Edges, gopts)
 	lm := pmap.NewLockMap(d, 1)
 	eng := pattern.NewEngine(u, g, lm, pattern.DefaultPlanOptions())
-	if sc.GobWire {
+	codec := sc.WireCodec
+	if codec == "" && sc.GobWire {
+		codec = "gob"
+	}
+	switch codec {
+	case "":
+	case "gob":
 		eng.MsgType().WithGobTransport()
+	case "fixed":
+		// WithWire auto-selects the fixed codec for the engine's
+		// pointer-free message type; the assertion pins that property so a
+		// future reference-typed field can't silently demote the chaos
+		// matrix to the gob fallback.
+		if eng.MsgType().WithWire().CodecName() != "fixed" {
+			panic("chaos: pattern message type no longer has a fixed layout")
+		}
+	default:
+		panic(fmt.Sprintf("chaos: unknown WireCodec %q", codec))
 	}
 	return u, eng, lm
 }

@@ -134,6 +134,71 @@ func TestCorruptionUnderChaos(t *testing.T) {
 	}
 }
 
+// TestWireCodecsUnderChaos runs BFS/SSSP/CC through both wire codecs under
+// drop+dup+delay+corrupt faults on both detectors: every codec's result must
+// be bit-identical to the in-memory fault-free run (and therefore to the
+// other codec's), and the corruption checksum must actually fire.
+func TestWireCodecsUnderChaos(t *testing.T) {
+	w := workload(t, 8, 6)
+	src := distgraph.Vertex(3)
+	plan := &am.FaultPlan{
+		Seed:    harness.DeriveSeed(baseSeed, "wirecodec"),
+		Drop:    0.05,
+		Dup:     0.10,
+		Delay:   0.10,
+		Corrupt: 0.10,
+	}
+	for _, det := range []am.DetectorKind{am.DetectorAtomic, am.DetectorFourCounter} {
+		for _, codec := range []string{"gob", "fixed"} {
+			sc := Scenario{Ranks: 3, Threads: 1, Coalesce: 4, Detector: det,
+				Plan: plan, WireCodec: codec}
+			base := sc
+			base.Plan = nil
+			base.WireCodec = ""
+
+			want, _ := RunBFS(w, base, src)
+			got, stats := RunBFS(w, sc, src)
+			check(t, "BFS+"+codec, sc, got, want)
+			if stats.CorruptionsDetected == 0 {
+				t.Fatalf("BFS under %s: no corruptions detected at 10%% corruption", sc)
+			}
+
+			wantD, _ := RunSSSP(w, base, src, 30)
+			gotD, _ := RunSSSP(w, sc, src, 30)
+			check(t, "SSSP+"+codec, sc, gotD, wantD)
+
+			wantC, _ := RunCC(w, base)
+			gotC, _ := RunCC(w, sc)
+			check(t, "CC+"+codec, sc, gotC, wantC)
+		}
+	}
+}
+
+// TestWireCodecCrashRecovery crosses the fixed codec with the crash-stop
+// schedules: pooled wire buffers and checkpoint/replay must coexist, and
+// replayed results must stay bit-identical to the fault-free run.
+func TestWireCodecCrashRecovery(t *testing.T) {
+	w := workload(t, 9, 8)
+	src := distgraph.Vertex(3)
+	for name, plan := range crashSchedules() {
+		for _, sc := range recoveryScenarios(plan) {
+			sc.WireCodec = "fixed"
+			t.Run(fmt.Sprintf("%s/%s", name, sc.Detector), func(t *testing.T) {
+				base := sc
+				base.Plan, base.Recovery, base.WireCodec = nil, false, ""
+				want, _ := RunBFS(w, base, src)
+				got, stats := RunBFS(w, sc, src)
+				check(t, "BFS+fixed", sc, got, want)
+				checkRecovered(t, "BFS+fixed", sc, stats)
+
+				wantD, _ := RunSSSP(w, base, src, 30)
+				gotD, _ := RunSSSP(w, sc, src, 30)
+				check(t, "SSSP+fixed", sc, gotD, wantD)
+			})
+		}
+	}
+}
+
 // TestChaosResultsDeterministic runs the same faulty scenario twice and
 // requires bit-identical results — the reliable protocol makes the
 // *outcome* a pure function of (workload, seed), even though scheduling

@@ -37,7 +37,7 @@ func threeLocPattern() *pattern.Pattern {
 // given plan options; pen is zero everywhere, so correct answers equal plain
 // SSSP. Returns the universe (for stats) and distances.
 func runThreeLoc(n int, edges []distgraph.Edge, popts pattern.PlanOptions) (*am.Universe, []int64) {
-	u := am.NewUniverse(am.Config{Ranks: 4, ThreadsPerRank: 2})
+	u := am.New(4, am.WithThreads(2))
 	benchTrack(u)
 	d := distgraph.NewBlockDist(n, 4)
 	g := distgraph.Build(d, edges, distgraph.Options{})
@@ -111,7 +111,7 @@ func E2Merge(sc Scale) []*harness.Table {
 }
 
 func compilePlans(p *pattern.Pattern, popts pattern.PlanOptions) []pattern.PlanInfo {
-	u := am.NewUniverse(am.Config{Ranks: 1})
+	u := am.New(1)
 	benchTrack(u)
 	d := distgraph.NewBlockDist(2, 1)
 	g := distgraph.Build(d, []distgraph.Edge{{Src: 0, Dst: 1, W: 1}}, distgraph.Options{})
@@ -228,7 +228,7 @@ func E11PointerJump(Scale) []*harness.Table {
 	rounds := harness.NewTable("E11b: chain collapse via once(cc_jump)",
 		"chain-length", "once-rounds", "messages")
 	for _, L := range []int{4, 16, 64, 256} {
-		u := am.NewUniverse(am.Config{Ranks: 4, ThreadsPerRank: 1})
+		u := am.New(4, am.WithThreads(1))
 		benchTrack(u)
 		d := distgraph.NewBlockDist(L, 4)
 		g := distgraph.Build(d, gen.Path(L, gen.Weights{}, 0), distgraph.Options{})

@@ -67,7 +67,7 @@ func E6Reduction(sc Scale) []*harness.Table {
 	t := harness.NewTable("E6: reduction cache (hand-written AM++ SSSP)",
 		"cache", "accepted", "suppressed", "handlers", "envelopes", "time", "wrong")
 	for _, cached := range []bool{false, true} {
-		u := am.NewUniverse(am.Config{Ranks: 4, ThreadsPerRank: 2, CoalesceSize: 256})
+		u := am.New(4, am.WithThreads(2), am.WithCoalesce(256))
 		benchTrack(u)
 		g := buildGraph(u, n, edges, defaultGOpts())
 		h := algorithms.NewHandSSSP(u, g)
