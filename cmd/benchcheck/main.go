@@ -4,20 +4,27 @@
 // Usage:
 //
 //	go test -run '^$' -bench 'BenchmarkCodec' -benchmem ./internal/am/ > bench.txt
-//	benchcheck -in bench.txt [-e20 e20.json] [-json BENCH_codec.json] \
-//	           [-baseline BENCH_codec.json] [-filter fixed] [-max-regress 0.20]
+//	benchcheck -in bench.txt [-e20 e20.json] [-e21 e21.json] [-json BENCH_codec.json] \
+//	           [-baseline BENCH_codec.json] [-filter fixed] [-tolerance "B/op=20,allocs/op=5"]
 //
 // Parsing accepts any benchmark line (name, iterations, then value/unit
 // pairs); the trailing -N GOMAXPROCS suffix is stripped so results match
 // across machines with different core counts. With -baseline, every parsed
 // benchmark whose name contains -filter is compared against the same name
 // in the baseline on the B/op, allocs/op, and wire_B metrics; a current
-// value exceeding baseline*(1+max-regress)+slack fails the run. ns/op is
+// value exceeding baseline*(1+tolerance)+slack fails the run. ns/op is
 // deliberately not gated — wall time is too machine-dependent for CI.
 //
-// With -e20 the given JSON file (the E20 codec matrix from
-// `experiments -codec-json`) is embedded in the report, so BENCH_codec.json
-// carries both the microbenchmark baseline and the end-to-end table.
+// -tolerance sets the allowed regression in percent: a bare number ("20")
+// applies to every gated metric, and metric=percent entries ("B/op=20,
+// allocs/op=5") set per-metric budgets (unlisted metrics keep the default).
+// The older -max-regress fraction is the fallback when -tolerance is unset.
+//
+// With -e20/-e21 the given JSON files (the E20 codec matrix from
+// `experiments -codec-json`, the E21 transport matrix from
+// `experiments -transport-json`) are embedded in the report, so the
+// committed BENCH_*.json carries both the microbenchmark baseline and the
+// end-to-end table.
 package main
 
 import (
@@ -39,10 +46,11 @@ type Benchmark struct {
 	Metrics map[string]float64 `json:"metrics"`
 }
 
-// Report is the BENCH_codec.json document.
+// Report is the BENCH_*.json document.
 type Report struct {
 	Benchmarks []Benchmark     `json:"benchmarks"`
 	E20        json.RawMessage `json:"e20,omitempty"`
+	E21        json.RawMessage `json:"e21,omitempty"`
 }
 
 var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
@@ -83,9 +91,54 @@ func parse(r io.Reader) ([]Benchmark, error) {
 // baseline. ns/op is excluded on purpose.
 var gatedMetrics = []string{"B/op", "allocs/op", "wire_B"}
 
+// tolerances holds the allowed fractional regression per metric plus the
+// default for metrics without their own entry.
+type tolerances struct {
+	def   float64
+	byKey map[string]float64
+}
+
+func (t tolerances) of(metric string) float64 {
+	if v, ok := t.byKey[metric]; ok {
+		return v
+	}
+	return t.def
+}
+
+// parseTolerance reads the -tolerance spec: a bare percent ("20") sets the
+// default for every gated metric; metric=percent entries ("B/op=20,
+// allocs/op=5") set per-metric budgets. fallback (the -max-regress fraction)
+// is the default when the spec has no bare entry.
+func parseTolerance(spec string, fallback float64) (tolerances, error) {
+	t := tolerances{def: fallback, byKey: map[string]float64{}}
+	if spec == "" {
+		return t, nil
+	}
+	for _, ent := range strings.Split(spec, ",") {
+		ent = strings.TrimSpace(ent)
+		if ent == "" {
+			continue
+		}
+		key, val := "", ent
+		if i := strings.LastIndex(ent, "="); i >= 0 {
+			key, val = strings.TrimSpace(ent[:i]), strings.TrimSpace(ent[i+1:])
+		}
+		pct, err := strconv.ParseFloat(val, 64)
+		if err != nil || pct < 0 {
+			return t, fmt.Errorf("bad tolerance entry %q (want percent, e.g. \"20\" or \"B/op=20\")", ent)
+		}
+		if key == "" {
+			t.def = pct / 100
+		} else {
+			t.byKey[key] = pct / 100
+		}
+	}
+	return t, nil
+}
+
 // compare checks every current benchmark matching filter against the
 // baseline and returns the list of violations.
-func compare(current, baseline []Benchmark, filter string, maxRegress, slack float64) []string {
+func compare(current, baseline []Benchmark, filter string, tol tolerances, slack float64) []string {
 	base := map[string]Benchmark{}
 	for _, b := range baseline {
 		base[b.Name] = b
@@ -107,10 +160,10 @@ func compare(current, baseline []Benchmark, filter string, maxRegress, slack flo
 			if !ok1 || !ok2 {
 				continue
 			}
-			limit := was*(1+maxRegress) + slack
+			limit := was*(1+tol.of(m)) + slack
 			if cur > limit {
 				bad = append(bad, fmt.Sprintf("%s %s: %.1f > limit %.1f (baseline %.1f, +%.0f%% + %.0f slack)",
-					b.Name, m, cur, limit, was, maxRegress*100, slack))
+					b.Name, m, cur, limit, was, tol.of(m)*100, slack))
 			}
 		}
 	}
@@ -128,12 +181,19 @@ func fail(err error) {
 func main() {
 	in := flag.String("in", "", "bench output file (default: stdin)")
 	e20 := flag.String("e20", "", "E20 codec-matrix JSON to embed in the report")
+	e21 := flag.String("e21", "", "E21 transport-matrix JSON to embed in the report")
 	jsonOut := flag.String("json", "", "write the parsed report to this file")
 	baseline := flag.String("baseline", "", "compare against this committed report")
 	filter := flag.String("filter", "fixed", "substring of benchmark names to gate")
-	maxRegress := flag.Float64("max-regress", 0.20, "allowed fractional regression vs baseline")
+	maxRegress := flag.Float64("max-regress", 0.20, "allowed fractional regression vs baseline (fallback when -tolerance is unset)")
+	tolerance := flag.String("tolerance", "", `allowed regression in percent: "20" for all gated metrics, or per-metric "B/op=20,allocs/op=5"`)
 	slack := flag.Float64("slack", 64, "absolute slack added to each limit (absorbs noise on near-zero baselines)")
 	flag.Parse()
+
+	tol, err := parseTolerance(*tolerance, *maxRegress)
+	if err != nil {
+		fail(err)
+	}
 
 	var src io.Reader = os.Stdin
 	if *in != "" {
@@ -152,15 +212,21 @@ func main() {
 		fail(fmt.Errorf("no benchmark lines found in input"))
 	}
 	rep := Report{Benchmarks: benches}
-	if *e20 != "" {
-		raw, err := os.ReadFile(*e20)
+	embed := func(path string) json.RawMessage {
+		raw, err := os.ReadFile(path)
 		if err != nil {
 			fail(err)
 		}
 		if !json.Valid(raw) {
-			fail(fmt.Errorf("%s: not valid JSON", *e20))
+			fail(fmt.Errorf("%s: not valid JSON", path))
 		}
-		rep.E20 = json.RawMessage(raw)
+		return json.RawMessage(raw)
+	}
+	if *e20 != "" {
+		rep.E20 = embed(*e20)
+	}
+	if *e21 != "" {
+		rep.E21 = embed(*e21)
 	}
 
 	// Compare BEFORE writing: -json and -baseline may be the same path.
@@ -173,7 +239,7 @@ func main() {
 		if err := json.Unmarshal(raw, &ref); err != nil {
 			fail(fmt.Errorf("%s: %v", *baseline, err))
 		}
-		if bad := compare(benches, ref.Benchmarks, *filter, *maxRegress, *slack); len(bad) > 0 {
+		if bad := compare(benches, ref.Benchmarks, *filter, tol, *slack); len(bad) > 0 {
 			for _, m := range bad {
 				fmt.Fprintln(os.Stderr, "REGRESSION:", m)
 			}

@@ -32,21 +32,60 @@ func TestParse(t *testing.T) {
 }
 
 func TestCompare(t *testing.T) {
+	tol := tolerances{def: 0.20, byKey: map[string]float64{}}
 	base := []Benchmark{{Name: "BenchmarkCodecEncode/fixed",
 		Metrics: map[string]float64{"B/op": 100, "allocs/op": 0, "wire_B": 600}}}
 	ok := []Benchmark{{Name: "BenchmarkCodecEncode/fixed",
 		Metrics: map[string]float64{"B/op": 110, "allocs/op": 1, "wire_B": 600}}}
-	if bad := compare(ok, base, "fixed", 0.20, 64); len(bad) != 0 {
+	if bad := compare(ok, base, "fixed", tol, 64); len(bad) != 0 {
 		t.Fatalf("within-limit run flagged: %v", bad)
 	}
 	regressed := []Benchmark{{Name: "BenchmarkCodecEncode/fixed",
 		Metrics: map[string]float64{"B/op": 100, "allocs/op": 0, "wire_B": 900}}}
-	if bad := compare(regressed, base, "fixed", 0.20, 64); len(bad) != 1 {
+	if bad := compare(regressed, base, "fixed", tol, 64); len(bad) != 1 {
 		t.Fatalf("wire_B regression not flagged: %v", bad)
 	}
 	// A filter that matches nothing in the baseline must fail loudly, not
 	// silently pass.
-	if bad := compare(ok, nil, "fixed", 0.20, 64); len(bad) == 0 {
+	if bad := compare(ok, nil, "fixed", tol, 64); len(bad) == 0 {
 		t.Fatal("empty baseline passed silently")
+	}
+}
+
+func TestParseTolerance(t *testing.T) {
+	// Unset spec falls back to -max-regress.
+	tol, err := parseTolerance("", 0.20)
+	if err != nil || tol.of("B/op") != 0.20 {
+		t.Fatalf("fallback: tol=%v err=%v", tol, err)
+	}
+	// A bare percent applies to every metric.
+	tol, err = parseTolerance("50", 0.20)
+	if err != nil || tol.of("B/op") != 0.50 || tol.of("wire_B") != 0.50 {
+		t.Fatalf("bare percent: tol=%+v err=%v", tol, err)
+	}
+	// Per-metric entries override the default; unlisted metrics keep it.
+	tol, err = parseTolerance("B/op=20, allocs/op=5", 0.10)
+	if err != nil || tol.of("B/op") != 0.20 || tol.of("allocs/op") != 0.05 || tol.of("wire_B") != 0.10 {
+		t.Fatalf("per-metric: tol=%+v err=%v", tol, err)
+	}
+	// Mixed: bare default plus a per-metric budget.
+	tol, err = parseTolerance("30,wire_B=10", 0.20)
+	if err != nil || tol.of("B/op") != 0.30 || tol.of("wire_B") != 0.10 {
+		t.Fatalf("mixed: tol=%+v err=%v", tol, err)
+	}
+	if _, err = parseTolerance("B/op=lots", 0.20); err == nil {
+		t.Fatal("malformed percent accepted")
+	}
+	if _, err = parseTolerance("-5", 0.20); err == nil {
+		t.Fatal("negative percent accepted")
+	}
+
+	// A per-metric tolerance gates exactly its metric.
+	base := []Benchmark{{Name: "BenchmarkX/fixed", Metrics: map[string]float64{"B/op": 1000, "wire_B": 1000}}}
+	cur := []Benchmark{{Name: "BenchmarkX/fixed", Metrics: map[string]float64{"B/op": 1200, "wire_B": 1200}}}
+	tight, _ := parseTolerance("B/op=30,wire_B=5", 0.20)
+	bad := compare(cur, base, "fixed", tight, 0)
+	if len(bad) != 1 || !strings.Contains(bad[0], "wire_B") {
+		t.Fatalf("per-metric gate: %v", bad)
 	}
 }

@@ -1,0 +1,65 @@
+// declpat-worker is the external data-plane process of the socket transport:
+// a frame relay. A universe configured with SockOptions.Relay pointed at a
+// running worker dials every inter-rank connection *through* it — the worker
+// reads a small hello naming the target rank's listen address, dials it, and
+// splices the two connections byte-for-byte. Every data frame, ack,
+// heartbeat, handshake, and reconnect then genuinely crosses an OS process
+// boundary, which is what makes killing the worker a real connection
+// failure the transport's reconnect machinery has to survive.
+//
+// Usage:
+//
+//	declpat-worker -listen tcp://127.0.0.1:9730
+//	declpat-worker -listen unix:///tmp/declpat-worker.sock
+//
+// Then run any declpat program with the socket transport and
+// SockOptions.Relay set to the same address (see the README two-process
+// quickstart). The worker is stateless: kill it mid-run and start a fresh
+// one on the same address, and the transport reconnects through it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"declpat/internal/relay"
+)
+
+func main() {
+	listen := flag.String("listen", "tcp://127.0.0.1:9730",
+		"relay listen address (tcp://host:port or unix:///path)")
+	flag.Parse()
+
+	network, addr, err := relay.SplitAddr(*listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "declpat-worker:", err)
+		os.Exit(2)
+	}
+	if network == "unix" {
+		// A stale socket file from a killed predecessor would block the
+		// restart-on-same-address workflow.
+		os.Remove(addr)
+	}
+	ln, err := net.Listen(network, addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "declpat-worker:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("declpat-worker: relaying on %s://%s\n", network, ln.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		ln.Close()
+	}()
+
+	if err := relay.Serve(ln); err != nil {
+		fmt.Fprintln(os.Stderr, "declpat-worker:", err)
+		os.Exit(1)
+	}
+}

@@ -1,4 +1,4 @@
-// Command experiments runs the full reproduction suite (E1–E19, see
+// Command experiments runs the full reproduction suite (E1–E21, see
 // DESIGN.md) and prints every table. EXPERIMENTS.md records one run of this
 // command.
 //
@@ -32,16 +32,15 @@ func main() {
 	debug := flag.String("debug", "", "serve pprof/expvar on this address (e.g. localhost:6060) while the suite runs")
 	benchJSON := flag.String("bench-json", "", "write a machine-readable per-experiment bench report to this file")
 	codecJSON := flag.String("codec-json", "", "run only the E20 codec matrix and write its records as JSON to this file")
+	transportJSON := flag.String("transport-json", "", "run only the E21 transport matrix and write its records as JSON to this file")
 	flag.Parse()
 
-	if *codecJSON != "" {
-		sc := experiments.Scale{RMATScale: *scale, EdgeFactor: *ef, Seed: *seed}
-		recs := experiments.E20CodecRecords(sc)
-		f, err := os.Create(*codecJSON)
+	writeJSON := func(path, label string, v any, n int) {
+		f, err := os.Create(path)
 		if err == nil {
 			enc := json.NewEncoder(f)
 			enc.SetIndent("", "  ")
-			err = enc.Encode(recs)
+			err = enc.Encode(v)
 			if cerr := f.Close(); err == nil {
 				err = cerr
 			}
@@ -50,7 +49,19 @@ func main() {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("# codec report: %s (%d records)\n", *codecJSON, len(recs))
+		fmt.Printf("# %s report: %s (%d records)\n", label, path, n)
+	}
+
+	if *codecJSON != "" {
+		sc := experiments.Scale{RMATScale: *scale, EdgeFactor: *ef, Seed: *seed}
+		recs := experiments.E20CodecRecords(sc)
+		writeJSON(*codecJSON, "codec", recs, len(recs))
+		return
+	}
+	if *transportJSON != "" {
+		sc := experiments.Scale{RMATScale: *scale, EdgeFactor: *ef, Seed: *seed}
+		recs := experiments.E21TransportRecords(sc)
+		writeJSON(*transportJSON, "transport", recs, len(recs))
 		return
 	}
 

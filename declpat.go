@@ -67,6 +67,25 @@ type (
 	LineageMode = am.LineageMode
 	// MessageStats is the universe-wide message accounting.
 	MessageStats = am.Stats
+	// Transport is the message-plane backend seam (Config.Transport): the
+	// in-process channel backend, or real sockets via SockTransport.
+	Transport = am.Transport
+	// SockOptions configures the socket transport: network (tcp/unix),
+	// heartbeat and liveness deadlines, reconnect backoff and budget, an
+	// optional relay (cmd/declpat-worker) address, and socket-level fault
+	// injection.
+	SockOptions = am.SockOptions
+	// SockFaultPlan injects deterministic socket-level failures into a
+	// socket transport: connection kills, one-way partitions, link flaps.
+	SockFaultPlan = am.SockFaultPlan
+	// SockDisconnect kills one directed link's connection after a frame
+	// count (it reconnects and requeues).
+	SockDisconnect = am.SockDisconnect
+	// SockPartition black-holes one direction over a frame window with no
+	// closing frame (heartbeats vanish; liveness and escalation fire).
+	SockPartition = am.SockPartition
+	// SockFlap kills a link every Period-th frame, Count times.
+	SockFlap = am.SockFlap
 )
 
 // Termination detectors.
@@ -90,6 +109,16 @@ const (
 	FaultHandlerPanic = am.FaultHandlerPanic
 	FaultLinkDead     = am.FaultLinkDead
 	FaultWatchdog     = am.FaultWatchdog
+	FaultTransport    = am.FaultTransport
+)
+
+// Transport constructors: ChanTransport is the in-process default;
+// SockTransport runs the data plane over TCP or Unix-domain sockets with
+// heartbeats, liveness deadlines, automatic reconnect, and escalation to
+// checkpoint/restart when the reconnect budget is exhausted.
+var (
+	ChanTransport = am.ChanTransport
+	SockTransport = am.SockTransport
 )
 
 // Option configures a Universe built with New.
@@ -122,6 +151,8 @@ var (
 	WithUnshardedStats = am.WithUnshardedStats
 	// WithWatchdog arms the stuck-epoch watchdog.
 	WithWatchdog = am.WithWatchdog
+	// WithTransport selects the message transport backend.
+	WithTransport = am.WithTransport
 )
 
 // New creates a simulated machine of `ranks` ranks configured by options:

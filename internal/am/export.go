@@ -12,8 +12,8 @@ import (
 func (u *Universe) typeNameOf(kind TraceKind, arg int64) string {
 	switch kind {
 	case TraceShip, TraceDeliver, TraceDrop, TraceDup, TraceDelay,
-		TraceRetransmit, TraceCorrupt, TraceSuppress, TraceAck,
-		TracePanic, TraceLinkDead, TraceHandler:
+		TraceRetransmit, TraceCorrupt, TraceDecodeError, TraceSuppress,
+		TraceAck, TracePanic, TraceLinkDead, TraceHandler:
 		if arg == int64(ackTypeID) {
 			return "ack"
 		}

@@ -50,6 +50,14 @@ type FaultPlan struct {
 	// ticks; attempt n waits RetransmitBase << min(n, 6) ticks. 0 selects
 	// the default (8).
 	RetransmitBase int
+	// BackoffJitter, when in (0, 1], spreads every retransmit timeout by a
+	// deterministic factor drawn uniformly from
+	// [1-BackoffJitter, 1+BackoffJitter) — a pure function of
+	// (Seed, link, seq, attempt), so schedules stay reproducible. 0 (the
+	// default) keeps the exact exponential timeouts; socket transports
+	// default it on (via their synthesized plan) to desynchronize the
+	// retransmit burst that follows a reconnect.
+	BackoffJitter float64
 	// MaxAttempts bounds transmissions per envelope; exceeding it raises a
 	// structured LinkDead rank fault (at Drop = 0.2 the default ceiling of
 	// 30 is reached with probability 0.2^30 ≈ 1e-21 per envelope). With
@@ -101,13 +109,17 @@ func (fp *FaultPlan) withDefaults() *FaultPlan {
 	if c.MaxAttempts <= 0 {
 		c.MaxAttempts = 30
 	}
-	for _, p := range []float64{c.Drop, c.Dup, c.Delay, c.Corrupt} {
+	for _, p := range []float64{c.Drop, c.Dup, c.Delay, c.Corrupt, c.BackoffJitter} {
 		if p < 0 || p > 1 {
 			panic(fmt.Sprintf("am: FaultPlan probability %v outside [0,1]", p))
 		}
 	}
 	return &c
 }
+
+// defaultSockBackoffJitter is the BackoffJitter a socket transport's
+// synthesized fault plan uses (see NewUniverse).
+const defaultSockBackoffJitter = 0.25
 
 // Fault decision kinds, mixed into the hash so each decision on the same
 // (link, seq, attempt) is independent.
@@ -119,6 +131,7 @@ const (
 	faultCorruptByte
 	faultDelayTicks
 	faultAckDrop
+	faultBackoffJitter
 )
 
 // splitmix64 is the SplitMix64 output function: a bijective avalanche mix

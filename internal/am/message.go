@@ -463,7 +463,7 @@ func (t *MsgType[T]) ship(r *Rank, dest int, batch []T, lin []uint64) {
 			// unreachable after encode — recycle it now.
 			t.putBatch(batch)
 		}
-		u.ranks[dest].inbox.Push(envelope{
+		u.push(r.id, dest, envelope{
 			typeID: t.id, src: int32(r.id), gen: u.epochGen.Load(), data: data, lin: lin,
 		})
 		return
@@ -549,7 +549,7 @@ func (t *MsgType[T]) transmit(r *Rank, dest int, seq uint64, attempt int, batch 
 	if dup {
 		r.st.Inc(cEnvelopesDuplicated)
 		u.trace(r.id, TraceDup, int64(t.id), int64(seq))
-		u.ranks[dest].inbox.Push(e)
+		u.push(r.id, dest, e)
 	}
 	if fp.roll(faultDelay, r.id, dest, int(t.id), seq, attempt) < fp.Delay {
 		jitter := fp.rollN(faultDelayTicks, r.id, dest, int(t.id), seq, attempt, 2*fp.DelayTicks)
@@ -558,7 +558,7 @@ func (t *MsgType[T]) transmit(r *Rank, dest int, seq uint64, attempt int, batch 
 		r.holdDelayed(dest, e, r.linkTick.Load()+uint64(jitter))
 		return
 	}
-	u.ranks[dest].inbox.Push(e)
+	u.push(r.id, dest, e)
 }
 
 // envelopeHeaderBytes models the fixed per-envelope wire overhead (type id,

@@ -23,8 +23,15 @@ type TypeMetrics struct {
 // exact values; concurrent reads are safe but may be slightly torn across
 // counters.
 type Metrics struct {
+	// Transport names the active transport backend ("chan", "sock-tcp",
+	// "sock-unix").
+	Transport string
 	// Counters is the aggregated counter snapshot (same as Stats.Snapshot).
 	Counters Snapshot
+	// Wire surfaces the wire-health counters from Counters at the top
+	// level: envelope decode failures plus the socket backends' link-state
+	// events (all zero on the in-process backend).
+	Wire WireHealth
 	// PerRank is the per-shard counter breakdown (one entry per rank, or a
 	// single entry under Config.UnshardedStats).
 	PerRank []Snapshot
@@ -46,13 +53,35 @@ type Metrics struct {
 	AckRTT obs.HistSnapshot
 }
 
+// WireHealth is the wire-facing health block of Metrics: what the link
+// layer detected (corruption, undecodable envelopes) and what the socket
+// backends did about connection failures (liveness expiries, reconnects,
+// requeued and dropped frames).
+type WireHealth struct {
+	CorruptionsDetected int64
+	DecodeErrors        int64
+	HeartbeatMisses     int64
+	Reconnects          int64
+	FramesRequeued      int64
+	FramesDropped       int64
+}
+
 // Metrics returns a full observability snapshot. Callable once Run has
 // started (the type-dimensioned state is allocated when the type set
 // freezes); before that only the counter sections are populated.
 func (u *Universe) Metrics() Metrics {
 	m := Metrics{
-		Counters: u.Stats.Snapshot(),
-		PerRank:  u.Stats.PerRank(),
+		Transport: u.net.Name(),
+		Counters:  u.Stats.Snapshot(),
+		PerRank:   u.Stats.PerRank(),
+	}
+	m.Wire = WireHealth{
+		CorruptionsDetected: m.Counters.CorruptionsDetected,
+		DecodeErrors:        m.Counters.DecodeErrors,
+		HeartbeatMisses:     m.Counters.HeartbeatMisses,
+		Reconnects:          m.Counters.Reconnects,
+		FramesRequeued:      m.Counters.FramesRequeued,
+		FramesDropped:       m.Counters.FramesDropped,
 	}
 	m.InboxDepth = make([]GaugeSnapshot, len(u.ranks))
 	m.CoalesceBuffered = make([]int64, len(u.ranks))

@@ -64,3 +64,10 @@ func WithUnshardedStats() Option { return func(c *Config) { c.UnshardedStats = t
 
 // WithWatchdog arms the stuck-epoch watchdog (Config.Watchdog).
 func WithWatchdog(d time.Duration) Option { return func(c *Config) { c.Watchdog = d } }
+
+// WithTransport selects the message transport backend (Config.Transport):
+// ChanTransport (the in-process default) or SockTransport (length-prefixed
+// CRC-sealed frames over TCP or Unix-domain sockets, with handshakes,
+// heartbeats, and automatic reconnect). A transport value is single-use —
+// construct one per universe.
+func WithTransport(t Transport) Option { return func(c *Config) { c.Transport = t } }

@@ -1,0 +1,6 @@
+//go:build !race
+
+package am
+
+// raceTimingScale is 1 without the race detector; see race_on_test.go.
+const raceTimingScale = 1

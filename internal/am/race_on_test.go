@@ -1,0 +1,10 @@
+//go:build race
+
+package am
+
+// raceTimingScale stretches the socket tests' real-time budgets (heartbeat
+// interval, liveness deadline, reconnect backoff) under the race detector,
+// whose 5-20x slowdown can stall the heartbeat goroutine past a
+// millisecond-scale liveness deadline on a perfectly healthy link. Tick-paced
+// quantities (the retransmit ceiling) are unaffected.
+const raceTimingScale = 5

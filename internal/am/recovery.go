@@ -86,6 +86,10 @@ const (
 	// Config.Watchdog. Watchdog faults are fatal — replaying a wedged
 	// epoch would wedge again — and always fail the run.
 	FaultWatchdog
+	// FaultTransport: a socket transport exhausted a link's reconnect
+	// budget; the destination rank is suspected dead. Recoverable:
+	// recovery heals the transport's links and replays the epoch.
+	FaultTransport
 )
 
 func (k FaultKind) String() string {
@@ -98,6 +102,8 @@ func (k FaultKind) String() string {
 		return "link-dead"
 	case FaultWatchdog:
 		return "watchdog"
+	case FaultTransport:
+		return "transport"
 	}
 	return fmt.Sprintf("FaultKind(%d)", int(k))
 }
@@ -404,6 +410,11 @@ func (r *Rank) recoverEpoch() {
 	if r.id == 0 {
 		u.pending.Store(0)
 		u.healLinks()
+		// Heal the transport too: links a socket backend declared dead
+		// (reconnect budget exhausted) get a fresh budget and a new
+		// reconnect attempt, so the replay is not doomed by the outage
+		// that aborted this attempt.
+		u.net.healEpoch()
 		u.clearFault()
 		u.touchProgress()
 		r.st.Inc(cRecoveries)

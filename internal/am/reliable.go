@@ -95,15 +95,54 @@ type recvLink struct {
 }
 
 // initReliability allocates the per-rank link state. Called from Run once
-// the type set is frozen.
+// the type set is frozen, and again during recovery's scrub phase. relInit
+// orders the table swap against requeueOutstanding, the one reader that
+// runs on a transport goroutine instead of a rank-owned one.
 func (r *Rank) initReliability(ntypes int) {
 	n := r.u.cfg.Ranks
-	r.send = make([][]sendLink, n)
-	r.recv = make([][]recvLink, n)
+	send := make([][]sendLink, n)
+	recv := make([][]recvLink, n)
 	for i := 0; i < n; i++ {
-		r.send[i] = make([]sendLink, ntypes)
-		r.recv[i] = make([]recvLink, ntypes)
+		send[i] = make([]sendLink, ntypes)
+		recv[i] = make([]recvLink, ntypes)
 	}
+	r.relInit.Lock()
+	r.send = send
+	r.recv = recv
+	r.relInit.Unlock()
+}
+
+// requeueOutstanding marks every unacknowledged envelope bound for dest due
+// for immediate retransmission and returns how many it marked. Called by a
+// socket backend right after a reconnect: frames written into the dead
+// connection were lost exactly like dropped packets, and rather than wait
+// out their (possibly deep) backoff the sender replays them through the
+// normal retransmit path at the next poll. The attempt count resets too —
+// the ceiling measures failures on a connection believed live, and a
+// reconnect is proof the prior attempts went into a dead pipe, so each
+// connection incarnation gets the full budget. Envelopes parked at the
+// retransmit ceiling stay parked — the link-death fault has already been
+// raised for them.
+func (r *Rank) requeueOutstanding(dest int) int {
+	r.relInit.Lock()
+	defer r.relInit.Unlock()
+	if r.send == nil || dest < 0 || dest >= len(r.send) {
+		return 0
+	}
+	n := 0
+	for typ := range r.send[dest] {
+		l := &r.send[dest][typ]
+		l.mu.Lock()
+		for _, o := range l.out {
+			if o.due != ^uint64(0) {
+				o.due = 0
+				o.attempts = 0
+				n++
+			}
+		}
+		l.mu.Unlock()
+	}
+	return n
 }
 
 // nextSeq assigns the next sequence number on (r → dest, typ) and records
@@ -113,7 +152,6 @@ func (r *Rank) nextSeq(dest int, typ int32, data any, lin []uint64) uint64 {
 	o := &outEnvelope{
 		data: data,
 		lin:  lin,
-		due:  r.linkTick.Load() + uint64(r.u.fp.RetransmitBase),
 	}
 	o.refs.Store(1) // the outstanding table's reference; dropped by handleAck
 	if r.u.ackRTT != nil {
@@ -122,6 +160,7 @@ func (r *Rank) nextSeq(dest int, typ int32, data any, lin []uint64) uint64 {
 	l.mu.Lock()
 	l.nextSeq++
 	seq := l.nextSeq
+	o.due = r.linkTick.Load() + r.u.fp.backoffTicks(r.id, dest, int(typ), seq, 0)
 	if l.out == nil {
 		l.out = make(map[uint64]*outEnvelope)
 	}
@@ -191,7 +230,7 @@ func (r *Rank) sendAck(src int, typ int32, seq uint64, salt uint64) {
 	r.st.Inc(cAckMsgs)
 	r.st.Add(cBytesSent, envelopeHeaderBytes)
 	u.trace(r.id, TraceAck, int64(typ), int64(seq))
-	u.ranks[src].inbox.Push(envelope{
+	u.push(r.id, src, envelope{
 		typeID: ackTypeID, src: int32(r.id), seq: seq, gen: u.epochGen.Load(), data: ackBody{typ: typ},
 	})
 }
@@ -218,14 +257,31 @@ func (r *Rank) handleAck(e envelope) {
 	}
 }
 
+// backoffShiftCap bounds the exponential retransmit backoff at
+// RetransmitBase << 6 ticks.
+const backoffShiftCap = 6
+
 // backoffTicks returns the retransmit timeout after `attempts`
-// transmissions (exponential, capped at base << 6).
-func backoffTicks(fp *FaultPlan, attempts int) uint64 {
+// transmissions on link (src → dest, typ, seq): exponential in attempts,
+// capped at RetransmitBase << backoffShiftCap, and — when
+// FaultPlan.BackoffJitter is set — spread deterministically by up to
+// ±BackoffJitter of the nominal value (never below one tick). The jitter is
+// a pure function of (seed, link, seq, attempts), so a fixed seed still
+// yields a reproducible schedule; an acknowledged envelope leaves the table,
+// so a later envelope on the same link restarts from attempts = 0.
+func (fp *FaultPlan) backoffTicks(src, dest, typ int, seq uint64, attempts int) uint64 {
 	shift := attempts
-	if shift > 6 {
-		shift = 6
+	if shift > backoffShiftCap {
+		shift = backoffShiftCap
 	}
-	return uint64(fp.RetransmitBase) << shift
+	t := uint64(fp.RetransmitBase) << shift
+	if fp.BackoffJitter > 0 {
+		f := 1 - fp.BackoffJitter + 2*fp.BackoffJitter*fp.roll(faultBackoffJitter, src, dest, typ, seq, attempts)
+		if t = uint64(float64(t) * f); t < 1 {
+			t = 1
+		}
+	}
+	return t
 }
 
 // pollLinks advances this rank's link tick, releases matured delayed
@@ -239,6 +295,17 @@ func (r *Rank) pollLinks() bool {
 	}
 	if u.epochState.Load() == epochAborting {
 		return false // the epoch is rolling back; recovery resets the links
+	}
+	if ivl := u.tickIntNs; ivl > 0 {
+		// Real-latency backends pace the tick: a spinning progress loop
+		// polls millions of times a second, which would turn the
+		// tick-denominated retransmit timeouts into microseconds and
+		// retransmit every frame long before a socket round trip completes.
+		nowNs := obs.Now()
+		last := r.lastTickNs.Load()
+		if nowNs-last < ivl || !r.lastTickNs.CompareAndSwap(last, nowNs) {
+			return false
+		}
 	}
 	now := r.linkTick.Add(1)
 	worked := false
@@ -300,7 +367,7 @@ func (r *Rank) pollLinks() bool {
 					})
 					return worked
 				}
-				o.due = now + backoffTicks(u.fp, o.attempts)
+				o.due = now + u.fp.backoffTicks(r.id, dest, typ, seq, o.attempts)
 				// Pin the batch across the retransmission: a concurrent ack
 				// must not recycle it while xmit is still re-encoding.
 				o.refs.Add(1)
@@ -310,7 +377,7 @@ func (r *Rank) pollLinks() bool {
 		}
 	}
 	for i, e := range releases {
-		u.ranks[releaseDest[i]].inbox.Push(e)
+		u.push(r.id, releaseDest[i], e)
 		r.relAdd(-1)
 		worked = true
 	}

@@ -35,6 +35,10 @@ const (
 	cRecoveries
 	cCheckpoints
 	cWatchdogFires
+	cReconnects
+	cHeartbeatMisses
+	cFramesRequeued
+	cFramesDropped
 	numCounters
 )
 
@@ -49,6 +53,7 @@ var counterNames = [numCounters]string{
 	"ack_msgs", "acks_dropped",
 	"rank_crashes", "handler_panics", "link_deaths",
 	"epoch_aborts", "recoveries", "checkpoints", "watchdog_fires",
+	"reconnects", "heartbeat_misses", "frames_requeued", "frames_dropped",
 }
 
 // Stats is the read-side view of the universe's message accounting. It used
@@ -154,6 +159,25 @@ func (s *Stats) Checkpoints() int64 { return s.c.Total(cCheckpoints) }
 // run; the watchdog fault is fatal).
 func (s *Stats) WatchdogFires() int64 { return s.c.Total(cWatchdogFires) }
 
+// Reconnects counts successful link re-establishments by a socket
+// transport after a connection died (always 0 on the in-process backend).
+func (s *Stats) Reconnects() int64 { return s.c.Total(cReconnects) }
+
+// HeartbeatMisses counts liveness-deadline expiries on a socket transport's
+// receive side: no frame (data or heartbeat) arrived on a link within the
+// deadline, so the connection was declared dead and closed.
+func (s *Stats) HeartbeatMisses() int64 { return s.c.Total(cHeartbeatMisses) }
+
+// FramesRequeued counts unacknowledged envelopes marked due-now after a
+// reconnect, replaying frames lost in the dead connection through the
+// normal retransmit path.
+func (s *Stats) FramesRequeued() int64 { return s.c.Total(cFramesRequeued) }
+
+// FramesDropped counts frames a socket transport discarded at the sender —
+// link down, mid-reconnect, black-holed by the socket fault schedule, or a
+// write error; the reliable layer recovers every one of them.
+func (s *Stats) FramesDropped() int64 { return s.c.Total(cFramesDropped) }
+
 // Snapshot is a plain-value copy of Stats, convenient for diffing across an
 // experiment phase.
 type Snapshot struct {
@@ -169,6 +193,8 @@ type Snapshot struct {
 	RankCrashes, HandlerPanics, LinkDeaths int64
 	EpochAborts, Recoveries, Checkpoints   int64
 	WatchdogFires                          int64
+	Reconnects, HeartbeatMisses            int64
+	FramesRequeued, FramesDropped          int64
 }
 
 // snapshotOf builds a Snapshot from a per-counter read function.
@@ -203,6 +229,11 @@ func snapshotOf(get func(id int) int64) Snapshot {
 		Recoveries:    get(cRecoveries),
 		Checkpoints:   get(cCheckpoints),
 		WatchdogFires: get(cWatchdogFires),
+
+		Reconnects:      get(cReconnects),
+		HeartbeatMisses: get(cHeartbeatMisses),
+		FramesRequeued:  get(cFramesRequeued),
+		FramesDropped:   get(cFramesDropped),
 	}
 }
 
@@ -255,5 +286,10 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 		Recoveries:    s.Recoveries - o.Recoveries,
 		Checkpoints:   s.Checkpoints - o.Checkpoints,
 		WatchdogFires: s.WatchdogFires - o.WatchdogFires,
+
+		Reconnects:      s.Reconnects - o.Reconnects,
+		HeartbeatMisses: s.HeartbeatMisses - o.HeartbeatMisses,
+		FramesRequeued:  s.FramesRequeued - o.FramesRequeued,
+		FramesDropped:   s.FramesDropped - o.FramesDropped,
 	}
 }

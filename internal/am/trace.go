@@ -74,10 +74,19 @@ const (
 	// invocation (or epoch-body root) whose send triggered it — recorded
 	// only when lineage is on (Config.Lineage).
 	TraceHandler
+	// TraceDecodeError: a wire envelope passed its checksum but failed to
+	// decode and was discarded unacknowledged (Arg = type id, Arg2 = seq).
+	TraceDecodeError
+	// TraceReconnect: a socket transport re-established a dead connection
+	// (Arg = destination rank, Arg2 = dial attempts the outage took).
+	TraceReconnect
+	// TraceHeartbeatMiss: a socket link's liveness deadline expired with no
+	// frame received; the connection was declared dead (Arg = peer rank).
+	TraceHeartbeatMiss
 
 	// maxTraceKind is the highest valid TraceKind (tests use it to detect
 	// torn/garbage events).
-	maxTraceKind = TraceHandler
+	maxTraceKind = TraceHeartbeatMiss
 )
 
 func (k TraceKind) String() string {
@@ -122,6 +131,12 @@ func (k TraceKind) String() string {
 		return "watchdog"
 	case TraceHandler:
 		return "handler"
+	case TraceDecodeError:
+		return "decode-error"
+	case TraceReconnect:
+		return "reconnect"
+	case TraceHeartbeatMiss:
+		return "hb-miss"
 	}
 	return fmt.Sprintf("TraceKind(%d)", uint8(k))
 }

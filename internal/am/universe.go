@@ -145,6 +145,12 @@ type Config struct {
 	// bodies included), and leave it off for latency-insensitive batch
 	// work guarded by an external test timeout.
 	Watchdog time.Duration
+	// Transport selects the message transport backend (see transport.go).
+	// nil selects the in-process channel backend (ChanTransport), the
+	// original zero-copy behavior. A backend that can lose frames (the
+	// socket backend) forces reliable mode: when FaultPlan is nil a
+	// zero-valued plan (full protocol, no injected faults) is synthesized.
+	Transport Transport
 }
 
 func (c Config) withDefaults() Config {
@@ -156,6 +162,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CoalesceSize <= 0 {
 		c.CoalesceSize = 64
+	}
+	if c.Transport == nil {
+		c.Transport = ChanTransport()
 	}
 	return c
 }
@@ -202,6 +211,11 @@ type Universe struct {
 
 	// fp is the defaulted fault plan; nil selects the trusted transport.
 	fp *FaultPlan
+
+	// net is the configured transport backend; tickIntNs its retransmit-
+	// clock pacing interval (0 = advance the tick on every poll).
+	net      Transport
+	tickIntNs int64
 
 	// pending counts user messages sent but not yet fully handled.
 	// Maintained in all detector modes; consulted only by DetectorAtomic.
@@ -276,9 +290,19 @@ func (c Config) statShards() int {
 // NewUniverse creates a machine with the given configuration.
 func NewUniverse(cfg Config) *Universe {
 	cfg = cfg.withDefaults()
-	u := &Universe{cfg: cfg}
-	if cfg.FaultPlan != nil {
-		u.fp = cfg.FaultPlan.withDefaults()
+	u := &Universe{cfg: cfg, net: cfg.Transport}
+	u.tickIntNs = int64(u.net.tickInterval())
+	plan := cfg.FaultPlan
+	if plan == nil && u.net.reliable() {
+		// A backend that can lose frames needs the full reliable-delivery
+		// protocol even when the caller injects nothing: a lost frame on a
+		// trusted transport would hang the epoch. The synthesized plan sets
+		// only backoff jitter (desynchronizing retransmit storms after a
+		// reconnect); every injection rate is zero.
+		plan = &FaultPlan{BackoffJitter: defaultSockBackoffJitter}
+	}
+	if plan != nil {
+		u.fp = plan.withDefaults()
 		for i, c := range u.fp.Crashes {
 			if c.Rank < 0 || c.Rank >= cfg.Ranks {
 				panic(fmt.Sprintf("am: FaultPlan.Crashes[%d] targets rank %d outside [0,%d)", i, c.Rank, cfg.Ranks))
@@ -412,9 +436,16 @@ type rankState struct {
 	// progress tick driving retransmit timeouts. The count of
 	// unacknowledged + delayed envelopes this rank is responsible for
 	// lives in the universe's relPending gauge, sharded by rank.
+	// relInit orders link-table swaps (initReliability, at Run and in
+	// recovery's scrub) against requeueOutstanding, which a socket
+	// backend's reconnector calls from a transport goroutine.
+	relInit  sync.Mutex
 	send     [][]sendLink
 	recv     [][]recvLink
 	linkTick atomic.Uint64
+	// lastTickNs paces linkTick on real-latency transports (see
+	// Transport.tickInterval and pollLinks); unused when the interval is 0.
+	lastTickNs atomic.Int64
 }
 
 // ID returns this rank's id in [0, Ranks).
@@ -499,6 +530,13 @@ func (u *Universe) Run(body func(r *Rank)) error {
 			r.initReliability(len(u.types))
 		}
 	}
+	// Bind the transport backend now that the type set is frozen and the
+	// reliable-layer state exists: a socket backend validates that every
+	// registered type is wire-equipped, binds its listeners, and dials its
+	// links before any goroutine that can send exists.
+	if err := u.net.start(u); err != nil {
+		return fmt.Errorf("am: transport %s: %w", u.net.Name(), err)
+	}
 
 	var workers sync.WaitGroup
 	for _, r := range u.ranks {
@@ -570,7 +608,14 @@ func (u *Universe) Run(body func(r *Rank)) error {
 	// retransmit can fire after the last epoch ends. The only post-epoch
 	// traffic is a redundant duplicate ack, and inbox.Push on a closed
 	// queue is a safe no-op sink (queues are not Go channels).
-	// TestShutdownStress exercises this window under -race.
+	// TestShutdownStress exercises this window under -race. A socket
+	// backend adds goroutines of its own (readers, heartbeats,
+	// reconnectors); closing it here — after every rank main has returned,
+	// before the inboxes close — joins them all, and its post-close sends
+	// are safe no-ops, so the audit holds for every backend.
+	if err := u.net.close(); err != nil {
+		u.failRun(fmt.Errorf("am: transport %s close: %w", u.net.Name(), err))
+	}
 	for _, r := range u.ranks {
 		r.inbox.Close()
 	}
@@ -648,7 +693,7 @@ func (r *Rank) deliverEnvelope(e envelope) {
 				panic("am: wire decode on trusted transport: " + mt.name + ": " + err.Error())
 			}
 			r.st.Inc(cDecodeErrors)
-			u.trace(r.id, TraceCorrupt, int64(e.typeID), int64(e.seq))
+			u.trace(r.id, TraceDecodeError, int64(e.typeID), int64(e.seq))
 			return
 		}
 		data = decoded

@@ -56,6 +56,17 @@ type Scenario struct {
 	Recovery bool
 	// Watchdog arms the stuck-epoch watchdog (0 = off).
 	Watchdog time.Duration
+	// Transport selects the message backend: "" or "chan" for the
+	// in-process channel transport, "unix" or "tcp" for real sockets
+	// (loopback), where every envelope is framed, CRC-sealed, and crosses a
+	// kernel socket. Socket scenarios default WireCodec to "fixed" — the
+	// backend refuses codec-less types.
+	Transport string
+	// SockFaults injects socket-level failures (connection kills, one-way
+	// partitions, link flaps) into a socket transport; ignored on "chan".
+	SockFaults *am.SockFaultPlan
+	// MaxRecoveries overrides the per-epoch recovery budget (0 = default).
+	MaxRecoveries int
 }
 
 // String names the scenario for test output.
@@ -65,6 +76,13 @@ func (sc Scenario) String() string {
 		wire = "/wire=" + sc.WireCodec
 	} else if sc.GobWire {
 		wire = "/wire=gob"
+	}
+	if sc.Transport != "" && sc.Transport != "chan" {
+		wire += "/transport=" + sc.Transport
+		if sc.SockFaults != nil {
+			wire += fmt.Sprintf("/sockfaults=%d",
+				len(sc.SockFaults.Disconnects)+len(sc.SockFaults.Partitions)+len(sc.SockFaults.Flaps))
+		}
 	}
 	if sc.Plan == nil {
 		return fmt.Sprintf("baseline/%dx%d/%s%s", sc.Ranks, sc.Threads, sc.Detector, wire)
@@ -92,6 +110,27 @@ func (sc Scenario) options() []am.Option {
 	if sc.Recovery {
 		opts = append(opts, am.WithRecovery())
 	}
+	if sc.MaxRecoveries > 0 {
+		opts = append(opts, am.WithMaxRecoveries(sc.MaxRecoveries))
+	}
+	switch sc.Transport {
+	case "", "chan":
+	case "unix", "tcp":
+		// Test-speed timings: the chaos matrix runs many scenarios, so the
+		// failure machinery (heartbeats, liveness, reconnect backoff) is
+		// tuned to milliseconds rather than the production defaults.
+		opts = append(opts, am.WithTransport(am.SockTransport(am.SockOptions{
+			Network:       sc.Transport,
+			Heartbeat:     10 * time.Millisecond,
+			Liveness:      100 * time.Millisecond,
+			ReconnectBase: time.Millisecond,
+			ReconnectMax:  10 * time.Millisecond,
+			TickInterval:  200 * time.Microsecond,
+			Faults:        sc.SockFaults,
+		})))
+	default:
+		panic(fmt.Sprintf("chaos: unknown Transport %q", sc.Transport))
+	}
 	return opts
 }
 
@@ -105,6 +144,11 @@ func engine(w Workload, sc Scenario, gopts distgraph.Options) (*am.Universe, *pa
 	codec := sc.WireCodec
 	if codec == "" && sc.GobWire {
 		codec = "gob"
+	}
+	if codec == "" && sc.Transport != "" && sc.Transport != "chan" {
+		// Socket backends refuse codec-less types; the zero-reflection
+		// fixed codec is the natural default for the engine's message.
+		codec = "fixed"
 	}
 	switch codec {
 	case "":

@@ -63,6 +63,7 @@ type epochAgg struct {
 	msgs, envelopes, delivered        int64
 	tdWaves, flushes                  int64
 	retransmits, drops, acks, corrupt int64
+	decodeErrs, reconnects, hbMiss    int64
 	faults, aborts, recoveries        int64
 }
 
@@ -131,6 +132,12 @@ func EpochSummary(meta Meta, recs []Record) *harness.Table {
 			a.acks++
 		case "corrupt":
 			a.corrupt++
+		case "decode-error":
+			a.decodeErrs++
+		case "reconnect":
+			a.reconnects++
+		case "hb-miss":
+			a.hbMiss++
 		}
 	}
 	seqs := make([]int64, 0, len(bysSeq))
@@ -140,11 +147,13 @@ func EpochSummary(meta Meta, recs []Record) *harness.Table {
 	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
 	t := harness.NewTable("per-epoch summary",
 		"epoch", "duration", "messages", "envelopes", "delivered", "td-waves", "flushes", "retransmits", "drops", "acks",
+		"corrupt", "decode-err", "reconn", "hb-miss",
 		"faults", "aborts", "recoveries")
 	for _, s := range seqs {
 		a := bysSeq[s]
 		t.Add(a.seq, time.Duration(a.dur), a.msgs, a.envelopes, a.delivered,
 			a.tdWaves, a.flushes, a.retransmits, a.drops, a.acks,
+			a.corrupt, a.decodeErrs, a.reconnects, a.hbMiss,
 			a.faults, a.aborts, a.recoveries)
 	}
 	return t

@@ -145,3 +145,29 @@ func TestAnalyzeTables(t *testing.T) {
 		t.Fatalf("rank table missing imbalance row:\n%s", rank)
 	}
 }
+
+// TestEpochSummaryLinkHealthColumns: the per-epoch table surfaces the socket
+// transport's link-health events (corruption, decode errors, reconnects,
+// heartbeat misses) as their own columns, attributed to the enclosing epoch.
+func TestEpochSummaryLinkHealthColumns(t *testing.T) {
+	meta := Meta{Label: "t", Ranks: 2, Types: []string{"relax"}}
+	recs := []Record{
+		{Kind: "epoch", TS: 100, Dur: 900, Rank: 0, Arg: 0},
+		{Kind: "epoch", TS: 100, Dur: 900, Rank: 1, Arg: 0},
+		{Kind: "corrupt", TS: 200, Rank: 1, Arg: 0},
+		{Kind: "decode-error", TS: 250, Rank: 1, Arg: 0},
+		{Kind: "reconnect", TS: 300, Rank: 0, Arg: 1},
+		{Kind: "reconnect", TS: 350, Rank: 0, Arg: 1},
+		{Kind: "hb-miss", TS: 400, Rank: 1, Arg: 0},
+	}
+	es := EpochSummary(meta, recs).String()
+	for _, col := range []string{"corrupt", "decode-err", "reconn", "hb-miss"} {
+		if !strings.Contains(es, col) {
+			t.Fatalf("epoch summary missing %q column:\n%s", col, es)
+		}
+	}
+	// One row for epoch 0 carrying counts 1/1/2/1.
+	if !strings.Contains(es, "2") {
+		t.Fatalf("epoch summary lost the reconnect count:\n%s", es)
+	}
+}

@@ -1,0 +1,136 @@
+// Package relay implements the frame-relay protocol spoken between a
+// universe's socket transport and a declpat-worker process: a dialer
+// connects to the relay, names a target address in a small hello, and the
+// relay splices the connection to a fresh dial of that target. Every byte
+// after the hello is copied verbatim in both directions, so the transport's
+// handshake, frames, heartbeats, and reconnects all genuinely cross the
+// worker process — which is the point: cmd/declpat-worker puts a second OS
+// process on the data path without the worker needing to understand frames.
+package relay
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"time"
+)
+
+// Magic opens every relay hello; a connection that does not start with it
+// is rejected (most likely a raw transport dial that skipped the relay).
+const Magic = "DPRW"
+
+// maxTarget bounds the hello's target string; longer targets are a protocol
+// violation, not a configuration.
+const maxTarget = 1024
+
+// helloTimeout bounds how long the relay waits for a hello and how long it
+// spends dialing the target on the tunnel's behalf.
+const helloTimeout = 5 * time.Second
+
+// SplitAddr parses a listen/relay address of the form "tcp://host:port" or
+// "unix:///path/to.sock" into (network, address).
+func SplitAddr(s string) (network, addr string, err error) {
+	scheme, rest, ok := strings.Cut(s, "://")
+	if !ok {
+		return "", "", fmt.Errorf("relay: address %q is not scheme://address", s)
+	}
+	switch scheme {
+	case "tcp", "tcp4", "tcp6", "unix":
+	default:
+		return "", "", fmt.Errorf("relay: unsupported scheme %q (want tcp or unix)", scheme)
+	}
+	if rest == "" {
+		return "", "", fmt.Errorf("relay: address %q has an empty host part", s)
+	}
+	return scheme, rest, nil
+}
+
+// Dial connects to the relay at (relayNetwork, relayAddr), sends the hello
+// naming (targetNetwork, targetAddr), and returns the spliced connection:
+// reads and writes on it reach the target as if dialed directly.
+func Dial(relayNetwork, relayAddr, targetNetwork, targetAddr string, timeout time.Duration) (net.Conn, error) {
+	target := targetNetwork + "|" + targetAddr
+	if len(target) > maxTarget {
+		return nil, fmt.Errorf("relay: target %q exceeds %d bytes", target, maxTarget)
+	}
+	c, err := net.DialTimeout(relayNetwork, relayAddr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	hello := make([]byte, 0, len(Magic)+2+len(target))
+	hello = append(hello, Magic...)
+	hello = binary.LittleEndian.AppendUint16(hello, uint16(len(target)))
+	hello = append(hello, target...)
+	c.SetWriteDeadline(time.Now().Add(timeout))
+	if _, err := c.Write(hello); err != nil {
+		c.Close()
+		return nil, fmt.Errorf("relay: hello to %s: %w", relayAddr, err)
+	}
+	c.SetWriteDeadline(time.Time{})
+	return c, nil
+}
+
+// Serve accepts tunnel connections on ln until the listener is closed.
+// Each accepted connection is handled on its own goroutine: read the hello,
+// dial the named target, splice. A per-connection failure (bad hello,
+// unreachable target) closes that connection only.
+func Serve(ln net.Listener) error {
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go tunnel(c)
+	}
+}
+
+// tunnel reads one hello and splices c to a fresh dial of its target.
+func tunnel(c net.Conn) {
+	c.SetReadDeadline(time.Now().Add(helloTimeout))
+	hdr := make([]byte, len(Magic)+2)
+	if _, err := io.ReadFull(c, hdr); err != nil || string(hdr[:len(Magic)]) != Magic {
+		c.Close()
+		return
+	}
+	n := binary.LittleEndian.Uint16(hdr[len(Magic):])
+	if n == 0 || n > maxTarget {
+		c.Close()
+		return
+	}
+	target := make([]byte, n)
+	if _, err := io.ReadFull(c, target); err != nil {
+		c.Close()
+		return
+	}
+	network, addr, ok := strings.Cut(string(target), "|")
+	if !ok {
+		c.Close()
+		return
+	}
+	out, err := net.DialTimeout(network, addr, helloTimeout)
+	if err != nil {
+		c.Close()
+		return
+	}
+	c.SetReadDeadline(time.Time{})
+	// Splice both directions; when either side ends, close both so the
+	// peer observes the disconnect (a killed worker must look like a dead
+	// link to the transport, not a stalled one).
+	done := make(chan struct{}, 2)
+	cp := func(dst, src net.Conn) {
+		io.Copy(dst, src)
+		done <- struct{}{}
+	}
+	go cp(out, c)
+	go cp(c, out)
+	<-done
+	c.Close()
+	out.Close()
+	<-done
+}
