@@ -20,10 +20,11 @@
 // allocs/op=5") set per-metric budgets (unlisted metrics keep the default).
 // The older -max-regress fraction is the fallback when -tolerance is unset.
 //
-// With -e20/-e21 the given JSON files (the E20 codec matrix from
+// With -e20/-e21/-e22 the given JSON files (the E20 codec matrix from
 // `experiments -codec-json`, the E21 transport matrix from
-// `experiments -transport-json`) are embedded in the report, so the
-// committed BENCH_*.json carries both the microbenchmark baseline and the
+// `experiments -transport-json`, the E22 phase-timer matrix from
+// `experiments -obs-json`) are embedded in the report, so the committed
+// BENCH_*.json carries both the microbenchmark baseline and the
 // end-to-end table.
 package main
 
@@ -51,6 +52,7 @@ type Report struct {
 	Benchmarks []Benchmark     `json:"benchmarks"`
 	E20        json.RawMessage `json:"e20,omitempty"`
 	E21        json.RawMessage `json:"e21,omitempty"`
+	E22        json.RawMessage `json:"e22,omitempty"`
 }
 
 var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
@@ -182,6 +184,7 @@ func main() {
 	in := flag.String("in", "", "bench output file (default: stdin)")
 	e20 := flag.String("e20", "", "E20 codec-matrix JSON to embed in the report")
 	e21 := flag.String("e21", "", "E21 transport-matrix JSON to embed in the report")
+	e22 := flag.String("e22", "", "E22 phase-timer-matrix JSON to embed in the report")
 	jsonOut := flag.String("json", "", "write the parsed report to this file")
 	baseline := flag.String("baseline", "", "compare against this committed report")
 	filter := flag.String("filter", "fixed", "substring of benchmark names to gate")
@@ -227,6 +230,9 @@ func main() {
 	}
 	if *e21 != "" {
 		rep.E21 = embed(*e21)
+	}
+	if *e22 != "" {
+		rep.E22 = embed(*e22)
 	}
 
 	// Compare BEFORE writing: -json and -baseline may be the same path.

@@ -20,16 +20,27 @@
 //	declpat-trace -run bfs -critical-path
 //	declpat-trace -in run.jsonl -critical-path -path-epoch 2 -path-max 32
 //
+// With -phases the tool reports the phase-timer breakdown instead: per
+// epoch, the distribution of collect/build_csr/kernel/emit/barrier/recovery
+// spans across ranks, and per rank, the total time in each phase (the
+// straggler view). Requires a trace captured with Config.Timing on. With
+// -json any table report is emitted as a JSON array for downstream tooling:
+//
+//	declpat-trace -run sssp -phases
+//	declpat-trace -in run.jsonl -phases -json
+//
 // Supported -run workloads: bfs, sssp, cc.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
 	"declpat"
+	"declpat/internal/harness"
 	"declpat/internal/obs"
 )
 
@@ -48,6 +59,8 @@ func main() {
 	critPath := flag.Bool("critical-path", false, "reconstruct the causal lineage DAG and report per-epoch critical paths")
 	pathEpoch := flag.Int64("path-epoch", -1, "with -critical-path: print the chain of this epoch (-1 = slowest)")
 	pathMax := flag.Int("path-max", 48, "with -critical-path: elide chain rows beyond this many hops (0 = no limit)")
+	phases := flag.Bool("phases", false, "report the per-epoch phase breakdown and per-rank phase load (needs Timing-on trace)")
+	asJSON := flag.Bool("json", false, "emit the analyzer tables as a JSON array instead of text")
 	flag.Parse()
 
 	var meta obs.Meta
@@ -102,11 +115,17 @@ func main() {
 	if label == "" {
 		label = "(unlabeled)"
 	}
-	fmt.Printf("trace: %s — %d records, %d ranks, %d message types", label, len(recs), meta.Ranks, len(meta.Types))
-	if meta.Dropped > 0 {
-		fmt.Printf(" (%d events overwritten by the ring — raise -cap or TraceCapacity)", meta.Dropped)
+	// With -json the tables go to stdout as pure JSON; the banner moves to
+	// stderr so the output stays machine-parseable.
+	banner := os.Stdout
+	if *asJSON {
+		banner = os.Stderr
 	}
-	fmt.Println()
+	fmt.Fprintf(banner, "trace: %s — %d records, %d ranks, %d message types", label, len(recs), meta.Ranks, len(meta.Types))
+	if meta.Dropped > 0 {
+		fmt.Fprintf(banner, " (%d events overwritten by the ring — raise -cap or TraceCapacity)", meta.Dropped)
+	}
+	fmt.Fprintln(banner)
 	if *critPath {
 		if err := criticalPathReport(os.Stdout, meta, recs, *pathEpoch, *pathMax); err != nil {
 			fmt.Fprintln(os.Stderr, "declpat-trace:", err)
@@ -114,7 +133,27 @@ func main() {
 		}
 		return
 	}
-	for _, t := range obs.Analyze(meta, recs) {
+
+	var tables []*harness.Table
+	if *phases {
+		tables = obs.PhaseTables(meta, recs)
+		if tables[0].Rows() == 0 && tables[1].Rows() == 0 {
+			fmt.Fprintln(os.Stderr, "declpat-trace: trace has no phase spans (captured with Config.Timing off?)")
+			os.Exit(1)
+		}
+	} else {
+		tables = obs.Analyze(meta, recs)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(tables); err != nil {
+			fmt.Fprintln(os.Stderr, "declpat-trace:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	for _, t := range tables {
 		fmt.Println()
 		t.Fprint(os.Stdout)
 	}

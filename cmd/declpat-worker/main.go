@@ -16,6 +16,10 @@
 // SockOptions.Relay set to the same address (see the README two-process
 // quickstart). The worker is stateless: kill it mid-run and start a fresh
 // one on the same address, and the transport reconnects through it.
+//
+// The same listener answers telemetry queries (relay.QueryTelemetry): the
+// coordinator's Universe.Metrics() folds the worker's connection counters,
+// byte totals, and splice-phase histograms into its per-process breakdown.
 package main
 
 import (
@@ -32,6 +36,8 @@ import (
 func main() {
 	listen := flag.String("listen", "tcp://127.0.0.1:9730",
 		"relay listen address (tcp://host:port or unix:///path)")
+	name := flag.String("name", "relay",
+		"process name reported in telemetry frames")
 	flag.Parse()
 
 	network, addr, err := relay.SplitAddr(*listen)
@@ -49,7 +55,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "declpat-worker:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("declpat-worker: relaying on %s://%s\n", network, ln.Addr())
+	fmt.Printf("declpat-worker: relaying on %s://%s (telemetry on the same address)\n", network, ln.Addr())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -58,7 +64,7 @@ func main() {
 		ln.Close()
 	}()
 
-	if err := relay.Serve(ln); err != nil {
+	if err := relay.NewServer(*name).Serve(ln); err != nil {
 		fmt.Fprintln(os.Stderr, "declpat-worker:", err)
 		os.Exit(1)
 	}

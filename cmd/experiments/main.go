@@ -33,6 +33,7 @@ func main() {
 	benchJSON := flag.String("bench-json", "", "write a machine-readable per-experiment bench report to this file")
 	codecJSON := flag.String("codec-json", "", "run only the E20 codec matrix and write its records as JSON to this file")
 	transportJSON := flag.String("transport-json", "", "run only the E21 transport matrix and write its records as JSON to this file")
+	obsJSON := flag.String("obs-json", "", "run only the E22 phase-timer matrix and write its records as JSON to this file")
 	flag.Parse()
 
 	writeJSON := func(path, label string, v any, n int) {
@@ -64,6 +65,12 @@ func main() {
 		writeJSON(*transportJSON, "transport", recs, len(recs))
 		return
 	}
+	if *obsJSON != "" {
+		sc := experiments.Scale{RMATScale: *scale, EdgeFactor: *ef, Seed: *seed}
+		recs := experiments.E22ObsRecords(sc)
+		writeJSON(*obsJSON, "obs", recs, len(recs))
+		return
+	}
 
 	if *debug != "" {
 		addr, err := harness.ServeDebug(*debug)
@@ -71,6 +78,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}
+		// The process-wide server holds the listener until the suite ends;
+		// releasing it on exit keeps repeated in-process invocations (tests,
+		// drivers) from leaking ports.
+		defer harness.StopDebug()
 		fmt.Printf("debug server: http://%s/debug/pprof/ (expvar at /debug/vars)\n\n", addr)
 	}
 

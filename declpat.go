@@ -26,6 +26,8 @@ import (
 	"declpat/internal/am"
 	"declpat/internal/distgraph"
 	"declpat/internal/gen"
+	"declpat/internal/harness"
+	"declpat/internal/obs"
 	"declpat/internal/pattern"
 	"declpat/internal/pmap"
 	"declpat/internal/strategy"
@@ -539,3 +541,79 @@ func Torus2D(rows, cols int, w WeightSpec, seed uint64) (n int, edges []Edge) {
 
 // PathGraph generates the directed path 0→1→…→n-1.
 func PathGraph(n int, w WeightSpec, seed uint64) []Edge { return gen.Path(n, w, seed) }
+
+// Telemetry plane (internal/obs, internal/am, internal/harness): per-phase
+// kernel timers, live counter sampling, OpenMetrics export, and the debug
+// HTTP server behind /metrics. See DESIGN.md "Telemetry plane".
+type (
+	// Metrics is the full observability snapshot (Universe.Metrics): counters,
+	// per-rank breakdowns, per-type traffic, phase histograms, and the
+	// per-process telemetry merge.
+	Metrics = am.Metrics
+	// ProcessTelemetry is one process's telemetry export — what a
+	// declpat-worker ships back to the coordinator over a telemetry frame.
+	ProcessTelemetry = obs.ProcessTelemetry
+	// HistSnapshot is a plain histogram view (bounds, counts, sum, max).
+	HistSnapshot = obs.HistSnapshot
+	// Phase identifies one epoch phase of the timer taxonomy
+	// (collect/build_csr/kernel/emit/barrier/recovery).
+	Phase = obs.Phase
+	// PhaseScope is an open phase timer on a rank; close with End. The zero
+	// value (timing off) is a no-op.
+	PhaseScope = am.PhaseScope
+	// Sampler periodically diffs a cumulative counter source into a
+	// fixed-size time-series ring (Universe.CounterSeries is the usual
+	// source).
+	Sampler = obs.Sampler
+	// Sample is one sampler tick: cumulative values plus deltas since the
+	// previous tick.
+	Sample = obs.Sample
+	// DebugServer serves pprof, expvar, and — once HandleMetrics registers a
+	// source — OpenMetrics under /metrics, with graceful shutdown.
+	DebugServer = harness.DebugServer
+)
+
+// Epoch phase identifiers (Rank.Phase). The substrate times kernel, barrier,
+// and recovery automatically under Config.Timing; strategies and algorithm
+// drivers mark collect/build_csr/emit sections explicitly.
+const (
+	PhaseCollect  = obs.PhaseCollect
+	PhaseBuildCSR = obs.PhaseBuildCSR
+	PhaseKernel   = obs.PhaseKernel
+	PhaseEmit     = obs.PhaseEmit
+	PhaseBarrier  = obs.PhaseBarrier
+	PhaseRecovery = obs.PhaseRecovery
+)
+
+// NewSampler creates a live metrics sampler over a cumulative counter
+// source; drive it manually with Tick or on an interval with Start/Stop:
+//
+//	s := declpat.NewSampler(256, u.CounterSeries)
+//	s.Start(250 * time.Millisecond)
+//	defer s.Stop()
+func NewSampler(size int, src func() map[string]int64) *Sampler { return obs.NewSampler(size, src) }
+
+// NewDebugServer binds the diagnostic HTTP server (pprof, expvar, /metrics)
+// on addr (":0" for ephemeral) and starts serving; the caller owns shutdown:
+//
+//	d, _ := declpat.NewDebugServer("127.0.0.1:0")
+//	defer d.Close()
+//	d.HandleMetrics(u.WriteOpenMetrics)
+func NewDebugServer(addr string) (*DebugServer, error) { return harness.NewDebugServer(addr) }
+
+// Process-wide debug server (the ServeDebug compatibility surface):
+// ServeDebug starts it, HandleMetrics registers the /metrics payload on it,
+// StopDebug gracefully shuts it down and releases the listener.
+var (
+	ServeDebug    = harness.ServeDebug
+	HandleMetrics = harness.HandleMetrics
+	StopDebug     = harness.StopDebug
+)
+
+// MergeTelemetry folds src's counters, gauges, and phase histograms into
+// dst (how the coordinator builds Metrics.Merged from the per-process
+// entries). Histogram bound mismatches skip that phase and surface as the
+// returned error; the rest of the merge still happens.
+func MergeTelemetry(dst *ProcessTelemetry, src *ProcessTelemetry) error {
+	return obs.MergeTelemetry(dst, src)
+}

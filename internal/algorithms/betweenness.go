@@ -6,6 +6,7 @@ import (
 
 	"declpat/internal/am"
 	"declpat/internal/distgraph"
+	"declpat/internal/obs"
 	"declpat/internal/pattern"
 	"declpat/internal/pmap"
 )
@@ -120,6 +121,7 @@ func (b *Betweenness) Run(r *am.Rank, sources []distgraph.Vertex) {
 
 	for _, s := range sources {
 		// Per-source reset.
+		ph := r.Phase(obs.PhaseCollect)
 		for _, v := range locals {
 			b.depth.Set(rid, v, pattern.Inf)
 			b.sigma.Set(rid, v, 0)
@@ -131,6 +133,7 @@ func (b *Betweenness) Run(r *am.Rank, sources []distgraph.Vertex) {
 			b.sigma.Set(rid, s, 1)
 			frontier = []distgraph.Vertex{s}
 		}
+		ph.End()
 		r.Barrier()
 
 		// Forward: level-synchronous claim + count epochs.
@@ -174,11 +177,13 @@ func (b *Betweenness) Run(r *am.Rank, sources []distgraph.Vertex) {
 		}
 
 		// Fold this source's dependencies into BC.
+		fold := r.Phase(obs.PhaseEmit)
 		for _, v := range locals {
 			if v != s && b.depth.Get(rid, v) != pattern.Inf {
 				b.BC.Add(rid, v, b.delta.Get(rid, v))
 			}
 		}
+		fold.End()
 		r.Barrier()
 	}
 }

@@ -5,6 +5,7 @@ import (
 
 	"declpat/internal/am"
 	"declpat/internal/distgraph"
+	"declpat/internal/obs"
 	"declpat/internal/pattern"
 	"declpat/internal/pmap"
 	"declpat/internal/strategy"
@@ -53,6 +54,7 @@ func NewBFS(eng *pattern.Engine) *BFS {
 
 // Run computes levels from src. Collective.
 func (b *BFS) Run(r *am.Rank, src distgraph.Vertex) {
+	ph := r.Phase(obs.PhaseCollect)
 	b.Level.ForEachLocal(r.ID(), func(v distgraph.Vertex, _ int64) {
 		b.Level.Set(r.ID(), v, pattern.Inf)
 	})
@@ -61,6 +63,7 @@ func (b *BFS) Run(r *am.Rank, src distgraph.Vertex) {
 		b.Level.Set(r.ID(), src, 0)
 		seeds = []distgraph.Vertex{src}
 	}
+	ph.End()
 	r.Barrier()
 	b.fp.Run(r, seeds)
 }

@@ -5,6 +5,7 @@ import (
 
 	"declpat/internal/am"
 	"declpat/internal/distgraph"
+	"declpat/internal/obs"
 	"declpat/internal/pattern"
 	"declpat/internal/pmap"
 	"declpat/internal/strategy"
@@ -52,6 +53,7 @@ func NewBFSTree(eng *pattern.Engine) *BFSTree {
 
 // Run builds a search tree from src (whose parent is itself). Collective.
 func (b *BFSTree) Run(r *am.Rank, src distgraph.Vertex) {
+	ph := r.Phase(obs.PhaseCollect)
 	b.Parent.ForEachLocal(r.ID(), func(v distgraph.Vertex, _ int64) {
 		b.Parent.Set(r.ID(), v, pattern.NilWord)
 	})
@@ -60,6 +62,7 @@ func (b *BFSTree) Run(r *am.Rank, src distgraph.Vertex) {
 		b.Parent.Set(r.ID(), src, int64(src))
 		seeds = []distgraph.Vertex{src}
 	}
+	ph.End()
 	r.Barrier()
 	b.fp.Run(r, seeds)
 }

@@ -6,6 +6,7 @@ import (
 
 	"declpat/internal/am"
 	"declpat/internal/distgraph"
+	"declpat/internal/obs"
 	"declpat/internal/pattern"
 	"declpat/internal/pmap"
 	"declpat/internal/strategy"
@@ -126,10 +127,12 @@ func (c *CC) Run(r *am.Rank) {
 	g := c.G
 	rid := r.ID()
 	// Initialization (Fig. 3 lines 2-4): pnt NULL, chg[v] = v.
+	ph := r.Phase(obs.PhaseCollect)
 	c.Pnt.ForEachLocal(rid, func(v distgraph.Vertex, _ int64) {
 		c.Pnt.Set(rid, v, pattern.NilWord)
 		c.Chg.Set(rid, v, int64(v))
 	})
+	ph.End()
 	r.Barrier()
 
 	// Parallel search phase (Fig. 3 lines 6-13): start a search at every
@@ -162,12 +165,14 @@ func (c *CC) Run(r *am.Rank) {
 	// Resolution loop (Fig. 3 lines 14-17): repeat once(cc_link) and
 	// once(cc_jump) over the conflicting roots until neither changes
 	// anything anywhere.
+	rootsPh := r.Phase(obs.PhaseCollect)
 	var roots []distgraph.Vertex
 	for _, v := range LocalVertices(g, r) {
 		if c.Conf.Len(rid, v) > 0 {
 			roots = append(roots, v)
 		}
 	}
+	rootsPh.End()
 	rounds := 0
 	for {
 		linked := strategy.Once(r, c.Link, roots)
@@ -189,6 +194,7 @@ func (c *CC) Run(r *am.Rank) {
 	// (§II-B). Chg values are quiescent now; resolve each vertex's root
 	// label, following rewrite pointers across shards directly.
 	r.Barrier()
+	rw := r.Phase(obs.PhaseEmit)
 	for _, v := range LocalVertices(g, r) {
 		root := c.Pnt.Get(rid, v)
 		lbl := root
@@ -201,5 +207,6 @@ func (c *CC) Run(r *am.Rank) {
 		}
 		c.Comp.Set(rid, v, lbl)
 	}
+	rw.End()
 	r.Barrier()
 }

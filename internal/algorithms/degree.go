@@ -5,6 +5,7 @@ import (
 
 	"declpat/internal/am"
 	"declpat/internal/distgraph"
+	"declpat/internal/obs"
 	"declpat/internal/pattern"
 	"declpat/internal/pmap"
 )
@@ -47,13 +48,17 @@ func NewDegreeCount(eng *pattern.Engine) *DegreeCount {
 
 // Run counts in-degrees. Collective.
 func (d *DegreeCount) Run(r *am.Rank) {
+	ph := r.Phase(obs.PhaseCollect)
 	d.InDeg.ForEachLocal(r.ID(), func(v distgraph.Vertex, _ int64) {
 		d.InDeg.Set(r.ID(), v, 0)
 	})
+	ph.End()
 	r.Barrier()
 	r.Epoch(func(ep *am.Epoch) {
+		ph := r.Phase(obs.PhaseCollect)
 		for _, v := range LocalVertices(d.G, r) {
 			d.Count.Invoke(r, v)
 		}
+		ph.End()
 	})
 }

@@ -5,6 +5,7 @@ import (
 
 	"declpat/internal/am"
 	"declpat/internal/distgraph"
+	"declpat/internal/obs"
 	"declpat/internal/pattern"
 	"declpat/internal/pmap"
 )
@@ -76,15 +77,19 @@ func NewKCore(eng *pattern.Engine, k int64) *KCore {
 // Run peels to the k-core. Collective.
 func (kc *KCore) Run(r *am.Rank) {
 	rid := r.ID()
+	ph := r.Phase(obs.PhaseBuildCSR)
 	locals := LocalVertices(kc.G, r)
 	for _, v := range locals {
 		kc.Alive.Set(rid, v, 1)
 		kc.Deg.Set(rid, v, int64(kc.G.OutDegree(rid, v)))
 	}
+	ph.End()
 	r.Barrier()
 	r.Epoch(func(ep *am.Epoch) {
+		ph := r.Phase(obs.PhaseCollect)
 		for _, v := range locals {
 			kc.Check.Invoke(r, v)
 		}
+		ph.End()
 	})
 }

@@ -5,6 +5,7 @@ import (
 
 	"declpat/internal/am"
 	"declpat/internal/distgraph"
+	"declpat/internal/obs"
 	"declpat/internal/pattern"
 	"declpat/internal/pmap"
 )
@@ -105,12 +106,14 @@ func misPrio(v distgraph.Vertex) int64 {
 func (m *MIS) Run(r *am.Rank) {
 	g := m.G
 	rid := r.ID()
+	init := r.Phase(obs.PhaseBuildCSR)
 	locals := LocalVertices(g, r)
 	for _, v := range locals {
 		m.State.Set(rid, v, misUndecided)
 		m.prio.Set(rid, v, misPrio(v))
 		m.blocked.Set(rid, v, 0)
 	}
+	init.End()
 	r.Barrier()
 	rounds := 0
 	for {
@@ -124,6 +127,7 @@ func (m *MIS) Run(r *am.Rank) {
 			}
 		})
 		// Phase 2 (local): unblocked undecided vertices join the MIS.
+		join := r.Phase(obs.PhaseEmit)
 		joined := int64(0)
 		for _, v := range locals {
 			if m.State.Get(rid, v) == misUndecided && m.blocked.Get(rid, v) == 0 {
@@ -132,6 +136,7 @@ func (m *MIS) Run(r *am.Rank) {
 			}
 			m.blocked.Set(rid, v, 0)
 		}
+		join.End()
 		// Phase 3 (declarative): new members exclude their neighbours.
 		r.Epoch(func(ep *am.Epoch) {
 			for _, v := range locals {

@@ -5,6 +5,7 @@ import (
 
 	"declpat/internal/am"
 	"declpat/internal/distgraph"
+	"declpat/internal/obs"
 	"declpat/internal/pattern"
 	"declpat/internal/pmap"
 )
@@ -124,10 +125,12 @@ func (pr *PageRank) Run(r *am.Rank) {
 	n := int64(g.NumVertices())
 	locals := LocalVertices(g, r)
 
+	ph := r.Phase(obs.PhaseBuildCSR)
 	for _, v := range locals {
 		pr.Rank.Set(rid, v, PRScale/n)
 		pr.outdeg.Set(rid, v, int64(g.OutDegree(rid, v)))
 	}
+	ph.End()
 	r.Barrier()
 
 	base := (PRScale - pr.Damping) / n
@@ -135,6 +138,7 @@ func (pr *PageRank) Run(r *am.Rank) {
 	for iter := 0; iter < pr.MaxIters; iter++ {
 		rounds++
 		// Local pre-round: contributions and dangling mass.
+		pre := r.Phase(obs.PhaseCollect)
 		var dangling int64
 		for _, v := range locals {
 			rank := pr.Rank.GetRelaxed(rid, v)
@@ -147,6 +151,7 @@ func (pr *PageRank) Run(r *am.Rank) {
 			}
 			pr.next.SetRelaxed(rid, v, 0)
 		}
+		pre.End()
 		danglingAll := r.AllReduceSum(dangling)
 		danglingShare := mulScale(pr.Damping, danglingAll) / n
 
@@ -158,6 +163,7 @@ func (pr *PageRank) Run(r *am.Rank) {
 		})
 
 		// Local post-round: fold in base + dangling, measure change.
+		post := r.Phase(obs.PhaseEmit)
 		var delta int64
 		for _, v := range locals {
 			nv := base + danglingShare + pr.next.GetRelaxed(rid, v)
@@ -169,6 +175,7 @@ func (pr *PageRank) Run(r *am.Rank) {
 			}
 			pr.Rank.SetRelaxed(rid, v, nv)
 		}
+		post.End()
 		if r.AllReduceSum(delta) < pr.Tolerance {
 			break
 		}

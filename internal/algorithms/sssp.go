@@ -5,6 +5,7 @@ import (
 
 	"declpat/internal/am"
 	"declpat/internal/distgraph"
+	"declpat/internal/obs"
 	"declpat/internal/pattern"
 	"declpat/internal/pmap"
 	"declpat/internal/strategy"
@@ -161,12 +162,14 @@ func (s *SSSP) BucketEpochs() int {
 // loop stops when a round changes nothing anywhere. Returns the number of
 // rounds. Collective. The configured strategy is ignored.
 func (s *SSSP) RunBellmanFordRounds(r *am.Rank, src distgraph.Vertex) int {
+	ph := r.Phase(obs.PhaseCollect)
 	s.Dist.ForEachLocal(r.ID(), func(v distgraph.Vertex, _ int64) {
 		s.Dist.Set(r.ID(), v, pattern.Inf)
 	})
 	if s.G.Owner(src) == r.ID() {
 		s.Dist.Set(r.ID(), src, 0)
 	}
+	ph.End()
 	r.Barrier()
 	locals := LocalVertices(s.G, r)
 	rounds := 0
@@ -182,6 +185,7 @@ func (s *SSSP) RunBellmanFordRounds(r *am.Rank, src distgraph.Vertex) int {
 // Run solves SSSP from src. Collective: call from every rank's body. The
 // distance map is reset (∞ everywhere, 0 at the source) on entry.
 func (s *SSSP) Run(r *am.Rank, src distgraph.Vertex) {
+	ph := r.Phase(obs.PhaseCollect)
 	s.Dist.ForEachLocal(r.ID(), func(v distgraph.Vertex, _ int64) {
 		s.Dist.Set(r.ID(), v, pattern.Inf)
 	})
@@ -190,6 +194,7 @@ func (s *SSSP) Run(r *am.Rank, src distgraph.Vertex) {
 		s.Dist.Set(r.ID(), src, 0)
 		seeds = []distgraph.Vertex{src}
 	}
+	ph.End()
 	r.Barrier()
 	switch s.mode {
 	case SSSPFixedPoint:

@@ -5,6 +5,7 @@ import (
 
 	"declpat/internal/am"
 	"declpat/internal/distgraph"
+	"declpat/internal/obs"
 	"declpat/internal/pattern"
 	"declpat/internal/pmap"
 	"declpat/internal/strategy"
@@ -58,6 +59,7 @@ func NewWidest(eng *pattern.Engine) *Widest {
 
 // Run computes capacities from src (whose capacity is ∞). Collective.
 func (w *Widest) Run(r *am.Rank, src distgraph.Vertex) {
+	ph := r.Phase(obs.PhaseCollect)
 	w.Cap.ForEachLocal(r.ID(), func(v distgraph.Vertex, _ int64) {
 		w.Cap.Set(r.ID(), v, 0)
 	})
@@ -66,6 +68,7 @@ func (w *Widest) Run(r *am.Rank, src distgraph.Vertex) {
 		w.Cap.Set(r.ID(), src, pattern.Inf)
 		seeds = []distgraph.Vertex{src}
 	}
+	ph.End()
 	r.Barrier()
 	w.fp.Run(r, seeds)
 }

@@ -1,6 +1,10 @@
 package am
 
-import "sync"
+import (
+	"sync"
+
+	"declpat/internal/obs"
+)
 
 // Barrier is a reusable barrier for n participants (the rank main
 // goroutines). It creates the happens-before edges the collectives rely on.
@@ -49,7 +53,13 @@ func (c *collectives) init(n int) {
 
 // Barrier synchronizes all rank main goroutines. Collective: every rank must
 // call it. Must not be called from message handlers or extra body threads.
-func (r *Rank) Barrier() { r.u.barrier.Wait() }
+// Time spent blocked here lands in the rank's barrier-phase histogram when
+// Config.Timing is set (the wait is the substrate's load-imbalance signal).
+func (r *Rank) Barrier() {
+	ph := r.Phase(obs.PhaseBarrier)
+	r.u.barrier.Wait()
+	ph.End()
+}
 
 // AllReduceInt64 reduces one int64 contribution per rank with op and returns
 // the result on every rank. Collective.

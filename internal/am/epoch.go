@@ -87,7 +87,9 @@ func (r *Rank) EpochThreaded(nthreads int, body func(tid int, ep *Epoch)) {
 		// attempt can arrive.
 		r.armCrashes()
 		r.Barrier() // all ranks registered before anyone can quiesce
+		kernel := r.Phase(obs.PhaseKernel)
 		r.runBodies(nthreads, body)
+		kernel.End() // the attempt's body+drain span: the epoch's kernel phase
 		r.Barrier() // every rank observed the same commit-or-abort outcome
 		if u.epochState.Load() != epochAborting {
 			break

@@ -66,6 +66,12 @@ func (u *Universe) ExportTrace(label string) (obs.Meta, []obs.Record) {
 				Rank: int(ev.Rank), Arg: ev.Arg, Arg2: ev.Arg2,
 				Type: u.typeNameOf(ev.Kind, ev.Arg),
 			})
+		case TracePhase:
+			recs = append(recs, obs.Record{
+				Kind: "phase", TS: ev.TS - ev.Dur, Dur: ev.Dur,
+				Rank: int(ev.Rank), Arg: ev.Arg, Arg2: ev.Arg2,
+				Type: obs.Phase(ev.Arg).String(),
+			})
 		case TraceHandler:
 			recs = append(recs, obs.Record{
 				Kind: "handler", TS: ev.TS - ev.Dur, Dur: ev.Dur,

@@ -1,6 +1,11 @@
 package am
 
-import "declpat/internal/obs"
+import (
+	"io"
+	"os"
+
+	"declpat/internal/obs"
+)
 
 // GaugeSnapshot is one gauge reading: the current value and the high-water
 // mark since the universe started.
@@ -51,6 +56,25 @@ type Metrics struct {
 	// AckRTT is the ack round-trip histogram in nanoseconds (zero unless
 	// Config.Timing is set and the transport is reliable).
 	AckRTT obs.HistSnapshot
+	// Phases is the per-phase epoch duration breakdown aggregated over
+	// ranks (phase name -> histogram, durations in ns); nil unless
+	// Config.Timing is set. RankPhases is the same per rank.
+	Phases     map[string]obs.HistSnapshot
+	RankPhases []map[string]obs.HistSnapshot
+	// Processes is the per-process telemetry breakdown: this process
+	// ("coordinator") first, then every external process the transport can
+	// reach (the declpat-worker relay, queried over its own listener).
+	// Merged folds them into one export — worker counters and phase
+	// histograms combined with the coordinator's.
+	Processes []obs.ProcessTelemetry
+	Merged    obs.ProcessTelemetry
+}
+
+// telemetrySource is the optional Transport extension behind the
+// per-process breakdown: a backend with external processes on its data path
+// returns their telemetry exports.
+type telemetrySource interface {
+	processTelemetry() []obs.ProcessTelemetry
 }
 
 // WireHealth is the wire-facing health block of Metrics: what the link
@@ -98,6 +122,19 @@ func (u *Universe) Metrics() Metrics {
 			}
 		}
 	}
+	m.Phases = u.phases.Snapshot()
+	m.RankPhases = u.RankPhases()
+	m.Processes = []obs.ProcessTelemetry{u.Telemetry()}
+	if ts, ok := u.net.(telemetrySource); ok {
+		m.Processes = append(m.Processes, ts.processTelemetry()...)
+	}
+	for i := range m.Processes {
+		// Bound mismatches cannot happen between same-build processes and
+		// degrade to a partial merge otherwise; the per-process entries
+		// always carry the unmerged truth.
+		obs.MergeTelemetry(&m.Merged, &m.Processes[i])
+	}
+	m.Merged.Process = "merged"
 	if u.typeC == nil {
 		return m // before Run: no type-dimensioned state yet
 	}
@@ -113,4 +150,146 @@ func (u *Universe) Metrics() Metrics {
 		m.AckRTT = u.ackRTT.Snapshot()
 	}
 	return m
+}
+
+// Telemetry returns this process's telemetry export — the same unit a
+// declpat-worker ships over a telemetry frame, built locally: the substrate
+// counters, the outstanding-retransmit gauge, and the per-phase histograms
+// (empty unless Config.Timing is set).
+func (u *Universe) Telemetry() obs.ProcessTelemetry {
+	t := obs.ProcessTelemetry{
+		Process:  "coordinator",
+		PID:      os.Getpid(),
+		UptimeNS: obs.Now(),
+		Counters: make(map[string]int64, len(u.c.Names())),
+	}
+	for id, name := range u.c.Names() {
+		if v := u.c.Total(id); v != 0 {
+			t.Counters[name] = v
+		}
+	}
+	t.Gauges = map[string]obs.GaugeValue{
+		"rel_pending": {Cur: u.relPending.Value(), Max: u.relPending.Max()},
+	}
+	t.Phases = u.phases.Snapshot()
+	return t
+}
+
+// CounterSeries returns the cumulative counter series a live sampler diffs:
+// every non-zero substrate counter plus per-type sent/handled/envelope
+// counts, keyed by name. Cheap enough to call on a sampling interval (pure
+// atomic loads, no locks).
+func (u *Universe) CounterSeries() map[string]int64 {
+	out := make(map[string]int64, len(u.c.Names()))
+	for id, name := range u.c.Names() {
+		if v := u.c.Total(id); v != 0 {
+			out[name] = v
+		}
+	}
+	if u.typeC != nil {
+		for id, name := range u.typeC.Names() {
+			if v := u.typeC.Total(id); v != 0 {
+				out[name] = v
+			}
+		}
+	}
+	return out
+}
+
+// WriteOpenMetrics writes the universe's current metrics in the
+// OpenMetrics / Prometheus text exposition format: one counter family per
+// substrate counter (labelled per process), gauge families with peaks, and
+// the per-phase duration histograms in seconds, labelled per process and
+// phase. Safe to call while the universe runs — this is the payload behind
+// a live /metrics endpoint (harness.DebugServer.HandleMetrics).
+func (u *Universe) WriteOpenMetrics(w io.Writer) error {
+	m := u.Metrics()
+	om := obs.NewOMWriter(w)
+	om.Family("declpat_universe_info", "gauge", "Universe constants: value is always 1, labels carry the configuration.")
+	om.Sample("declpat_universe_info", []string{"transport", m.Transport}, 1)
+	om.Family("declpat_ranks", "gauge", "Number of ranks in the universe.")
+	om.SampleInt("declpat_ranks", nil, int64(u.cfg.Ranks))
+
+	// Counter families: the union of every process's counter names, one
+	// family per name, one sample per process that reports it.
+	names := map[string]bool{}
+	for _, p := range m.Processes {
+		for k := range p.Counters {
+			names[k] = true
+		}
+	}
+	for _, name := range obs.SortedKeys(names) {
+		fam := "declpat_" + obs.MetricName(name) + "_total"
+		om.Family(fam, "counter", "Substrate counter "+name+".")
+		for _, p := range m.Processes {
+			if v, ok := p.Counters[name]; ok {
+				om.SampleInt(fam, []string{"process", p.Process}, v)
+			}
+		}
+	}
+
+	// Gauge families: current value and peak as separate series.
+	gnames := map[string]bool{}
+	for _, p := range m.Processes {
+		for k := range p.Gauges {
+			gnames[k] = true
+		}
+	}
+	for _, name := range obs.SortedKeys(gnames) {
+		fam := "declpat_" + obs.MetricName(name)
+		om.Family(fam, "gauge", "Substrate gauge "+name+" (current value).")
+		for _, p := range m.Processes {
+			if v, ok := p.Gauges[name]; ok {
+				om.SampleInt(fam, []string{"process", p.Process}, v.Cur)
+			}
+		}
+		om.Family(fam+"_peak", "gauge", "Substrate gauge "+name+" (high-water mark).")
+		for _, p := range m.Processes {
+			if v, ok := p.Gauges[name]; ok {
+				om.SampleInt(fam+"_peak", []string{"process", p.Process}, v.Max)
+			}
+		}
+	}
+
+	// Phase histograms: one family, labelled by process and phase,
+	// nanosecond observations exported in seconds.
+	hasPhases := false
+	for _, p := range m.Processes {
+		if len(p.Phases) > 0 {
+			hasPhases = true
+			break
+		}
+	}
+	if hasPhases {
+		const fam = "declpat_phase_duration_seconds"
+		om.Family(fam, "histogram", "Epoch phase durations by process and phase (collect/build_csr/kernel/emit/barrier/recovery).")
+		for _, p := range m.Processes {
+			for _, phase := range obs.SortedKeys(p.Phases) {
+				om.Hist(fam, []string{"process", p.Process, "phase", phase}, p.Phases[phase], 1e-9)
+			}
+		}
+	}
+
+	om.Family("declpat_inbox_depth", "gauge", "Per-rank inbox queue depth.")
+	for i, g := range m.InboxDepth {
+		om.SampleInt("declpat_inbox_depth", []string{"rank", labelItoa(i)}, g.Value)
+	}
+	return om.Close()
+}
+
+// labelItoa is a tiny strconv.Itoa for label values (avoids importing strconv in
+// every exporter call site).
+func labelItoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [20]byte
+	p := len(b)
+	n := i
+	for n > 0 {
+		p--
+		b[p] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[p:])
 }

@@ -1,0 +1,72 @@
+package am
+
+import "declpat/internal/obs"
+
+// PhaseScope times one phase of an epoch on one rank. It is a plain value:
+// opening a scope when phase timing and tracing are both disabled returns
+// the zero scope without reading the clock, and End on the zero scope is a
+// no-op — the hot path pays one nil check each way and allocates nothing.
+//
+// Usage follows the uniform kernel template:
+//
+//	ph := r.Phase(obs.PhaseCollect)
+//	... gather the frontier ...
+//	ph.End()
+//
+// The substrate opens kernel, barrier, and recovery scopes itself;
+// strategies and algorithms add collect / build_csr / emit around their
+// rank-local sections. Phases are a breakdown of where time goes, not a
+// strict partition: a barrier wait inside an epoch attempt is counted both
+// in the barrier phase and in the enclosing kernel span.
+type PhaseScope struct {
+	r     *Rank
+	phase obs.Phase
+	start int64
+}
+
+// Phase opens a phase scope on this rank. Gated like Config.Timing: with
+// timing and tracing both off the scope is inert and free.
+func (r *Rank) Phase(p obs.Phase) PhaseScope {
+	u := r.u
+	if u.phases == nil && u.tracer == nil {
+		return PhaseScope{}
+	}
+	return PhaseScope{r: r, phase: p, start: obs.Now()}
+}
+
+// End closes the scope: the elapsed time lands in the rank's per-phase
+// histogram (Config.Timing) and, when tracing is on, in the trace ring as a
+// TracePhase span (Arg = phase id, Arg2 = epoch sequence at close).
+func (s PhaseScope) End() {
+	if s.r == nil {
+		return
+	}
+	r, u := s.r, s.r.u
+	end := obs.Now()
+	dur := end - s.start
+	u.phases.Observe(s.phase, r.shard, dur)
+	if u.tracer != nil {
+		u.traceSpan(r.id, TracePhase, int64(s.phase), u.epochSeq.Load(), end, dur)
+	}
+}
+
+// Phases returns the per-phase duration histograms aggregated over ranks
+// (phase name -> snapshot), or nil unless Config.Timing is set.
+func (u *Universe) Phases() map[string]obs.HistSnapshot { return u.phases.Snapshot() }
+
+// RankPhases returns each rank's per-phase duration histograms, or nil
+// unless Config.Timing is set. With Config.UnshardedStats every rank shares
+// shard 0, so index 0 carries the combined view and the rest are empty.
+func (u *Universe) RankPhases() []map[string]obs.HistSnapshot {
+	if u.phases == nil {
+		return nil
+	}
+	out := make([]map[string]obs.HistSnapshot, u.cfg.Ranks)
+	shards := u.cfg.statShards()
+	for i := range out {
+		if i < shards {
+			out[i] = u.phases.ShardSnapshot(i)
+		}
+	}
+	return out
+}

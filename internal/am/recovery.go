@@ -364,6 +364,8 @@ const defaultMaxRecoveries = 8
 //     after which the final barrier releases every rank into the replay.
 func (r *Rank) recoverEpoch() {
 	u := r.u
+	ph := r.Phase(obs.PhaseRecovery)
+	defer ph.End() // runs on the runAbort unwind too: a failed run still reports
 	for r.activeH.Load() != 0 {
 		runtime.Gosched()
 	}

@@ -272,6 +272,26 @@ func (t *sockTransport) Name() string {
 func (t *sockTransport) reliable() bool              { return true }
 func (t *sockTransport) tickInterval() time.Duration { return t.opt.TickInterval }
 
+// processTelemetry implements the optional telemetry-source extension of
+// Transport (see Universe.Metrics): when a relay (declpat-worker) sits on
+// the data path, query its telemetry over the same listener the tunnels
+// use. Best-effort — an unreachable or pre-telemetry relay contributes no
+// entry rather than an error, so Metrics() never fails because a worker
+// died mid-scrape.
+func (t *sockTransport) processTelemetry() []obs.ProcessTelemetry {
+	if t.relayAdr == "" {
+		return nil
+	}
+	pt, err := relay.QueryTelemetry(t.relayNet, t.relayAdr, t.opt.DialTimeout)
+	if err != nil {
+		return nil
+	}
+	if pt.Addr == "" {
+		pt.Addr = t.opt.Relay
+	}
+	return []obs.ProcessTelemetry{pt}
+}
+
 func (t *sockTransport) start(u *Universe) error {
 	if t.u != nil {
 		return errTransportReused

@@ -1,0 +1,184 @@
+package am
+
+import (
+	"net"
+	"strings"
+	"testing"
+
+	"declpat/internal/obs"
+	"declpat/internal/relay"
+)
+
+// TestPhaseTimersRecorded proves the tentpole's first layer: with
+// Config.Timing on, every epoch lands kernel and barrier spans in the
+// per-phase histograms, broken down per rank; with it off the whole plane
+// is absent and Rank.Phase is inert.
+func TestPhaseTimersRecorded(t *testing.T) {
+	cfg := Config{Ranks: 3, ThreadsPerRank: 2, Timing: true}
+	u := NewUniverse(cfg)
+	mt := Register(u, "ping", func(r *Rank, m chatterPayload) {})
+	err := u.Run(func(r *Rank) {
+		for epoch := 0; epoch < 2; epoch++ {
+			r.Epoch(func(ep *Epoch) {
+				ph := r.Phase(obs.PhaseCollect)
+				mt.SendTo(r, (r.ID()+1)%r.N(), chatterPayload{ID: int64(r.ID())})
+				ph.End()
+			})
+			r.Barrier()
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	phases := u.Phases()
+	for _, want := range []string{"collect", "kernel", "barrier"} {
+		h, ok := phases[want]
+		if !ok || h.Count == 0 {
+			t.Fatalf("phase %q missing or empty: %v", want, phases)
+		}
+		if h.Sum < 0 || h.Max < 0 {
+			t.Fatalf("phase %q has negative durations: %+v", want, h)
+		}
+	}
+	// 3 ranks x 2 epochs of explicit collect scopes.
+	if got := phases["collect"].Count; got != 6 {
+		t.Fatalf("collect spans = %d, want 6", got)
+	}
+	rp := u.RankPhases()
+	if len(rp) != cfg.Ranks {
+		t.Fatalf("RankPhases len = %d, want %d", len(rp), cfg.Ranks)
+	}
+	var perRank int64
+	for _, m := range rp {
+		perRank += m["collect"].Count
+	}
+	if perRank != phases["collect"].Count {
+		t.Fatalf("per-rank collect spans sum to %d, aggregate says %d", perRank, phases["collect"].Count)
+	}
+
+	// Timing off: no histograms, and scopes are the zero value.
+	u2 := NewUniverse(Config{Ranks: 1})
+	err = u2.Run(func(r *Rank) {
+		ph := r.Phase(obs.PhaseKernel)
+		if ph != (PhaseScope{}) {
+			t.Error("Phase with timing and tracing off must return the zero scope")
+		}
+		ph.End() // must be a no-op, not a nil deref
+	})
+	if err != nil {
+		t.Fatalf("Run (timing off): %v", err)
+	}
+	if u2.Phases() != nil {
+		t.Fatalf("Phases() with timing off = %v, want nil", u2.Phases())
+	}
+}
+
+// TestRelayTelemetryMerged is the cross-process aggregation acceptance test:
+// a relay server (the in-process twin of cmd/declpat-worker) sits on the
+// data path, the workload crosses it, and afterwards Universe.Metrics()
+// must carry the relay's counters and phase histograms as a second process
+// — merged into the combined export and visible on the /metrics payload.
+func TestRelayTelemetryMerged(t *testing.T) {
+	requireLoopback(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("relay listen: %v", err)
+	}
+	defer ln.Close()
+	go relay.NewServer("relay").Serve(ln)
+
+	opt := fastSockOptions("tcp")
+	opt.Relay = "tcp://" + ln.Addr().String()
+	cfg := Config{Ranks: 2, ThreadsPerRank: 1, CoalesceSize: 4, Timing: true,
+		Transport: SockTransport(opt)}
+	counts, u := runSockChatter(t, cfg, 16)
+	checkExactlyOnce(t, counts, 0)
+
+	m := u.Metrics()
+	if len(m.Processes) != 2 {
+		t.Fatalf("Processes = %d entries, want coordinator + relay: %+v", len(m.Processes), m.Processes)
+	}
+	if m.Processes[0].Process != "coordinator" {
+		t.Fatalf("Processes[0] = %q, want coordinator first", m.Processes[0].Process)
+	}
+	rl := m.Processes[1]
+	if rl.Process != "relay" || rl.PID == 0 {
+		t.Fatalf("relay telemetry identity: %+v", rl)
+	}
+	if rl.Addr != opt.Relay {
+		t.Fatalf("relay Addr = %q, want %q", rl.Addr, opt.Relay)
+	}
+	// Every inter-rank connection tunnels through the relay, and its dial
+	// latency lands in the relay's collect phase synchronously.
+	if rl.Counters["relay_conns"] < 1 {
+		t.Fatalf("relay_conns = %d, want >= 1", rl.Counters["relay_conns"])
+	}
+	if rl.Counters["relay_bytes_to_target"] == 0 {
+		t.Fatal("no bytes spliced toward targets — did the workload bypass the relay?")
+	}
+	if rl.Phases["collect"].Count < 1 {
+		t.Fatalf("relay collect phase empty: %+v", rl.Phases)
+	}
+
+	// The merged export folds both processes together.
+	if m.Merged.Process != "merged" {
+		t.Fatalf("Merged.Process = %q", m.Merged.Process)
+	}
+	if m.Merged.Counters["relay_conns"] != rl.Counters["relay_conns"] {
+		t.Fatalf("merged relay_conns = %d, want %d", m.Merged.Counters["relay_conns"], rl.Counters["relay_conns"])
+	}
+	if m.Merged.Counters["msgs_sent"] == 0 {
+		t.Fatal("merged export lost the coordinator's counters")
+	}
+	coordKernel := m.Processes[0].Phases["kernel"].Count
+	if coordKernel == 0 {
+		t.Fatal("coordinator kernel phase empty despite Timing")
+	}
+	if got := m.Merged.Phases["collect"].Count; got < rl.Phases["collect"].Count {
+		t.Fatalf("merged collect spans = %d, want >= relay's %d", got, rl.Phases["collect"].Count)
+	}
+
+	// And the same breakdown is what /metrics serves.
+	var b strings.Builder
+	if err := u.WriteOpenMetrics(&b); err != nil {
+		t.Fatalf("WriteOpenMetrics: %v", err)
+	}
+	om := b.String()
+	for _, want := range []string{
+		`declpat_universe_info{transport="sock-tcp"} 1`,
+		`declpat_msgs_sent_total{process="coordinator"}`,
+		`declpat_relay_conns_total{process="relay"}`,
+		`declpat_phase_duration_seconds_bucket{process="coordinator",phase="kernel"`,
+		`declpat_phase_duration_seconds_bucket{process="relay",phase="collect"`,
+		"# EOF",
+	} {
+		if !strings.Contains(om, want) {
+			t.Fatalf("scrape missing %q in:\n%s", want, om)
+		}
+	}
+}
+
+// TestCounterSeriesFeedsSampler wires the universe's counter series into an
+// obs.Sampler and checks the live-sampling layer sees real totals.
+func TestCounterSeriesFeedsSampler(t *testing.T) {
+	u := NewUniverse(Config{Ranks: 2})
+	mt := Register(u, "c", func(r *Rank, m chatterPayload) {})
+	s := obs.NewSampler(8, u.CounterSeries)
+	s.Tick() // empty universe: zero baseline
+	err := u.Run(func(r *Rank) {
+		r.Epoch(func(ep *Epoch) {
+			for i := 0; i < 10; i++ {
+				mt.SendTo(r, (r.ID()+1)%r.N(), chatterPayload{ID: int64(i)})
+			}
+		})
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	s.Tick()
+	w := s.Samples()
+	last := w[len(w)-1]
+	if last.Values["msgs_sent"] != 20 || last.Deltas["msgs_sent"] != 20 {
+		t.Fatalf("sampler saw msgs_sent=%d delta=%d, want 20/20", last.Values["msgs_sent"], last.Deltas["msgs_sent"])
+	}
+}

@@ -83,10 +83,14 @@ const (
 	// TraceHeartbeatMiss: a socket link's liveness deadline expired with no
 	// frame received; the connection was declared dead (Arg = peer rank).
 	TraceHeartbeatMiss
+	// TracePhase: a phase scope closed (Arg = obs.Phase id, Arg2 = epoch
+	// sequence at close; Dur = the phase's duration, so the span covers
+	// [TS-Dur, TS]).
+	TracePhase
 
 	// maxTraceKind is the highest valid TraceKind (tests use it to detect
 	// torn/garbage events).
-	maxTraceKind = TraceHeartbeatMiss
+	maxTraceKind = TracePhase
 )
 
 func (k TraceKind) String() string {
@@ -137,6 +141,8 @@ func (k TraceKind) String() string {
 		return "reconnect"
 	case TraceHeartbeatMiss:
 		return "hb-miss"
+	case TracePhase:
+		return "phase"
 	}
 	return fmt.Sprintf("TraceKind(%d)", uint8(k))
 }

@@ -112,9 +112,10 @@ type Config struct {
 	// enabled.
 	Lineage LineageMode
 	// Timing enables clock-based latency histograms: handler latency per
-	// message type and (in reliable mode) ack round-trip time. Off by
-	// default because it adds two monotonic clock reads per delivered
-	// envelope to the hot path.
+	// message type, (in reliable mode) ack round-trip time, and the
+	// per-rank per-phase epoch timers (phase.go). Off by default because it
+	// adds two monotonic clock reads per delivered envelope (and per phase
+	// scope) to the hot path.
 	Timing bool
 	// UnshardedStats collapses the per-rank metric shards into a single
 	// shard, reproducing the old globally-shared-atomics layout where
@@ -277,6 +278,10 @@ type Universe struct {
 	batchHist  []*obs.Histogram
 	latHist    []*obs.Histogram
 	ackRTT     *obs.Histogram
+	// phases holds the per-rank per-phase duration histograms (see phase.go);
+	// nil unless Config.Timing is set, which keeps Rank.Phase free of clock
+	// reads in untimed untraced runs.
+	phases *obs.PhaseSet
 }
 
 // statShards returns the shard count of the metric write path.
@@ -493,6 +498,7 @@ func (u *Universe) initObs() {
 		if u.fp != nil {
 			u.ackRTT = obs.NewHistogram(shards, rttBounds...)
 		}
+		u.phases = obs.NewPhaseSet(shards)
 	}
 	for _, r := range u.ranks {
 		r.tst = u.typeC.Shard(r.shard)

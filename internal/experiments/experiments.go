@@ -1,4 +1,4 @@
-// Package experiments implements the reproduction experiment suite E1–E21
+// Package experiments implements the reproduction experiment suite E1–E22
 // described in DESIGN.md: for every figure and performance-relevant claim of
 // the paper it regenerates a table (message counts, work counts, ablation
 // factors, scaling shape). cmd/experiments prints all tables; EXPERIMENTS.md
@@ -59,6 +59,7 @@ func All() []Experiment {
 		{"E19", "observability — causal lineage: critical paths, chain depth, overhead", E19Lineage},
 		{"E20", "performance — wire codec: bytes & allocations, fixed vs gob", E20Codec},
 		{"E21", "robustness — transport seam: chan vs unix vs tcp loopback, faulted links", E21Transport},
+		{"E22", "observability — phase-timer overhead: telemetry plane off vs on", E22PhaseTimers},
 	}
 }
 

@@ -6,6 +6,7 @@
 package harness
 
 import (
+	"encoding/json"
 	"fmt"
 	"hash/fnv"
 	"io"
@@ -64,6 +65,22 @@ func (t *Table) Add(cells ...any) {
 
 // Rows returns the number of data rows.
 func (t *Table) Rows() int { return len(t.rows) }
+
+// MarshalJSON renders the table as a machine-readable object:
+// {"title": ..., "header": [...], "rows": [[...], ...]}. Cells are the same
+// formatted strings Fprint renders, so the JSON view and the text view of a
+// table never disagree.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	rows := t.rows
+	if rows == nil {
+		rows = [][]string{}
+	}
+	return json.Marshal(struct {
+		Title  string     `json:"title"`
+		Header []string   `json:"header"`
+		Rows   [][]string `json:"rows"`
+	}{t.Title, t.Header, rows})
+}
 
 func isNumeric(s string) bool {
 	if s == "" {

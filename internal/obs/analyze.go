@@ -21,6 +21,108 @@ func Analyze(meta Meta, recs []Record) []*harness.Table {
 	return tables
 }
 
+// PhaseTables derives the phase-timer report from a trace export: the
+// per-epoch breakdown across phases and the per-rank phase load. Both are
+// empty when the trace carries no phase spans (captured with Timing off).
+func PhaseTables(meta Meta, recs []Record) []*harness.Table {
+	return []*harness.Table{PhaseBreakdown(meta, recs), RankPhaseLoad(meta, recs)}
+}
+
+// phaseDist accumulates one cell of the phase tables: all span durations
+// for a (group, phase) pair.
+type phaseDist struct {
+	ds    []int64
+	total int64
+}
+
+func (d *phaseDist) add(ns int64) { d.ds = append(d.ds, ns); d.total += ns }
+
+func (d *phaseDist) row(t *harness.Table, first any, phase string) {
+	sort.Slice(d.ds, func(i, j int) bool { return d.ds[i] < d.ds[j] })
+	t.Add(first, phase, len(d.ds), time.Duration(d.total),
+		percentile(d.ds, 0.50), percentile(d.ds, 0.95),
+		time.Duration(d.ds[len(d.ds)-1]))
+}
+
+// PhaseBreakdown reports, per epoch, the distribution of each phase's spans
+// across ranks: span count, total time, p50/p95/max. Phase spans carry the
+// epoch sequence observed at span close (Arg2), so pre-epoch phases (seed
+// collection, bucket builds) attribute to the epoch they feed.
+func PhaseBreakdown(meta Meta, recs []Record) *harness.Table {
+	type key struct {
+		epoch int64
+		phase string
+	}
+	cells := map[key]*phaseDist{}
+	for _, r := range recs {
+		if r.Kind != "phase" {
+			continue
+		}
+		k := key{epoch: r.Arg2, phase: r.Type}
+		d := cells[k]
+		if d == nil {
+			d = &phaseDist{}
+			cells[k] = d
+		}
+		d.add(r.Dur)
+	}
+	keys := make([]key, 0, len(cells))
+	for k := range cells {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].epoch != keys[j].epoch {
+			return keys[i].epoch < keys[j].epoch
+		}
+		return PhaseByName(keys[i].phase) < PhaseByName(keys[j].phase)
+	})
+	t := harness.NewTable("per-epoch phase breakdown",
+		"epoch", "phase", "spans", "total", "p50", "p95", "max")
+	for _, k := range keys {
+		cells[k].row(t, k.epoch, k.phase)
+	}
+	return t
+}
+
+// RankPhaseLoad reports each rank's time per phase over the whole trace —
+// the imbalance view: a rank whose kernel total towers over the others is
+// the straggler.
+func RankPhaseLoad(meta Meta, recs []Record) *harness.Table {
+	type key struct {
+		rank  int
+		phase string
+	}
+	cells := map[key]*phaseDist{}
+	for _, r := range recs {
+		if r.Kind != "phase" {
+			continue
+		}
+		k := key{rank: r.Rank, phase: r.Type}
+		d := cells[k]
+		if d == nil {
+			d = &phaseDist{}
+			cells[k] = d
+		}
+		d.add(r.Dur)
+	}
+	keys := make([]key, 0, len(cells))
+	for k := range cells {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].rank != keys[j].rank {
+			return keys[i].rank < keys[j].rank
+		}
+		return PhaseByName(keys[i].phase) < PhaseByName(keys[j].phase)
+	})
+	t := harness.NewTable("per-rank phase load",
+		"rank", "phase", "spans", "total", "p50", "p95", "max")
+	for _, k := range keys {
+		cells[k].row(t, k.rank, k.phase)
+	}
+	return t
+}
+
 // epochKey locates one rank's participation in one epoch.
 type epochSpan struct {
 	seq      int64

@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// OMWriter streams metric families in the OpenMetrics / Prometheus text
+// exposition format: for each family a # TYPE (and optional # HELP) line,
+// then its samples; Close appends the terminating # EOF. The caller declares
+// each family exactly once with Family before emitting its samples — the
+// format requires samples grouped under their family, which a streaming
+// writer gets for free as long as callers keep that order.
+type OMWriter struct {
+	bw  *bufio.Writer
+	err error
+}
+
+// NewOMWriter wraps w in an OpenMetrics text encoder.
+func NewOMWriter(w io.Writer) *OMWriter {
+	return &OMWriter{bw: bufio.NewWriter(w)}
+}
+
+// Family starts a metric family. typ is one of "counter", "gauge",
+// "histogram", "unknown". help may be empty.
+func (o *OMWriter) Family(name, typ, help string) {
+	if o.err != nil {
+		return
+	}
+	if help != "" {
+		o.writeString("# HELP " + name + " " + escapeHelp(help) + "\n")
+	}
+	o.writeString("# TYPE " + name + " " + typ + "\n")
+}
+
+// Sample emits one sample. labels is a sequence of key, value pairs; a
+// counter family's sample name should carry the _total suffix.
+func (o *OMWriter) Sample(name string, labels []string, v float64) {
+	if o.err != nil {
+		return
+	}
+	o.writeString(name)
+	o.writeLabels(labels)
+	o.writeString(" ")
+	o.writeString(formatFloat(v))
+	o.writeString("\n")
+}
+
+// SampleInt emits one integer-valued sample.
+func (o *OMWriter) SampleInt(name string, labels []string, v int64) {
+	if o.err != nil {
+		return
+	}
+	o.writeString(name)
+	o.writeLabels(labels)
+	o.writeString(" ")
+	o.writeString(strconv.FormatInt(v, 10))
+	o.writeString("\n")
+}
+
+// Hist emits a histogram family's _bucket/_sum/_count samples for one label
+// set. scale converts the histogram's integer unit into the exported unit
+// (1e-9 turns nanosecond observations into seconds, the Prometheus duration
+// convention). Bucket counts are cumulative with a trailing le="+Inf", as
+// the format requires.
+func (o *OMWriter) Hist(name string, labels []string, s HistSnapshot, scale float64) {
+	if o.err != nil {
+		return
+	}
+	var cum int64
+	for i, b := range s.Bounds {
+		cum += s.Counts[i]
+		o.SampleInt(name+"_bucket", append(append([]string(nil), labels...), "le", formatFloat(float64(b)*scale)), cum)
+	}
+	o.SampleInt(name+"_bucket", append(append([]string(nil), labels...), "le", "+Inf"), s.Count)
+	o.Sample(name+"_sum", labels, float64(s.Sum)*scale)
+	o.SampleInt(name+"_count", labels, s.Count)
+}
+
+// Close writes the # EOF terminator and flushes. The writer is unusable
+// afterwards.
+func (o *OMWriter) Close() error {
+	if o.err == nil {
+		o.writeString("# EOF\n")
+	}
+	if o.err != nil {
+		return o.err
+	}
+	return o.bw.Flush()
+}
+
+func (o *OMWriter) writeString(s string) {
+	if o.err != nil {
+		return
+	}
+	_, o.err = o.bw.WriteString(s)
+}
+
+func (o *OMWriter) writeLabels(labels []string) {
+	if len(labels) == 0 {
+		return
+	}
+	o.writeString("{")
+	for i := 0; i+1 < len(labels); i += 2 {
+		if i > 0 {
+			o.writeString(",")
+		}
+		o.writeString(labels[i])
+		o.writeString("=\"")
+		o.writeString(escapeLabel(labels[i+1]))
+		o.writeString("\"")
+	}
+	o.writeString("}")
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	r := strings.NewReplacer("\\", "\\\\", "\"", "\\\"", "\n", "\\n")
+	return r.Replace(s)
+}
+
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	r := strings.NewReplacer("\\", "\\\\", "\n", "\\n")
+	return r.Replace(s)
+}
+
+// MetricName sanitizes an arbitrary series name into a legal metric-name
+// component: letters, digits, underscores; anything else becomes '_'.
+func MetricName(s string) string {
+	var b strings.Builder
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+			b.WriteRune(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// SortedKeys returns m's keys sorted — exporters iterate in deterministic
+// order so scrapes are diffable.
+func SortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

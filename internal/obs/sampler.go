@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Sample is one sampler tick: the tick's timestamp (Now() ns), the cumulative
+// source values at that instant, and the deltas since the previous tick.
+// Values and Deltas share keys; a series that first appears mid-run gets its
+// full cumulative value as its first delta.
+type Sample struct {
+	TS     int64
+	Values map[string]int64
+	Deltas map[string]int64
+}
+
+// Sampler periodically reads a cumulative snapshot source, diffs it against
+// the previous read, and stores the result in a fixed-size ring — the
+// time-series memory behind live scraping. The ring never grows: once full,
+// each tick overwrites the oldest sample, so a long-running universe holds a
+// sliding window instead of an unbounded log. All methods are safe for
+// concurrent use; sampling is off the hot path (the source reads the sharded
+// counters, writers never see the sampler).
+type Sampler struct {
+	mu   sync.Mutex
+	src  func() map[string]int64
+	ring []Sample
+	n    uint64 // total ticks taken; ring index is n % len(ring)
+	last map[string]int64
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewSampler creates a sampler over src with a ring of size slots. src must
+// return cumulative (monotone) series values; it is called once per tick.
+func NewSampler(size int, src func() map[string]int64) *Sampler {
+	if size < 1 {
+		size = 1
+	}
+	return &Sampler{src: src, ring: make([]Sample, size)}
+}
+
+// Tick takes one sample now. Exposed so tests and pull-based exporters can
+// sample without running the background loop.
+func (s *Sampler) Tick() {
+	cur := s.src()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	deltas := make(map[string]int64, len(cur))
+	for k, v := range cur {
+		deltas[k] = v - s.last[k]
+	}
+	s.ring[s.n%uint64(len(s.ring))] = Sample{TS: Now(), Values: cur, Deltas: deltas}
+	s.n++
+	s.last = cur
+}
+
+// Start launches the background sampling loop at the given interval. It
+// panics if the loop is already running (one loop per sampler).
+func (s *Sampler) Start(interval time.Duration) {
+	s.mu.Lock()
+	if s.stop != nil {
+		s.mu.Unlock()
+		panic("obs: sampler already started")
+	}
+	s.stop = make(chan struct{})
+	s.done = make(chan struct{})
+	stop, done := s.stop, s.done
+	s.mu.Unlock()
+	go func() {
+		defer close(done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				s.Tick()
+			}
+		}
+	}()
+}
+
+// Stop halts the background loop and waits for it to exit. Safe to call when
+// the loop was never started, and idempotent.
+func (s *Sampler) Stop() {
+	s.mu.Lock()
+	stop, done := s.stop, s.done
+	s.stop, s.done = nil, nil
+	s.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}
+
+// Samples returns the retained window, oldest first. The returned slice and
+// its maps are snapshots — safe to hold across further ticks.
+func (s *Sampler) Samples() []Sample {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	size := uint64(len(s.ring))
+	count := s.n
+	if count > size {
+		count = size
+	}
+	out := make([]Sample, 0, count)
+	for i := s.n - count; i < s.n; i++ {
+		out = append(out, s.ring[i%size])
+	}
+	return out
+}
+
+// Len returns the number of samples currently retained.
+func (s *Sampler) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.n > uint64(len(s.ring)) {
+		return len(s.ring)
+	}
+	return int(s.n)
+}
+
+// Cap returns the ring size.
+func (s *Sampler) Cap() int { return len(s.ring) }
+
+// Rate returns series name's mean per-second rate over the retained window,
+// or 0 when fewer than two samples exist. Computed from the cumulative
+// values at the window's edges, so overwritten middle samples don't bias it.
+func (s *Sampler) Rate(name string) float64 {
+	w := s.Samples()
+	if len(w) < 2 {
+		return 0
+	}
+	first, last := w[0], w[len(w)-1]
+	dt := last.TS - first.TS
+	if dt <= 0 {
+		return 0
+	}
+	return float64(last.Values[name]-first.Values[name]) / (float64(dt) / 1e9)
+}

@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+)
+
+func sampleTelemetry() ProcessTelemetry {
+	h := HistSnapshot{Bounds: []int64{10, 100}, Counts: []int64{2, 1, 1}, Count: 4, Sum: 260, Max: 150}
+	return ProcessTelemetry{
+		Process:  "relay",
+		Addr:     "unix:///tmp/x.sock",
+		PID:      4242,
+		UptimeNS: 7e9,
+		Counters: map[string]int64{"relay_conns": 3, "relay_bytes_to_target": 9000},
+		Gauges:   map[string]GaugeValue{"relay_active_conns": {Cur: 1, Max: 2}},
+		Phases:   map[string]HistSnapshot{"kernel": h},
+	}
+}
+
+func TestTelemetryFrameRoundTrip(t *testing.T) {
+	want := sampleTelemetry()
+	var buf bytes.Buffer
+	if err := WriteTelemetryFrame(&buf, want); err != nil {
+		t.Fatalf("WriteTelemetryFrame: %v", err)
+	}
+	got, err := ReadTelemetryFrame(&buf)
+	if err != nil {
+		t.Fatalf("ReadTelemetryFrame: %v", err)
+	}
+	if got.Process != want.Process || got.PID != want.PID || got.Addr != want.Addr {
+		t.Fatalf("identity fields corrupted: got %+v", got)
+	}
+	if got.Counters["relay_conns"] != 3 || got.Counters["relay_bytes_to_target"] != 9000 {
+		t.Fatalf("counters corrupted: %v", got.Counters)
+	}
+	if g := got.Gauges["relay_active_conns"]; g.Cur != 1 || g.Max != 2 {
+		t.Fatalf("gauge corrupted: %+v", g)
+	}
+	h := got.Phases["kernel"]
+	if h.Count != 4 || h.Sum != 260 || h.Max != 150 || len(h.Bounds) != 2 || h.Counts[2] != 1 {
+		t.Fatalf("phase histogram corrupted: %+v", h)
+	}
+}
+
+func TestTelemetryFrameRejectsNewerVersion(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTelemetryFrame(&buf, sampleTelemetry()); err != nil {
+		t.Fatalf("WriteTelemetryFrame: %v", err)
+	}
+	b := buf.Bytes()
+	binary.BigEndian.PutUint16(b[4:6], TelemetryVersion+1)
+	if _, err := ReadTelemetryFrame(bytes.NewReader(b)); err == nil {
+		t.Fatal("frame from a newer version must be rejected, not guessed at")
+	} else if !strings.Contains(err.Error(), "version") {
+		t.Fatalf("want a version error, got: %v", err)
+	}
+}
+
+func TestTelemetryFrameRejectsBadLength(t *testing.T) {
+	for _, n := range []uint32{0, 1, maxTelemetryFrame + 1} {
+		var hdr [4]byte
+		binary.BigEndian.PutUint32(hdr[:], n)
+		if _, err := ReadTelemetryFrame(bytes.NewReader(hdr[:])); err == nil {
+			t.Fatalf("length %d must be rejected", n)
+		}
+	}
+}
+
+func TestMergeTelemetry(t *testing.T) {
+	dst := ProcessTelemetry{
+		Process:  "coordinator",
+		Counters: map[string]int64{"msgs_sent": 100},
+		Gauges:   map[string]GaugeValue{"inbox": {Cur: 5, Max: 9}},
+		Phases: map[string]HistSnapshot{
+			"kernel": {Bounds: []int64{10, 100}, Counts: []int64{1, 0, 0}, Count: 1, Sum: 4, Max: 4},
+		},
+	}
+	src := sampleTelemetry()
+	src.Counters["msgs_sent"] = 50
+	src.Gauges["inbox"] = GaugeValue{Cur: 2, Max: 20}
+	if err := MergeTelemetry(&dst, &src); err != nil {
+		t.Fatalf("MergeTelemetry: %v", err)
+	}
+	if dst.Counters["msgs_sent"] != 150 {
+		t.Fatalf("shared counter must add: got %d", dst.Counters["msgs_sent"])
+	}
+	if dst.Counters["relay_conns"] != 3 {
+		t.Fatalf("src-only counter must appear: got %d", dst.Counters["relay_conns"])
+	}
+	if g := dst.Gauges["inbox"]; g.Cur != 7 || g.Max != 20 {
+		t.Fatalf("gauge must add Cur and max Max: %+v", g)
+	}
+	h := dst.Phases["kernel"]
+	if h.Count != 5 || h.Sum != 264 || h.Max != 150 || h.Counts[0] != 3 {
+		t.Fatalf("phase merge wrong: %+v", h)
+	}
+}
+
+func TestMergeTelemetryIntoEmpty(t *testing.T) {
+	var dst ProcessTelemetry
+	src := sampleTelemetry()
+	if err := MergeTelemetry(&dst, &src); err != nil {
+		t.Fatalf("MergeTelemetry into zero value: %v", err)
+	}
+	if dst.Counters["relay_conns"] != 3 || dst.Phases["kernel"].Count != 4 {
+		t.Fatalf("zero-value dst must adopt src maps: %+v", dst)
+	}
+}
+
+func TestMergeTelemetryBoundMismatchIsPartial(t *testing.T) {
+	dst := ProcessTelemetry{
+		Phases: map[string]HistSnapshot{
+			"kernel":  {Bounds: []int64{1, 2}, Counts: []int64{1, 0, 0}, Count: 1, Sum: 1, Max: 1},
+			"barrier": {Bounds: []int64{10, 100}, Counts: []int64{1, 0, 0}, Count: 1, Sum: 3, Max: 3},
+		},
+	}
+	src := ProcessTelemetry{
+		Counters: map[string]int64{"msgs_sent": 7},
+		Phases: map[string]HistSnapshot{
+			"kernel":  {Bounds: []int64{10, 100}, Counts: []int64{1, 0, 0}, Count: 1, Sum: 5, Max: 5},
+			"barrier": {Bounds: []int64{10, 100}, Counts: []int64{0, 1, 0}, Count: 1, Sum: 50, Max: 50},
+		},
+	}
+	err := MergeTelemetry(&dst, &src)
+	if err == nil {
+		t.Fatal("bound mismatch must be reported")
+	}
+	if !strings.Contains(err.Error(), "kernel") {
+		t.Fatalf("error must name the skipped phase: %v", err)
+	}
+	if dst.Phases["kernel"].Count != 1 {
+		t.Fatalf("mismatched histogram must be left untouched: %+v", dst.Phases["kernel"])
+	}
+	if dst.Phases["barrier"].Count != 2 || dst.Counters["msgs_sent"] != 7 {
+		t.Fatalf("rest of the merge must still happen: %+v", dst)
+	}
+}
+
+func TestHistSnapshotMergeAdoptsBounds(t *testing.T) {
+	var dst HistSnapshot
+	src := HistSnapshot{Bounds: []int64{10}, Counts: []int64{1, 2}, Count: 3, Sum: 40, Max: 30}
+	if err := dst.Merge(src); err != nil {
+		t.Fatalf("Merge into empty: %v", err)
+	}
+	if dst.Count != 3 || dst.Sum != 40 || len(dst.Bounds) != 1 {
+		t.Fatalf("empty receiver must adopt src: %+v", dst)
+	}
+	// The adoption must copy, not alias: mutating dst can't corrupt src.
+	dst.Counts[0] = 99
+	if src.Counts[0] != 1 {
+		t.Fatal("Merge aliased the source's bucket slice")
+	}
+	// Merging an empty snapshot is a no-op even when bounds differ.
+	before := dst.Count
+	if err := dst.Merge(HistSnapshot{Bounds: []int64{1, 2, 3}}); err != nil {
+		t.Fatalf("empty src must be a no-op, got: %v", err)
+	}
+	if dst.Count != before {
+		t.Fatal("empty src changed the receiver")
+	}
+}
+
+func TestHistSnapshotMergeMatchesShards(t *testing.T) {
+	// Merging per-shard snapshots must equal the all-shard snapshot: the
+	// cross-process merge path and the in-process aggregation path agree.
+	h := NewHistogram(3, ExpBounds(1, 8)...)
+	for i := 0; i < 300; i++ {
+		h.Observe(i%3, int64(i))
+	}
+	var merged HistSnapshot
+	for s := 0; s < 3; s++ {
+		if err := merged.Merge(h.ShardSnapshot(s)); err != nil {
+			t.Fatalf("shard %d: %v", s, err)
+		}
+	}
+	want := h.Snapshot()
+	if merged.Count != want.Count || merged.Sum != want.Sum || merged.Max != want.Max {
+		t.Fatalf("merged shards %+v != full snapshot %+v", merged, want)
+	}
+	for i := range want.Counts {
+		if merged.Counts[i] != want.Counts[i] {
+			t.Fatalf("bucket %d: merged %d != snapshot %d", i, merged.Counts[i], want.Counts[i])
+		}
+	}
+}

@@ -6,6 +6,12 @@
 // handshake, frames, heartbeats, and reconnects all genuinely cross the
 // worker process — which is the point: cmd/declpat-worker puts a second OS
 // process on the data path without the worker needing to understand frames.
+//
+// The same listener also answers telemetry queries: a hello opening with
+// TelemetryMagic instead of Magic receives one obs telemetry frame (the
+// relay's counters, link gauges, and phase histograms) and is closed. The
+// coordinator's socket transport uses this to fold the worker process into
+// Universe.Metrics().
 package relay
 
 import (
@@ -14,13 +20,23 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"strings"
+	"sync/atomic"
 	"time"
+
+	"declpat/internal/obs"
 )
 
-// Magic opens every relay hello; a connection that does not start with it
-// is rejected (most likely a raw transport dial that skipped the relay).
-const Magic = "DPRW"
+// Magic opens every relay tunnel hello; TelemetryMagic opens a telemetry
+// query. A connection that starts with neither is rejected (most likely a
+// raw transport dial that skipped the relay). Both hellos are 6 bytes:
+// tunnels follow the magic with a u16 target length, telemetry queries with
+// a u16 protocol version.
+const (
+	Magic          = "DPRW"
+	TelemetryMagic = "DPTQ"
+)
 
 // maxTarget bounds the hello's target string; longer targets are a protocol
 // violation, not a configuration.
@@ -73,11 +89,86 @@ func Dial(relayNetwork, relayAddr, targetNetwork, targetAddr string, timeout tim
 	return c, nil
 }
 
+// QueryTelemetry dials the relay at (network, addr), sends a telemetry
+// hello, and returns the relay's telemetry frame.
+func QueryTelemetry(network, addr string, timeout time.Duration) (obs.ProcessTelemetry, error) {
+	var t obs.ProcessTelemetry
+	c, err := net.DialTimeout(network, addr, timeout)
+	if err != nil {
+		return t, err
+	}
+	defer c.Close()
+	hello := make([]byte, 0, len(TelemetryMagic)+2)
+	hello = append(hello, TelemetryMagic...)
+	hello = binary.LittleEndian.AppendUint16(hello, obs.TelemetryVersion)
+	c.SetDeadline(time.Now().Add(timeout))
+	if _, err := c.Write(hello); err != nil {
+		return t, fmt.Errorf("relay: telemetry hello to %s: %w", addr, err)
+	}
+	return obs.ReadTelemetryFrame(c)
+}
+
+// Server is one relay instance: the tunnel state machine plus the telemetry
+// it exports. The zero value is not usable; create with NewServer. All
+// methods are safe for concurrent use (each tunnel runs on its own
+// goroutine and counts through atomics).
+type Server struct {
+	name string
+
+	conns       atomic.Int64 // tunnels accepted (telemetry queries excluded)
+	badHellos   atomic.Int64 // rejected hellos (bad magic, length, target)
+	dialErrors  atomic.Int64 // target dials that failed
+	queries     atomic.Int64 // telemetry queries answered
+	bytesToTgt  atomic.Int64 // bytes spliced dialer -> target
+	bytesToClt  atomic.Int64 // bytes spliced target -> dialer
+	activeConns *obs.Gauge   // live tunnels (current + peak)
+
+	// phases reuses the epoch phase taxonomy for the relay's own spans:
+	// collect = target dial latency, kernel = tunnel lifetime. Single-shard;
+	// the relay has no ranks.
+	phases *obs.PhaseSet
+}
+
+// NewServer creates a relay server. name labels its telemetry export
+// ("relay" when empty).
+func NewServer(name string) *Server {
+	if name == "" {
+		name = "relay"
+	}
+	return &Server{
+		name:        name,
+		activeConns: obs.NewGauge(1),
+		phases:      obs.NewPhaseSet(1),
+	}
+}
+
+// Telemetry returns the server's current telemetry export.
+func (s *Server) Telemetry() obs.ProcessTelemetry {
+	return obs.ProcessTelemetry{
+		Process:  s.name,
+		PID:      os.Getpid(),
+		UptimeNS: obs.Now(),
+		Counters: map[string]int64{
+			"relay_conns":           s.conns.Load(),
+			"relay_bad_hellos":      s.badHellos.Load(),
+			"relay_dial_errors":     s.dialErrors.Load(),
+			"relay_telemetry_reqs":  s.queries.Load(),
+			"relay_bytes_to_target": s.bytesToTgt.Load(),
+			"relay_bytes_to_client": s.bytesToClt.Load(),
+		},
+		Gauges: map[string]obs.GaugeValue{
+			"relay_active_conns": {Cur: s.activeConns.Value(), Max: s.activeConns.Max()},
+		},
+		Phases: s.phases.Snapshot(),
+	}
+}
+
 // Serve accepts tunnel connections on ln until the listener is closed.
 // Each accepted connection is handled on its own goroutine: read the hello,
-// dial the named target, splice. A per-connection failure (bad hello,
-// unreachable target) closes that connection only.
-func Serve(ln net.Listener) error {
+// then either splice to a fresh dial of the named target or answer a
+// telemetry query. A per-connection failure (bad hello, unreachable target)
+// closes that connection only.
+func (s *Server) Serve(ln net.Listener) error {
 	for {
 		c, err := ln.Accept()
 		if err != nil {
@@ -86,51 +177,92 @@ func Serve(ln net.Listener) error {
 			}
 			return err
 		}
-		go tunnel(c)
+		go s.tunnel(c)
 	}
 }
 
-// tunnel reads one hello and splices c to a fresh dial of its target.
-func tunnel(c net.Conn) {
+// Serve runs a fresh anonymous relay server on ln; see Server.Serve. Kept
+// for callers that never query telemetry (tests, ad-hoc relays).
+func Serve(ln net.Listener) error { return NewServer("relay").Serve(ln) }
+
+// countConn wraps a net.Conn so spliced bytes land in a shared counter.
+type countConn struct {
+	net.Conn
+	n *atomic.Int64
+}
+
+func (c countConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.n.Add(int64(n))
+	return n, err
+}
+
+// tunnel reads one hello and either splices c to a fresh dial of its target
+// or answers a telemetry query.
+func (s *Server) tunnel(c net.Conn) {
 	c.SetReadDeadline(time.Now().Add(helloTimeout))
 	hdr := make([]byte, len(Magic)+2)
-	if _, err := io.ReadFull(c, hdr); err != nil || string(hdr[:len(Magic)]) != Magic {
+	if _, err := io.ReadFull(c, hdr); err != nil {
+		s.badHellos.Add(1)
+		c.Close()
+		return
+	}
+	if string(hdr[:len(TelemetryMagic)]) == TelemetryMagic {
+		s.queries.Add(1)
+		c.SetWriteDeadline(time.Now().Add(helloTimeout))
+		obs.WriteTelemetryFrame(c, s.Telemetry())
+		c.Close()
+		return
+	}
+	if string(hdr[:len(Magic)]) != Magic {
+		s.badHellos.Add(1)
 		c.Close()
 		return
 	}
 	n := binary.LittleEndian.Uint16(hdr[len(Magic):])
 	if n == 0 || n > maxTarget {
+		s.badHellos.Add(1)
 		c.Close()
 		return
 	}
 	target := make([]byte, n)
 	if _, err := io.ReadFull(c, target); err != nil {
+		s.badHellos.Add(1)
 		c.Close()
 		return
 	}
 	network, addr, ok := strings.Cut(string(target), "|")
 	if !ok {
+		s.badHellos.Add(1)
 		c.Close()
 		return
 	}
+	dialStart := obs.Now()
 	out, err := net.DialTimeout(network, addr, helloTimeout)
+	s.phases.Observe(obs.PhaseCollect, 0, obs.Now()-dialStart)
 	if err != nil {
+		s.dialErrors.Add(1)
 		c.Close()
 		return
 	}
+	s.conns.Add(1)
+	s.activeConns.Add(0, 1)
+	start := obs.Now()
 	c.SetReadDeadline(time.Time{})
 	// Splice both directions; when either side ends, close both so the
 	// peer observes the disconnect (a killed worker must look like a dead
 	// link to the transport, not a stalled one).
 	done := make(chan struct{}, 2)
-	cp := func(dst, src net.Conn) {
-		io.Copy(dst, src)
+	cp := func(dst, src net.Conn, counted *atomic.Int64) {
+		io.Copy(countConn{Conn: dst, n: counted}, src)
 		done <- struct{}{}
 	}
-	go cp(out, c)
-	go cp(c, out)
+	go cp(out, c, &s.bytesToTgt)
+	go cp(c, out, &s.bytesToClt)
 	<-done
 	c.Close()
 	out.Close()
 	<-done
+	s.activeConns.Add(0, -1)
+	s.phases.Observe(obs.PhaseKernel, 0, obs.Now()-start)
 }

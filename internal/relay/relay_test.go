@@ -1,0 +1,195 @@
+package relay
+
+import (
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func startTestRelay(t *testing.T) (*Server, string) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback sockets unavailable: %v", err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	s := NewServer("relay")
+	go s.Serve(ln)
+	return s, ln.Addr().String()
+}
+
+// echoServer accepts one connection and echoes everything back.
+func echoServer(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback sockets unavailable: %v", err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() { io.Copy(c, c); c.Close() }()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func TestSplitAddr(t *testing.T) {
+	for _, tc := range []struct {
+		in, net, addr string
+		ok            bool
+	}{
+		{"tcp://127.0.0.1:9", "tcp", "127.0.0.1:9", true},
+		{"unix:///tmp/x.sock", "unix", "/tmp/x.sock", true},
+		{"udp://x:1", "", "", false},
+		{"no-scheme", "", "", false},
+		{"tcp://", "", "", false},
+	} {
+		n, a, err := SplitAddr(tc.in)
+		if tc.ok && (err != nil || n != tc.net || a != tc.addr) {
+			t.Fatalf("SplitAddr(%q) = %q, %q, %v", tc.in, n, a, err)
+		}
+		if !tc.ok && err == nil {
+			t.Fatalf("SplitAddr(%q) must fail", tc.in)
+		}
+	}
+}
+
+func TestRelayTunnelAndTelemetry(t *testing.T) {
+	srv, addr := startTestRelay(t)
+	target := echoServer(t)
+
+	c, err := Dial("tcp", addr, "tcp", target, time.Second)
+	if err != nil {
+		t.Fatalf("Dial through relay: %v", err)
+	}
+	msg := []byte("through the worker")
+	if _, err := c.Write(msg); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	buf := make([]byte, len(msg))
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatalf("read echo: %v", err)
+	}
+	if string(buf) != string(msg) {
+		t.Fatalf("echo = %q, want %q", buf, msg)
+	}
+	c.Close()
+
+	// The splice shows up in the relay's own telemetry, queried over the
+	// same listener the tunnel used.
+	pt, err := QueryTelemetry("tcp", addr, time.Second)
+	if err != nil {
+		t.Fatalf("QueryTelemetry: %v", err)
+	}
+	if pt.Process != "relay" || pt.PID == 0 {
+		t.Fatalf("telemetry identity: %+v", pt)
+	}
+	if pt.Counters["relay_conns"] != 1 {
+		t.Fatalf("relay_conns = %d, want 1", pt.Counters["relay_conns"])
+	}
+	if pt.Counters["relay_telemetry_reqs"] != 1 {
+		t.Fatalf("relay_telemetry_reqs = %d, want 1", pt.Counters["relay_telemetry_reqs"])
+	}
+	if pt.Counters["relay_bytes_to_target"] < int64(len(msg)) {
+		t.Fatalf("relay_bytes_to_target = %d, want >= %d", pt.Counters["relay_bytes_to_target"], len(msg))
+	}
+	if g := pt.Gauges["relay_active_conns"]; g.Max < 1 {
+		t.Fatalf("relay_active_conns peak = %+v, want >= 1", g)
+	}
+	// Dial latency lands in collect; the closed tunnel's lifetime may still
+	// be settling (the splice goroutine records after both halves close).
+	if pt.Phases["collect"].Count < 1 {
+		t.Fatalf("collect phase (target dial) empty: %+v", pt.Phases)
+	}
+	_ = srv
+}
+
+func TestRelayBadHelloCounted(t *testing.T) {
+	srv, addr := startTestRelay(t)
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	c.Write([]byte("GET / HTTP/1.1\r\n\r\n")) // not a relay hello
+	buf := make([]byte, 1)
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := c.Read(buf); err == nil {
+		t.Fatal("relay must close a bad hello, not answer it")
+	}
+	c.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.Telemetry().Counters["relay_bad_hellos"] == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("bad hello never counted: %+v", srv.Telemetry().Counters)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestRelayDialErrorCounted(t *testing.T) {
+	srv, addr := startTestRelay(t)
+	// A target nothing listens on: grab a port and release it.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback sockets unavailable: %v", err)
+	}
+	dead := ln.Addr().String()
+	ln.Close()
+	c, err := Dial("tcp", addr, "tcp", dead, time.Second)
+	if err != nil {
+		t.Fatalf("Dial (hello phase) should succeed even when the target is dead: %v", err)
+	}
+	defer c.Close()
+	deadline := time.Now().Add(3 * time.Second)
+	for srv.Telemetry().Counters["relay_dial_errors"] == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("dial error never counted: %+v", srv.Telemetry().Counters)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestRelayTelemetryConcurrent(t *testing.T) {
+	_, addr := startTestRelay(t)
+	target := echoServer(t)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				c, err := Dial("tcp", addr, "tcp", target, time.Second)
+				if err != nil {
+					t.Errorf("Dial: %v", err)
+					return
+				}
+				c.Write([]byte("x"))
+				c.Close()
+				if _, err := QueryTelemetry("tcp", addr, time.Second); err != nil {
+					t.Errorf("QueryTelemetry: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	pt, err := QueryTelemetry("tcp", addr, time.Second)
+	if err != nil {
+		t.Fatalf("final QueryTelemetry: %v", err)
+	}
+	if pt.Counters["relay_telemetry_reqs"] < 32 {
+		t.Fatalf("relay_telemetry_reqs = %d, want >= 32", pt.Counters["relay_telemetry_reqs"])
+	}
+	if !strings.HasPrefix(pt.Process, "relay") {
+		t.Fatalf("process = %q", pt.Process)
+	}
+}

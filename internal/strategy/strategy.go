@@ -18,6 +18,7 @@ package strategy
 import (
 	"declpat/internal/am"
 	"declpat/internal/distgraph"
+	"declpat/internal/obs"
 	"declpat/internal/pattern"
 	"declpat/internal/pmap"
 )
@@ -43,9 +44,11 @@ func NewFixedPoint(a *pattern.BoundAction) *FixedPoint {
 // epoch and returns when the whole system reaches a fixed point. Collective.
 func (fp *FixedPoint) Run(r *am.Rank, seeds []distgraph.Vertex) {
 	r.Epoch(func(ep *am.Epoch) {
+		ph := r.Phase(obs.PhaseCollect)
 		for _, v := range seeds {
 			fp.a.Invoke(r, v)
 		}
+		ph.End()
 	})
 }
 
@@ -57,9 +60,11 @@ func Once(r *am.Rank, a *pattern.BoundAction, vs []distgraph.Vertex) bool {
 	a.ResetModified(r)
 	r.Barrier()
 	r.Epoch(func(ep *am.Epoch) {
+		ph := r.Phase(obs.PhaseCollect)
 		for _, v := range vs {
 			a.Invoke(r, v)
 		}
+		ph.End()
 	})
 	return r.AllReduceOr(a.ModifiedLocal(r))
 }
@@ -100,11 +105,13 @@ func NewDelta(u *am.Universe, a *pattern.BoundAction, keys *pmap.VertexWord, del
 
 // Run executes Δ-stepping from this rank's seeds. Collective.
 func (d *Delta) Run(r *am.Rank, seeds []distgraph.Vertex) {
+	ph := r.Phase(obs.PhaseBuildCSR)
 	b := NewBuckets(r, d.delta)
 	d.buckets[r.ID()] = b
 	for _, v := range seeds {
 		b.Insert(v, d.keys.Get(r.ID(), v))
 	}
+	ph.End()
 	r.Barrier()
 	for {
 		idx := int(r.AllReduceMin(int64(b.MinNonEmpty())))
@@ -167,11 +174,13 @@ func NewDeltaLightHeavy(u *am.Universe, light, heavy *pattern.BoundAction, keys 
 
 // Run executes light/heavy Δ-stepping from this rank's seeds. Collective.
 func (d *DeltaLightHeavy) Run(r *am.Rank, seeds []distgraph.Vertex) {
+	ph := r.Phase(obs.PhaseBuildCSR)
 	b := NewBuckets(r, d.delta)
 	d.buckets[r.ID()] = b
 	for _, v := range seeds {
 		b.Insert(v, d.keys.Get(r.ID(), v))
 	}
+	ph.End()
 	r.Barrier()
 	for {
 		idx := int(r.AllReduceMin(int64(b.MinNonEmpty())))
@@ -202,9 +211,11 @@ func (d *DeltaLightHeavy) Run(r *am.Rank, seeds []distgraph.Vertex) {
 		// Heavy phase: each vertex settled in this bucket relaxes its
 		// heavy edges once; results land in later buckets.
 		r.Epoch(func(ep *am.Epoch) {
+			ph := r.Phase(obs.PhaseEmit)
 			for v := range settled {
 				d.heavy.Invoke(r, v)
 			}
+			ph.End()
 		})
 	}
 }
@@ -246,6 +257,7 @@ func NewDeltaDistributed(u *am.Universe, a *pattern.BoundAction, keys *pmap.Vert
 
 // Run executes distributed Δ-stepping from this rank's seeds. Collective.
 func (d *DeltaDistributed) Run(r *am.Rank, seeds []distgraph.Vertex) {
+	ph := r.Phase(obs.PhaseBuildCSR)
 	locals := make([]*Buckets, d.threads)
 	for t := range locals {
 		locals[t] = NewBuckets(r, d.delta)
@@ -254,6 +266,7 @@ func (d *DeltaDistributed) Run(r *am.Rank, seeds []distgraph.Vertex) {
 	for _, v := range seeds {
 		locals[int(uint32(v)*2654435761)%len(locals)].Insert(v, d.keys.Get(r.ID(), v))
 	}
+	ph.End()
 	r.Barrier()
 	for {
 		min := int64(NoBucket)
