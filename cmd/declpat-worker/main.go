@@ -1,49 +1,82 @@
-// declpat-worker is the external data-plane process of the socket transport:
-// a frame relay. A universe configured with SockOptions.Relay pointed at a
+// declpat-worker is the external worker process of the distributed runtime,
+// in one of two modes.
+//
+// Rank-host mode (-host, or the DECLPAT_MP_ADDR / DECLPAT_MP_WORKER
+// environment set by declpat-launch): the process dials the launcher's
+// control plane, receives its job and contiguous global rank range in the
+// welcome frame, and runs the unmodified algorithm kernels with every
+// barrier, gather, termination wave, and recovery fence carried as wire
+// frames. Kill it mid-run and the launcher respawns it; the replacement
+// reloads the last committed checkpoint and the fleet converges on a result
+// bit-identical to the fault-free run.
+//
+// Relay mode (-listen, the default): a stateless frame relay for the socket
+// transport. A universe configured with SockOptions.Relay pointed at a
 // running worker dials every inter-rank connection *through* it — the worker
 // reads a small hello naming the target rank's listen address, dials it, and
-// splices the two connections byte-for-byte. Every data frame, ack,
-// heartbeat, handshake, and reconnect then genuinely crosses an OS process
-// boundary, which is what makes killing the worker a real connection
-// failure the transport's reconnect machinery has to survive.
+// splices the two connections byte-for-byte. The same listener answers
+// telemetry queries (relay.QueryTelemetry).
 //
 // Usage:
 //
 //	declpat-worker -listen tcp://127.0.0.1:9730
 //	declpat-worker -listen unix:///tmp/declpat-worker.sock
+//	declpat-worker -host 127.0.0.1:9731 -index 2
 //
-// Then run any declpat program with the socket transport and
-// SockOptions.Relay set to the same address (see the README two-process
-// quickstart). The worker is stateless: kill it mid-run and start a fresh
-// one on the same address, and the transport reconnects through it.
+// Exit codes (rank-host mode; the launcher logs which it saw on respawn):
 //
-// The same listener answers telemetry queries (relay.QueryTelemetry): the
-// coordinator's Universe.Metrics() folds the worker's connection counters,
-// byte totals, and splice-phase histograms into its per-process breakdown.
+//	0 clean completion or graceful SIGTERM departure
+//	1 fatal error (bad job, dial failure)
+//	2 usage
+//	3 restart requested (the fleet aborted; respawn me)
+//	4 control peer closed the connection
+//	5 control frame failed to decode (protocol damage, not a dead peer)
+//
+// Relay mode reuses codes 1, 2, and 4 (4 when the listener died to a
+// connection-level error rather than a local fault).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"os"
 	"os/signal"
 	"syscall"
 
+	"declpat/internal/mp"
 	"declpat/internal/relay"
 )
 
 func main() {
+	// Launcher-spawned rank hosts are configured by environment; this call
+	// does not return for them.
+	mp.MaybeWorker()
+
 	listen := flag.String("listen", "tcp://127.0.0.1:9730",
 		"relay listen address (tcp://host:port or unix:///path)")
 	name := flag.String("name", "relay",
 		"process name reported in telemetry frames")
+	host := flag.String("host", "",
+		"control-plane address to dial as a rank host (switches off relay mode)")
+	index := flag.Int("index", -1,
+		"worker index within the fleet (rank-host mode)")
 	flag.Parse()
+
+	if *host != "" {
+		if *index < 0 {
+			fmt.Fprintln(os.Stderr, "declpat-worker: -host needs -index")
+			os.Exit(mp.ExitUsage)
+		}
+		os.Exit(mp.RunWorker(*host, *index))
+	}
 
 	network, addr, err := relay.SplitAddr(*listen)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "declpat-worker:", err)
-		os.Exit(2)
+		os.Exit(mp.ExitUsage)
 	}
 	if network == "unix" {
 		// A stale socket file from a killed predecessor would block the
@@ -53,7 +86,7 @@ func main() {
 	ln, err := net.Listen(network, addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "declpat-worker:", err)
-		os.Exit(1)
+		os.Exit(mp.ExitFatal)
 	}
 	fmt.Printf("declpat-worker: relaying on %s://%s (telemetry on the same address)\n", network, ln.Addr())
 
@@ -66,6 +99,17 @@ func main() {
 
 	if err := relay.NewServer(*name).Serve(ln); err != nil {
 		fmt.Fprintln(os.Stderr, "declpat-worker:", err)
-		os.Exit(1)
+		os.Exit(relayExitCode(err))
 	}
+}
+
+// relayExitCode distinguishes a listener killed by a connection-level error
+// from a local fault, mirroring the rank-host codes.
+func relayExitCode(err error) int {
+	var oe *net.OpError
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, syscall.ECONNRESET) || errors.As(err, &oe) {
+		return mp.ExitPeerClosed
+	}
+	return mp.ExitFatal
 }

@@ -27,6 +27,7 @@ import (
 	"declpat/internal/distgraph"
 	"declpat/internal/gen"
 	"declpat/internal/harness"
+	"declpat/internal/mp"
 	"declpat/internal/obs"
 	"declpat/internal/pattern"
 	"declpat/internal/pmap"
@@ -617,3 +618,44 @@ var (
 func MergeTelemetry(dst *ProcessTelemetry, src *ProcessTelemetry) error {
 	return obs.MergeTelemetry(dst, src)
 }
+
+// Multi-process SPMD: run algorithms across real OS worker processes, with
+// barriers, gathers, termination waves, and checkpoint-commit votes carried
+// as wire frames on a launcher-hosted control plane. A killed worker is
+// respawned and the fleet restarts from the last committed checkpoint; the
+// final result is bit-identical to the fault-free run.
+type (
+	// MPJobSpec describes the algorithm workload a launched fleet executes
+	// (every worker receives it inside its welcome frame).
+	MPJobSpec = mp.JobSpec
+	// MPKillSpec schedules one seeded worker kill for a fault drill.
+	MPKillSpec = mp.KillSpec
+	// MPLaunchSpec configures a fleet: job, worker count, seeds, kill
+	// schedule, restart budget.
+	MPLaunchSpec = mp.LaunchSpec
+	// MPLaunchResult is a completed launch: result vectors, attempt count,
+	// and per-attempt worker exit codes.
+	MPLaunchResult = mp.LaunchResult
+)
+
+// Launch spawns a worker fleet, serves the wire control plane, and drives
+// the run — respawning and restoring from checkpoints on worker death —
+// until completion or restart-budget exhaustion.
+func Launch(spec MPLaunchSpec) (*MPLaunchResult, error) { return mp.Launch(spec) }
+
+// MaybeWorker turns the current process into a launched rank host when the
+// DECLPAT_MP_ADDR / DECLPAT_MP_WORKER environment is set (never returning in
+// that case), and is a no-op otherwise. Call it early in main or TestMain of
+// any binary used as a LaunchSpec.WorkerCommand — including the launcher
+// itself for the default self-exec pattern.
+func MaybeWorker() { mp.MaybeWorker() }
+
+// RunWorker is MaybeWorker's core: host a rank range against the control
+// plane at addr and return the process exit code (0 clean, 3 restart
+// requested, 4 control peer closed, 5 frame decode failure, …).
+func RunWorker(addr string, worker int) int { return mp.RunWorker(addr, worker) }
+
+// WorkerSeed derives the deterministic fault/chaos seed for worker idx
+// hosting ranks [lo, hi) from a launch root seed: stable across respawns of
+// the same worker, distinct across workers and across rank splits.
+func WorkerSeed(root uint64, idx, lo, hi int) uint64 { return harness.WorkerSeed(root, idx, lo, hi) }

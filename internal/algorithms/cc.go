@@ -123,7 +123,43 @@ func NewCC(eng *pattern.Engine, lm *pmap.LockMap) *CC {
 // Run computes components. Collective. Afterwards Comp holds, for every
 // vertex, the minimum root label of its component; two vertices are in the
 // same component iff their Comp values are equal.
+//
+// Run is single-process only: the final rewrite follows rewrite pointers
+// across shards with direct cross-rank reads. Multi-process hosts call
+// RunResolve and perform the rewrite globally from the gathered Pnt/Chg
+// vectors (the rewrite is "not a graph computation", §II-B, so it needs no
+// messaging — just the full label table).
 func (c *CC) Run(r *am.Rank) {
+	c.RunResolve(r)
+	g := c.G
+	rid := r.ID()
+
+	// rewrite_cc: "simply rewrite component roots for all vertices based
+	// on the values in the chg property map ... not a graph computation"
+	// (§II-B). Chg values are quiescent now; resolve each vertex's root
+	// label, following rewrite pointers across shards directly.
+	r.Barrier()
+	rw := r.Phase(obs.PhaseEmit)
+	for _, v := range LocalVertices(g, r) {
+		root := c.Pnt.Get(rid, v)
+		lbl := root
+		for i := 0; i < 64; i++ {
+			next := c.Chg.Get(g.Owner(distgraph.Vertex(lbl)), distgraph.Vertex(lbl))
+			if next == lbl {
+				break
+			}
+			lbl = next
+		}
+		c.Comp.Set(rid, v, lbl)
+	}
+	rw.End()
+	r.Barrier()
+}
+
+// RunResolve runs the search phase and the link/jump resolution loop,
+// leaving Pnt and Chg quiescent and consistent; Comp is not written.
+// Collective.
+func (c *CC) RunResolve(r *am.Rank) {
 	g := c.G
 	rid := r.ID()
 	// Initialization (Fig. 3 lines 2-4): pnt NULL, chg[v] = v.
@@ -164,19 +200,23 @@ func (c *CC) Run(r *am.Rank) {
 
 	// Resolution loop (Fig. 3 lines 14-17): repeat once(cc_link) and
 	// once(cc_jump) over the conflicting roots until neither changes
-	// anything anywhere.
-	rootsPh := r.Phase(obs.PhaseCollect)
-	var roots []distgraph.Vertex
-	for _, v := range LocalVertices(g, r) {
-		if c.Conf.Len(rid, v) > 0 {
-			roots = append(roots, v)
+	// anything anywhere. The roots list is derived from Conf inside each
+	// epoch (OnceOver) so a checkpoint-restarted replay computes it after
+	// its state restore; Conf is quiescent here, so every evaluation yields
+	// the same list.
+	rootsOf := func() []distgraph.Vertex {
+		var roots []distgraph.Vertex
+		for _, v := range LocalVertices(g, r) {
+			if c.Conf.Len(rid, v) > 0 {
+				roots = append(roots, v)
+			}
 		}
+		return roots
 	}
-	rootsPh.End()
 	rounds := 0
 	for {
-		linked := strategy.Once(r, c.Link, roots)
-		jumped := strategy.Once(r, c.Jump, roots)
+		linked := strategy.OnceOver(r, c.Link, rootsOf)
+		jumped := strategy.OnceOver(r, c.Jump, rootsOf)
 		rounds++
 		if !linked && !jumped {
 			break
@@ -188,25 +228,4 @@ func (c *CC) Run(r *am.Rank) {
 	if rid == 0 {
 		c.JumpRounds = rounds
 	}
-
-	// rewrite_cc: "simply rewrite component roots for all vertices based
-	// on the values in the chg property map ... not a graph computation"
-	// (§II-B). Chg values are quiescent now; resolve each vertex's root
-	// label, following rewrite pointers across shards directly.
-	r.Barrier()
-	rw := r.Phase(obs.PhaseEmit)
-	for _, v := range LocalVertices(g, r) {
-		root := c.Pnt.Get(rid, v)
-		lbl := root
-		for i := 0; i < 64; i++ {
-			next := c.Chg.Get(g.Owner(distgraph.Vertex(lbl)), distgraph.Vertex(lbl))
-			if next == lbl {
-				break
-			}
-			lbl = next
-		}
-		c.Comp.Set(rid, v, lbl)
-	}
-	rw.End()
-	r.Barrier()
 }

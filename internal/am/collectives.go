@@ -14,6 +14,11 @@ type Barrier struct {
 	cv    *sync.Cond
 	count int
 	gen   uint64
+	// poisoned permanently breaks the barrier: every current and future
+	// Wait panics runAbort. The multi-process abort path uses it to unpark
+	// rank mains when the fleet is going down — there is no generation in
+	// which the missing participants would ever arrive.
+	poisoned bool
 }
 
 // NewBarrier creates a barrier for n participants.
@@ -24,9 +29,13 @@ func NewBarrier(n int) *Barrier {
 }
 
 // Wait blocks until all n participants have called Wait for the current
-// generation.
+// generation. Panics runAbort once the barrier is poisoned.
 func (b *Barrier) Wait() {
 	b.mu.Lock()
+	if b.poisoned {
+		b.mu.Unlock()
+		panic(runAbort{})
+	}
 	gen := b.gen
 	b.count++
 	if b.count == b.n {
@@ -36,10 +45,22 @@ func (b *Barrier) Wait() {
 		b.cv.Broadcast()
 		return
 	}
-	for b.gen == gen {
+	for b.gen == gen && !b.poisoned {
 		b.cv.Wait()
 	}
+	p := b.poisoned
 	b.mu.Unlock()
+	if p {
+		panic(runAbort{})
+	}
+}
+
+// poison breaks the barrier for good and wakes every waiter.
+func (b *Barrier) poison() {
+	b.mu.Lock()
+	b.poisoned = true
+	b.mu.Unlock()
+	b.cv.Broadcast()
 }
 
 // collectives holds the scratch space for rank collectives.
@@ -57,14 +78,31 @@ func (c *collectives) init(n int) {
 // Config.Timing is set (the wait is the substrate's load-imbalance signal).
 func (r *Rank) Barrier() {
 	ph := r.Phase(obs.PhaseBarrier)
-	r.u.barrier.Wait()
+	if r.u.mp != nil {
+		r.mpBarrier(PlainBarrier)
+	} else {
+		r.u.barrier.Wait()
+	}
 	ph.End()
 }
 
 // AllReduceInt64 reduces one int64 contribution per rank with op and returns
-// the result on every rank. Collective.
+// the result on every rank. Collective. In multi-process mode the global
+// vector is gathered over the control plane and folded locally, so the op
+// (an arbitrary closure) never crosses the wire.
 func (r *Rank) AllReduceInt64(x int64, op func(a, b int64) int64) int64 {
 	u := r.u
+	if u.mp != nil {
+		vals := r.mpAllGather(x)
+		acc := vals[0]
+		for i := 1; i < u.cfg.Ranks; i++ {
+			acc = op(acc, vals[i])
+		}
+		// Keep the shared scratch vector stable until every local rank has
+		// folded it.
+		u.mp.localBar.Wait()
+		return acc
+	}
 	u.coll.vals[r.id] = x
 	r.Barrier()
 	acc := u.coll.vals[0]
@@ -115,6 +153,13 @@ func (r *Rank) AllReduceOr(x bool) bool {
 // rank i's value. Collective.
 func (r *Rank) AllGatherInt64(x int64) []int64 {
 	u := r.u
+	if u.mp != nil {
+		vals := r.mpAllGather(x)
+		out := make([]int64, u.cfg.Ranks)
+		copy(out, vals)
+		u.mp.localBar.Wait()
+		return out
+	}
 	u.coll.vals[r.id] = x
 	r.Barrier()
 	out := make([]int64, u.cfg.Ranks)

@@ -82,7 +82,11 @@ func newFourCounterDriver(u *Universe) *fourCounterDriver {
 }
 
 // wave runs one probe wave and reports whether the epoch has terminated.
-// Safe for concurrent callers (waves serialize).
+// Safe for concurrent callers (waves serialize). In multi-process mode only
+// the local ranks are probed directly; the sample ships over the control
+// plane, the coordinator polls every other worker, and the merged global
+// sample comes back — rank 0 (the only rank with a driver) then applies the
+// same two-identical-quiescent-waves predicate to global totals.
 func (d *fourCounterDriver) wave() bool {
 	u := d.u
 	d.mu.Lock()
@@ -91,23 +95,34 @@ func (d *fourCounterDriver) wave() bool {
 		return true
 	}
 	u.ranks[0].st.Inc(cTDWaves) // waves are driven from rank 0 only
-	for _, r := range u.ranks {
+	for _, r := range u.localRanks() {
 		r.ctrl <- ctrlProbe{reply: d.replyCh}
 	}
 	var sent, recv, aux, rel int64
 	var active int32
 	quiet := true
-	for i := 0; i < u.cfg.Ranks; i++ {
+	var local WaveSample
+	for range u.localRanks() {
 		rep := <-d.replyCh
-		sent += rep.sent
-		recv += rep.recv
-		aux += rep.aux
-		rel += rep.rel
-		active += rep.active
-		if rep.idle < rep.total {
-			quiet = false
-		}
+		local.Sent += rep.sent
+		local.Recv += rep.recv
+		local.Aux += rep.aux
+		local.Rel += rep.rel
+		local.Active += rep.active
+		local.Idle += rep.idle
+		local.Total += rep.total
 	}
+	if mp := u.mp; mp != nil {
+		global, err := mp.plane.WireWave(local)
+		if err != nil {
+			// The fleet is aborting; the abort path ends the epoch.
+			return false
+		}
+		local = global
+	}
+	sent, recv, aux, rel = local.Sent, local.Recv, local.Aux, local.Rel
+	active = local.Active
+	quiet = local.Idle >= local.Total
 	ok := quiet && active == 0 && aux == 0 && rel == 0 && sent == recv &&
 		d.havePrev && sent == d.prevSent && recv == d.prevRecv
 	d.prevSent, d.prevRecv, d.havePrev = sent, recv, true

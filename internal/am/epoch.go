@@ -59,6 +59,14 @@ func (r *Rank) EpochThreaded(nthreads int, body func(tid int, ep *Epoch)) {
 	// closing barrier, so a slower rank reading it at TraceEpochEnd would
 	// mislabel its span (and mis-attribute every event inside it).
 	epochSeq := u.epochSeq.Load()
+	if u.mp != nil && epochSeq < u.mp.restart {
+		// Restart fast-forward: this epoch committed before the crash. Its
+		// body is skipped and any collective it consumed replays from the
+		// coordinator's log; only the epoch bookkeeping advances. Every
+		// worker skips the same prefix independently, with no wire traffic.
+		r.mpSkipEpoch()
+		return
+	}
 	if u.tracer != nil {
 		// Stamp the span open so TraceEpochEnd can close it with a
 		// duration (the rank's wall time inside the epoch, recovery
@@ -67,7 +75,12 @@ func (r *Rank) EpochThreaded(nthreads int, body func(tid int, ep *Epoch)) {
 		u.traceSpan(r.id, TraceEpochBegin, epochSeq, int64(nthreads), r.epochBeginNs, 0)
 	}
 	// Checkpoint at the boundary, before any rank can send into the epoch.
-	if u.cfg.Recovery {
+	if u.mp != nil {
+		// Multi-process: restore from the committed checkpoint when this is
+		// the restart epoch, serialize this epoch's snapshot to its slot
+		// file, and vote it committed via the epoch-tagged wire barrier.
+		u.mpEpochOpen(r, epochSeq)
+	} else if u.cfg.Recovery {
 		u.snapshotRank(r.id)
 		r.st.Inc(cCheckpoints)
 	}
@@ -94,15 +107,23 @@ func (r *Rank) EpochThreaded(nthreads int, body func(tid int, ep *Epoch)) {
 		if u.epochState.Load() != epochAborting {
 			break
 		}
+		if u.mp != nil {
+			// No in-process rollback in multi-process mode: any fault aborts
+			// the whole fleet and the launcher respawns every worker from
+			// the last committed on-disk checkpoint. (Normally the poisoned
+			// local barrier unwinds the rank before it gets here.)
+			panic(runAbort{})
+		}
 		r.recoverEpoch() // unwinds via runAbort when the fault is unrecoverable
 	}
 	if u.tracer != nil {
 		now := obs.Now()
 		u.traceSpan(r.id, TraceEpochEnd, epochSeq, 0, now, now-r.epochBeginNs)
 	}
-	// All ranks observed the commit and stopped sending; rank 0 resets the
+	// All ranks observed the commit and stopped sending; the leader rank
+	// (rank 0, or the lowest local rank of a worker process) resets the
 	// shared state between the two barriers so the next epoch starts clean.
-	if r.id == 0 {
+	if r.id == u.leaderID() {
 		u.epochState.Store(epochRunning)
 		u.epochSeq.Add(1)
 		u.recoveries = 0
@@ -193,11 +214,11 @@ func (r *Rank) progressUntilDone() {
 		switch u.cfg.Detector {
 		case DetectorAtomic:
 			if u.atomicQuiesced() {
-				u.epochState.CompareAndSwap(epochRunning, epochFinished)
+				u.finishEpoch()
 			}
 		case DetectorFourCounter:
 			if r.fc != nil && r.fc.wave() {
-				u.epochState.CompareAndSwap(epochRunning, epochFinished)
+				u.finishEpoch()
 			}
 		}
 		r.checkWatchdog()
@@ -277,7 +298,7 @@ func (ep *Epoch) TryFinish() bool {
 		switch u.cfg.Detector {
 		case DetectorAtomic:
 			if u.atomicQuiesced() {
-				if u.epochState.CompareAndSwap(epochRunning, epochFinished) {
+				if u.finishEpoch() {
 					return true
 				}
 				continue // lost to a fault: re-read the state
@@ -295,7 +316,7 @@ func (ep *Epoch) TryFinish() bool {
 			// loops on TryFinish still terminates; other ranks
 			// wait for the outcome while idle.
 			if r.fc != nil && r.fc.wave() {
-				if u.epochState.CompareAndSwap(epochRunning, epochFinished) {
+				if u.finishEpoch() {
 					return true
 				}
 				continue

@@ -71,3 +71,13 @@ func WithWatchdog(d time.Duration) Option { return func(c *Config) { c.Watchdog 
 // heartbeats, and automatic reconnect). A transport value is single-use —
 // construct one per universe.
 func WithTransport(t Transport) Option { return func(c *Config) { c.Transport = t } }
+
+// WithControlPlane runs the universe as one worker process of a
+// multi-process SPMD fleet (Config.MP): it hosts global ranks [mp.Lo,
+// mp.Hi) and carries barriers, all-reduces, termination-detector waves and
+// fault/recovery coordination over mp.Plane instead of process-local shared
+// memory. Requires a socket transport for the data plane, forces the
+// four-counter detector (the atomic detector reads process-local counters),
+// and is mutually exclusive with Config.Recovery — faults abort the fleet
+// and the launcher drives checkpoint/restart across processes instead.
+func WithControlPlane(mp MPConfig) Option { return func(c *Config) { c.MP = &mp } }

@@ -61,6 +61,24 @@ type Checkpointer interface {
 	RestoreRank(rank int, snap any)
 }
 
+// SerializedCheckpointer extends Checkpointer with a byte encoding of its
+// snapshots, so a checkpoint can be written to disk and reloaded by a
+// *replacement process* (multi-process crash recovery, WithControlPlane).
+// EncodeSnapshot/DecodeSnapshot must round-trip exactly: for any snap from
+// SnapshotRank, RestoreRank(rank, DecodeSnapshot(EncodeSnapshot(snap)))
+// leaves the rank's state equal to restoring snap directly. Both must
+// handle the implementation's nil/empty snapshot representation. Encodings
+// should be deterministic (sorted iteration over maps) so identical state
+// yields identical checkpoint files.
+//
+// Every checkpointer registered on a multi-process universe must implement
+// this interface; Run fails fast otherwise.
+type SerializedCheckpointer interface {
+	Checkpointer
+	EncodeSnapshot(snap any) ([]byte, error)
+	DecodeSnapshot(data []byte) (any, error)
+}
+
 // RegisterCheckpointer registers per-rank state for epoch-granular
 // checkpoint/restart. Must be called before Run.
 func (u *Universe) RegisterCheckpointer(c Checkpointer) {
@@ -157,6 +175,15 @@ func (u *Universe) resilient() bool {
 // while the epoch is already aborting (concurrent faults) or already done
 // (lost the race to the detector) is logged only.
 func (u *Universe) raiseFault(f RankFault) bool {
+	if u.mp != nil && u.runExited.Load() {
+		// The run already completed: every rank main returned and the results
+		// are final. In multi-process mode peers close their data-plane
+		// sockets at slightly different times, so a slower worker's
+		// heartbeats can exhaust a reconnect budget against an
+		// already-departed peer — that is teardown noise, not a fault, and
+		// must not trigger a spurious fleet restart.
+		return false
+	}
 	u.faultMu.Lock()
 	u.faultLog = append(u.faultLog, f)
 	u.faultMu.Unlock()
@@ -168,6 +195,14 @@ func (u *Universe) raiseFault(f RankFault) bool {
 	u.faultMu.Unlock()
 	u.ranks[0].st.Inc(cEpochAborts)
 	u.trace(f.Rank, TraceEpochAbort, f.Epoch, int64(f.Kind))
+	if u.mp != nil {
+		// No in-process rollback in multi-process mode: report the fault so
+		// the coordinator aborts the fleet, and take this process down the
+		// abort path immediately — the launcher respawns every worker from
+		// the last committed checkpoint.
+		u.mp.plane.ReportFault(f)
+		u.mpFail(fmt.Errorf("am: rank fault aborted multi-process run (restart required): %w", &f))
+	}
 	return true
 }
 

@@ -316,6 +316,16 @@ func (t *sockTransport) start(u *Universe) error {
 	}
 	t.u = u
 	n := u.cfg.Ranks
+	// In multi-process mode this transport instance serves one worker's rank
+	// range: it binds listeners and owns writer links only for local ranks,
+	// learns every other rank's address through the control plane, and seals
+	// handshakes with the fleet-wide run id so workers of one launch accept
+	// each other (and reject strays from other launches or stale attempts).
+	lo, hi := 0, n
+	if u.mp != nil {
+		lo, hi = u.mp.lo, u.mp.hi
+		t.id = u.mp.cfg.RunID
+	}
 
 	cleanup := func(err error) error {
 		t.close()
@@ -333,11 +343,15 @@ func (t *sockTransport) start(u *Universe) error {
 	}
 	t.addrs = make([]string, n)
 	t.lns = make([]net.Listener, n)
-	for rank := 0; rank < n; rank++ {
+	for rank := lo; rank < hi; rank++ {
 		var ln net.Listener
 		var err error
 		if t.network == "unix" {
-			ln, err = net.Listen("unix", fmt.Sprintf("%s/rank-%d.sock", t.dir, rank))
+			path := fmt.Sprintf("%s/rank-%d.sock", t.dir, rank)
+			// A respawned worker reuses the same path; a stale socket file
+			// from the killed predecessor would fail the bind.
+			os.Remove(path)
+			ln, err = net.Listen("unix", path)
 		} else {
 			ln, err = net.Listen("tcp", "127.0.0.1:0")
 		}
@@ -347,12 +361,22 @@ func (t *sockTransport) start(u *Universe) error {
 		t.lns[rank] = ln
 		t.addrs[rank] = ln.Addr().String()
 	}
-	for rank := 0; rank < n; rank++ {
+	if u.mp != nil {
+		table, err := u.mp.plane.ExchangeAddrs(t.addrs[lo:hi])
+		if err != nil {
+			return cleanup(fmt.Errorf("exchanging rank addresses: %w", err))
+		}
+		if len(table) != n {
+			return cleanup(fmt.Errorf("address table covers %d ranks, want %d", len(table), n))
+		}
+		copy(t.addrs, table)
+	}
+	for rank := lo; rank < hi; rank++ {
 		t.wg.Add(1)
 		go t.acceptLoop(rank, t.lns[rank])
 	}
 	t.links = make([][]*sockLink, n)
-	for src := 0; src < n; src++ {
+	for src := lo; src < hi; src++ {
 		t.links[src] = make([]*sockLink, n)
 		for dest := 0; dest < n; dest++ {
 			if src == dest {

@@ -39,6 +39,8 @@ const (
 	cHeartbeatMisses
 	cFramesRequeued
 	cFramesDropped
+	cCleanDepartures
+	cCrashDepartures
 	numCounters
 )
 
@@ -54,6 +56,7 @@ var counterNames = [numCounters]string{
 	"rank_crashes", "handler_panics", "link_deaths",
 	"epoch_aborts", "recoveries", "checkpoints", "watchdog_fires",
 	"reconnects", "heartbeat_misses", "frames_requeued", "frames_dropped",
+	"clean_departures", "crash_departures",
 }
 
 // Stats is the read-side view of the universe's message accounting. It used
@@ -178,6 +181,14 @@ func (s *Stats) FramesRequeued() int64 { return s.c.Total(cFramesRequeued) }
 // write error; the reliable layer recovers every one of them.
 func (s *Stats) FramesDropped() int64 { return s.c.Total(cFramesDropped) }
 
+// CleanDepartures counts fleet peers that left gracefully (goodbye frame
+// acknowledged before the connection closed) in a multi-process run.
+func (s *Stats) CleanDepartures() int64 { return s.c.Total(cCleanDepartures) }
+
+// CrashDepartures counts fleet peers that died without a goodbye (heartbeat
+// expiry or connection loss) in a multi-process run.
+func (s *Stats) CrashDepartures() int64 { return s.c.Total(cCrashDepartures) }
+
 // Snapshot is a plain-value copy of Stats, convenient for diffing across an
 // experiment phase.
 type Snapshot struct {
@@ -195,6 +206,7 @@ type Snapshot struct {
 	WatchdogFires                          int64
 	Reconnects, HeartbeatMisses            int64
 	FramesRequeued, FramesDropped          int64
+	CleanDepartures, CrashDepartures       int64
 }
 
 // snapshotOf builds a Snapshot from a per-counter read function.
@@ -234,6 +246,9 @@ func snapshotOf(get func(id int) int64) Snapshot {
 		HeartbeatMisses: get(cHeartbeatMisses),
 		FramesRequeued:  get(cFramesRequeued),
 		FramesDropped:   get(cFramesDropped),
+
+		CleanDepartures: get(cCleanDepartures),
+		CrashDepartures: get(cCrashDepartures),
 	}
 }
 
@@ -291,5 +306,8 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 		HeartbeatMisses: s.HeartbeatMisses - o.HeartbeatMisses,
 		FramesRequeued:  s.FramesRequeued - o.FramesRequeued,
 		FramesDropped:   s.FramesDropped - o.FramesDropped,
+
+		CleanDepartures: s.CleanDepartures - o.CleanDepartures,
+		CrashDepartures: s.CrashDepartures - o.CrashDepartures,
 	}
 }

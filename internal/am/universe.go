@@ -152,6 +152,12 @@ type Config struct {
 	// socket backend) forces reliable mode: when FaultPlan is nil a
 	// zero-valued plan (full protocol, no injected faults) is synthesized.
 	Transport Transport
+	// MP, when non-nil, runs this universe as one worker process of a
+	// multi-process SPMD fleet (see controlplane.go and WithControlPlane):
+	// the universe hosts only ranks [MP.Lo, MP.Hi) and carries every global
+	// control operation over MP.Plane. Forces the four-counter detector and
+	// is mutually exclusive with Recovery.
+	MP *MPConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -234,6 +240,11 @@ type Universe struct {
 	coll    collectives
 	tracer  *tracer
 
+	// mp is the multi-process control-plane state (nil in single-process
+	// mode — the overwhelmingly common case, so every mp hook is a single
+	// nil check on the hot path).
+	mp *mpState
+
 	// lineage is the resolved Config.Lineage decision (LineageAuto folds to
 	// whether tracing is on); when set, every send is stamped with its
 	// causal parent and every handler invocation gets a lineage id.
@@ -252,6 +263,11 @@ type Universe struct {
 	runErr        error
 	runFailed     atomic.Bool
 	recoveries    int
+	// runExited flips once every rank main has returned: the algorithm is
+	// complete and its results are final. Transport failures observed after
+	// this point (peers tearing down data-plane sockets at slightly
+	// different times in multi-process mode) must not fault a finished run.
+	runExited atomic.Bool
 
 	// Injected-fault bookkeeping: one fired/healed flag per
 	// FaultPlan.Crashes / DeadLinks entry; the has* fields gate the hot
@@ -295,7 +311,27 @@ func (c Config) statShards() int {
 // NewUniverse creates a machine with the given configuration.
 func NewUniverse(cfg Config) *Universe {
 	cfg = cfg.withDefaults()
+	if mp := cfg.MP; mp != nil {
+		if mp.Plane == nil {
+			panic("am: Config.MP needs a ControlPlane")
+		}
+		if mp.Lo < 0 || mp.Hi > cfg.Ranks || mp.Lo >= mp.Hi {
+			panic(fmt.Sprintf("am: Config.MP rank range [%d,%d) outside [0,%d)", mp.Lo, mp.Hi, cfg.Ranks))
+		}
+		if cfg.Recovery {
+			panic("am: Config.Recovery is incompatible with Config.MP: multi-process faults abort the fleet and the launcher drives checkpoint/restart")
+		}
+		// The atomic detector counts process-local state; only the
+		// four-counter protocol generalizes to samples merged over the wire.
+		cfg.Detector = DetectorFourCounter
+	}
 	u := &Universe{cfg: cfg, net: cfg.Transport}
+	if cfg.MP != nil {
+		u.mp = newMPState(*cfg.MP)
+		if (u.mp.lo != 0 || u.mp.hi != cfg.Ranks) && !u.net.reliable() {
+			panic("am: a multi-process universe hosting a partial rank range needs a socket transport (WithTransport(SockTransport(...)))")
+		}
+	}
 	u.tickIntNs = int64(u.net.tickInterval())
 	plan := cfg.FaultPlan
 	if plan == nil && u.net.reliable() {
@@ -521,6 +557,17 @@ func (u *Universe) Run(body func(r *Rank)) error {
 		panic("am: Universe.Run called twice")
 	}
 	u.initObs()
+	if u.mp != nil {
+		// A replacement process can only reload state that round-trips
+		// through bytes, so every checkpointer must speak the serialized
+		// contract before the run starts (failing mid-epoch would strand
+		// the fleet).
+		for i, c := range u.checkpointers {
+			if _, ok := c.(SerializedCheckpointer); !ok {
+				return fmt.Errorf("am: multi-process mode requires SerializedCheckpointer; checkpointer %d (%T) only implements Checkpointer", i, c)
+			}
+		}
+	}
 	u.ckpts = make([][]any, u.cfg.Ranks)
 	for i := range u.ckpts {
 		u.ckpts[i] = make([]any, len(u.checkpointers))
@@ -546,6 +593,9 @@ func (u *Universe) Run(body func(r *Rank)) error {
 
 	var workers sync.WaitGroup
 	for _, r := range u.ranks {
+		if !u.isLocal(r.id) {
+			continue
+		}
 		for t := 0; t < u.cfg.ThreadsPerRank; t++ {
 			workers.Add(1)
 			go func(r *Rank) {
@@ -564,6 +614,9 @@ func (u *Universe) Run(body func(r *Rank)) error {
 
 	var responders sync.WaitGroup
 	for _, r := range u.ranks {
+		if !u.isLocal(r.id) {
+			continue
+		}
 		responders.Add(1)
 		go func(r *Rank) {
 			defer responders.Done()
@@ -584,6 +637,9 @@ func (u *Universe) Run(body func(r *Rank)) error {
 
 	var mains sync.WaitGroup
 	for _, r := range u.ranks {
+		if !u.isLocal(r.id) {
+			continue
+		}
 		mains.Add(1)
 		go func(r *Rank) {
 			defer mains.Done()
@@ -602,6 +658,7 @@ func (u *Universe) Run(body func(r *Rank)) error {
 		}(r)
 	}
 	mains.Wait()
+	u.runExited.Store(true)
 
 	// Shutdown audit (no send-on-closed-channel window). Sends on r.ctrl
 	// come only from fourCounterDriver.wave, which runs exclusively on
@@ -626,6 +683,13 @@ func (u *Universe) Run(body func(r *Rank)) error {
 		r.inbox.Close()
 	}
 	workers.Wait()
+	if u.mp != nil {
+		// The coordinator may still poll this worker for wave samples after
+		// the local mains exit (another worker can lag an epoch behind);
+		// latch the control channels closed so sampleWave answers zeros
+		// instead of sending on a closed channel.
+		u.mpMarkCtrlClosed()
+	}
 	for _, r := range u.ranks {
 		close(r.ctrl)
 	}

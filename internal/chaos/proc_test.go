@@ -1,0 +1,64 @@
+package chaos
+
+import (
+	"os"
+	"testing"
+
+	"declpat/internal/mp"
+)
+
+func TestMain(m *testing.M) {
+	mp.MaybeWorker() // launched worker children of the process-kill scenarios
+	os.Exit(m.Run())
+}
+
+// TestProcessKillDimension runs the chaos matrix's process-level fault: an
+// entire OS worker SIGKILLed mid-run, with the fleet required to respawn,
+// restore from the committed checkpoint, and match the fault-free
+// single-process reference bit-for-bit.
+func TestProcessKillDimension(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	scenarios := []ProcScenario{
+		{
+			Job:      mp.JobSpec{Algo: "bfs", Scale: 6, Seed: 3, Ranks: 4, Threads: 2, Source: 1},
+			Workers:  2,
+			RootSeed: 31,
+		},
+		{
+			Job:      mp.JobSpec{Algo: "sssp", Scale: 6, Seed: 3, Ranks: 4, Threads: 2, Source: 1, Delta: 8},
+			Workers:  2,
+			RootSeed: 37,
+			Kill:     &mp.KillSpec{Worker: 0, Epoch: 1, Mode: "body"},
+		},
+		{
+			Job:      mp.JobSpec{Algo: "cc", Scale: 6, Seed: 3, Ranks: 4, Threads: 2},
+			Workers:  2,
+			RootSeed: 41,
+			Kill:     &mp.KillSpec{Worker: 1, Epoch: 1, Mode: "entry"},
+		},
+	}
+	for _, sc := range scenarios {
+		sc := sc
+		t.Run(sc.String(), func(t *testing.T) {
+			res, err := RunProc(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sc.Kill != nil && res.Attempts < 2 {
+				t.Fatalf("killed fleet completed in %d attempt(s); the kill never landed", res.Attempts)
+			}
+			want, err := ReferenceProc(sc.Job)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range want {
+				if !Equal(res.Vectors[i], want[i]) {
+					t.Fatalf("vector %d differs from reference at indices %v",
+						i, Diff(res.Vectors[i], want[i], 8))
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,296 @@
+// Package ckpt is the serialized checkpoint layer behind multi-process
+// crash recovery: a tiny append-style binary codec (Enc/Dec) shared by the
+// property-map / Δ-bucket / engine snapshot encoders and the control-plane
+// wire frames, plus the versioned on-disk checkpoint file a replacement
+// worker process reloads after a crash.
+//
+// The file format (magic "DPCK") is deliberately dumb: a fixed header
+// identifying the run, epoch and rank range, one length-prefixed blob per
+// (local rank, registered checkpointer) pair in registration order, and a
+// CRC-64 trailer over everything before it. Files are written atomically
+// (temp + rename) so a crash mid-write can never corrupt the previous slot.
+package ckpt
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc64"
+	"math"
+	"os"
+	"path/filepath"
+)
+
+// Magic identifies a checkpoint file ("DeclPat ChecKpoint").
+const Magic = "DPCK"
+
+// Version is the current checkpoint file format version. Readers reject
+// files with a different version rather than guessing.
+const Version uint16 = 1
+
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// Checksum is the CRC-64/ECMA checksum used by every ckpt seal.
+func Checksum(b []byte) uint64 { return crc64.Checksum(b, crcTable) }
+
+// ErrCorrupt is wrapped by ReadFile when the file fails structural or CRC
+// validation.
+var ErrCorrupt = errors.New("ckpt: corrupt checkpoint")
+
+// Enc is an append-style binary encoder. The zero value is ready to use;
+// all integers are little-endian, variable-length fields are u32
+// length-prefixed.
+type Enc struct {
+	B []byte
+}
+
+// U8 appends one byte.
+func (e *Enc) U8(v uint8) { e.B = append(e.B, v) }
+
+// U16 appends a little-endian uint16.
+func (e *Enc) U16(v uint16) { e.B = binary.LittleEndian.AppendUint16(e.B, v) }
+
+// U32 appends a little-endian uint32.
+func (e *Enc) U32(v uint32) { e.B = binary.LittleEndian.AppendUint32(e.B, v) }
+
+// U64 appends a little-endian uint64.
+func (e *Enc) U64(v uint64) { e.B = binary.LittleEndian.AppendUint64(e.B, v) }
+
+// I64 appends a little-endian int64.
+func (e *Enc) I64(v int64) { e.U64(uint64(v)) }
+
+// Bytes appends a u32 length prefix followed by the raw bytes.
+func (e *Enc) Bytes(b []byte) {
+	e.U32(uint32(len(b)))
+	e.B = append(e.B, b...)
+}
+
+// String appends a u32 length prefix followed by the string bytes.
+func (e *Enc) String(s string) {
+	e.U32(uint32(len(s)))
+	e.B = append(e.B, s...)
+}
+
+// I64Slice appends a u32 count followed by the values.
+func (e *Enc) I64Slice(vs []int64) {
+	e.U32(uint32(len(vs)))
+	for _, v := range vs {
+		e.I64(v)
+	}
+}
+
+// Dec is the matching sticky-error decoder: the first malformed field sets
+// Err and every later read returns a zero value, so callers validate once
+// at the end instead of after every field.
+type Dec struct {
+	B   []byte
+	Off int
+	Err error
+}
+
+// fail records the first decode error.
+func (d *Dec) fail(what string) {
+	if d.Err == nil {
+		d.Err = fmt.Errorf("%w: truncated %s at offset %d", ErrCorrupt, what, d.Off)
+	}
+}
+
+// U8 reads one byte.
+func (d *Dec) U8() uint8 {
+	if d.Err != nil || d.Off+1 > len(d.B) {
+		d.fail("u8")
+		return 0
+	}
+	v := d.B[d.Off]
+	d.Off++
+	return v
+}
+
+// U16 reads a little-endian uint16.
+func (d *Dec) U16() uint16 {
+	if d.Err != nil || d.Off+2 > len(d.B) {
+		d.fail("u16")
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(d.B[d.Off:])
+	d.Off += 2
+	return v
+}
+
+// U32 reads a little-endian uint32.
+func (d *Dec) U32() uint32 {
+	if d.Err != nil || d.Off+4 > len(d.B) {
+		d.fail("u32")
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.B[d.Off:])
+	d.Off += 4
+	return v
+}
+
+// U64 reads a little-endian uint64.
+func (d *Dec) U64() uint64 {
+	if d.Err != nil || d.Off+8 > len(d.B) {
+		d.fail("u64")
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.B[d.Off:])
+	d.Off += 8
+	return v
+}
+
+// I64 reads a little-endian int64.
+func (d *Dec) I64() int64 { return int64(d.U64()) }
+
+// Bytes reads a u32 length prefix and returns a subslice of the input (no
+// copy; callers that retain it past the buffer's life must copy).
+func (d *Dec) Bytes() []byte {
+	n := int(d.U32())
+	if d.Err != nil || n < 0 || d.Off+n > len(d.B) {
+		d.fail("bytes")
+		return nil
+	}
+	v := d.B[d.Off : d.Off+n : d.Off+n]
+	d.Off += n
+	return v
+}
+
+// String reads a u32 length-prefixed string.
+func (d *Dec) String() string { return string(d.Bytes()) }
+
+// I64Slice reads a u32 count followed by the values.
+func (d *Dec) I64Slice() []int64 {
+	n := int(d.U32())
+	if d.Err != nil || n < 0 || d.Off+8*n > len(d.B) {
+		d.fail("i64 slice")
+		return nil
+	}
+	vs := make([]int64, n)
+	for i := range vs {
+		vs[i] = d.I64()
+	}
+	return vs
+}
+
+// Done returns the sticky decode error, or an error if trailing bytes
+// remain when strict is set.
+func (d *Dec) Done(strict bool) error {
+	if d.Err != nil {
+		return d.Err
+	}
+	if strict && d.Off != len(d.B) {
+		return fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(d.B)-d.Off)
+	}
+	return nil
+}
+
+// Snapshot is one worker's checkpoint: the state of every registered
+// checkpointer for every rank in [Lo, Hi), taken at an epoch boundary.
+// Blobs[rank-Lo][i] is checkpointer i's encoded snapshot of that rank, in
+// universe registration order (the order is part of the format: a
+// replacement process registers the same checkpointers in the same order,
+// so indices line up without names).
+type Snapshot struct {
+	RunID uint64
+	Epoch int64
+	Lo    uint32
+	Hi    uint32
+	Blobs [][][]byte
+}
+
+// Encode serializes the snapshot, including the magic, version and CRC-64
+// trailer, ready to be written to disk or shipped over a frame.
+func (s *Snapshot) Encode() []byte {
+	var e Enc
+	e.B = append(e.B, Magic...)
+	e.U16(Version)
+	e.U64(s.RunID)
+	e.I64(s.Epoch)
+	e.U32(s.Lo)
+	e.U32(s.Hi)
+	e.U32(uint32(len(s.Blobs)))
+	for _, rankBlobs := range s.Blobs {
+		e.U32(uint32(len(rankBlobs)))
+		for _, b := range rankBlobs {
+			e.Bytes(b)
+		}
+	}
+	e.U64(crc64.Checksum(e.B, crcTable))
+	return e.B
+}
+
+// Decode parses and validates an encoded snapshot.
+func Decode(b []byte) (*Snapshot, error) {
+	if len(b) < len(Magic)+2+8 {
+		return nil, fmt.Errorf("%w: short file (%d bytes)", ErrCorrupt, len(b))
+	}
+	if string(b[:len(Magic)]) != Magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, b[:len(Magic)])
+	}
+	body, trailer := b[:len(b)-8], b[len(b)-8:]
+	want := binary.LittleEndian.Uint64(trailer)
+	if got := crc64.Checksum(body, crcTable); got != want {
+		return nil, fmt.Errorf("%w: CRC mismatch (got %016x want %016x)", ErrCorrupt, got, want)
+	}
+	d := Dec{B: body, Off: len(Magic)}
+	if v := d.U16(); v != Version {
+		return nil, fmt.Errorf("ckpt: unsupported checkpoint version %d (want %d)", v, Version)
+	}
+	s := &Snapshot{RunID: d.U64(), Epoch: d.I64(), Lo: d.U32(), Hi: d.U32()}
+	nRanks := int(d.U32())
+	if d.Err == nil && nRanks > math.MaxInt32 {
+		return nil, fmt.Errorf("%w: absurd rank count %d", ErrCorrupt, nRanks)
+	}
+	for i := 0; i < nRanks && d.Err == nil; i++ {
+		nBlobs := int(d.U32())
+		blobs := make([][]byte, 0, nBlobs)
+		for j := 0; j < nBlobs && d.Err == nil; j++ {
+			blobs = append(blobs, d.Bytes())
+		}
+		s.Blobs = append(s.Blobs, blobs)
+	}
+	if err := d.Done(true); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// WriteFile atomically writes the snapshot to path: the encoding goes to a
+// temp file in the same directory which is fsynced and renamed over the
+// target, so readers only ever see the old complete file or the new one.
+func WriteFile(path string, s *Snapshot) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("ckpt: create temp: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(s.Encode()); err != nil {
+		tmp.Close()
+		return fmt.Errorf("ckpt: write: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("ckpt: sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("ckpt: close: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("ckpt: rename: %w", err)
+	}
+	return nil
+}
+
+// ReadFile reads and validates a snapshot written by WriteFile.
+func ReadFile(path string) (*Snapshot, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	s, err := Decode(b)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: %s: %w", path, err)
+	}
+	return s, nil
+}

@@ -1,0 +1,167 @@
+package ckpt
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestEncDecRoundTrip(t *testing.T) {
+	var e Enc
+	e.U8(7)
+	e.U16(65500)
+	e.U32(1 << 30)
+	e.U64(1 << 60)
+	e.I64(-42)
+	e.Bytes([]byte{1, 2, 3})
+	e.String("hello")
+	e.I64Slice([]int64{-1, 0, 9})
+	e.I64Slice(nil)
+
+	d := Dec{B: e.B}
+	if got := d.U8(); got != 7 {
+		t.Fatalf("u8 = %d", got)
+	}
+	if got := d.U16(); got != 65500 {
+		t.Fatalf("u16 = %d", got)
+	}
+	if got := d.U32(); got != 1<<30 {
+		t.Fatalf("u32 = %d", got)
+	}
+	if got := d.U64(); got != 1<<60 {
+		t.Fatalf("u64 = %d", got)
+	}
+	if got := d.I64(); got != -42 {
+		t.Fatalf("i64 = %d", got)
+	}
+	if got := d.Bytes(); !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Fatalf("bytes = %v", got)
+	}
+	if got := d.String(); got != "hello" {
+		t.Fatalf("string = %q", got)
+	}
+	got := d.I64Slice()
+	if len(got) != 3 || got[0] != -1 || got[2] != 9 {
+		t.Fatalf("i64slice = %v", got)
+	}
+	if got := d.I64Slice(); len(got) != 0 {
+		t.Fatalf("empty i64slice = %v", got)
+	}
+	if err := d.Done(true); err != nil {
+		t.Fatalf("done: %v", err)
+	}
+}
+
+func TestDecTruncation(t *testing.T) {
+	var e Enc
+	e.String("payload")
+	for cut := 0; cut < len(e.B); cut++ {
+		d := Dec{B: e.B[:cut]}
+		_ = d.String()
+		if d.Err == nil && cut < len(e.B) {
+			t.Fatalf("cut=%d: expected sticky error", cut)
+		}
+		// Reads after the error stay zero-valued instead of panicking.
+		if v := d.U64(); v != 0 {
+			t.Fatalf("cut=%d: post-error read = %d", cut, v)
+		}
+	}
+}
+
+func testSnapshot() *Snapshot {
+	return &Snapshot{
+		RunID: 0xfeedface,
+		Epoch: 17,
+		Lo:    2,
+		Hi:    4,
+		Blobs: [][][]byte{
+			{[]byte("rank2-ckpt0"), nil, []byte{0xff}},
+			{[]byte("rank3-ckpt0"), []byte("rank3-ckpt1"), []byte{}},
+		},
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	s := testSnapshot()
+	got, err := Decode(s.Encode())
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.RunID != s.RunID || got.Epoch != s.Epoch || got.Lo != s.Lo || got.Hi != s.Hi {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if len(got.Blobs) != 2 || len(got.Blobs[0]) != 3 {
+		t.Fatalf("blob shape: %+v", got.Blobs)
+	}
+	if string(got.Blobs[1][1]) != "rank3-ckpt1" {
+		t.Fatalf("blob content: %q", got.Blobs[1][1])
+	}
+}
+
+func TestSnapshotCorruption(t *testing.T) {
+	enc := testSnapshot().Encode()
+	for _, flip := range []int{0, 5, len(enc) / 2, len(enc) - 1} {
+		bad := append([]byte(nil), enc...)
+		bad[flip] ^= 0x40
+		if _, err := Decode(bad); err == nil {
+			t.Fatalf("flip at %d: corruption not detected", flip)
+		}
+	}
+	if _, err := Decode(enc[:len(enc)-3]); err == nil {
+		t.Fatal("truncation not detected")
+	}
+	if _, err := Decode(nil); err == nil {
+		t.Fatal("empty input not rejected")
+	}
+}
+
+func TestSnapshotVersionReject(t *testing.T) {
+	enc := testSnapshot().Encode()
+	// Bump the version field and re-seal the CRC: version mismatches must be
+	// reported as such, not as corruption.
+	enc[len(Magic)] = 99
+	body := enc[:len(enc)-8]
+	var e Enc
+	e.B = append(e.B, body...)
+	e.U64(Checksum(body))
+	if _, err := Decode(e.B); err == nil {
+		t.Fatal("future version accepted")
+	}
+}
+
+func TestFileRoundTripAndAtomicity(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt-w0-s1.dpck")
+	s := testSnapshot()
+	if err := WriteFile(path, s); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if got.Epoch != s.Epoch || string(got.Blobs[0][0]) != "rank2-ckpt0" {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	// Overwrite with a different epoch; the rename must fully replace it and
+	// leave no temp files behind.
+	s.Epoch = 18
+	if err := WriteFile(path, s); err != nil {
+		t.Fatalf("rewrite: %v", err)
+	}
+	got, err = ReadFile(path)
+	if err != nil {
+		t.Fatalf("reread: %v", err)
+	}
+	if got.Epoch != 18 {
+		t.Fatalf("epoch after rewrite = %d", got.Epoch)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("leftover files: %v", ents)
+	}
+}

@@ -31,6 +31,16 @@ func DeriveSeed(base uint64, label string) uint64 {
 	return x ^ (x >> 31)
 }
 
+// WorkerSeed derives the fault/chaos seed for one worker process of a
+// multi-process launch from the launcher's root seed and the worker's
+// identity (index and owned rank range). Deterministic across processes and
+// respawns: the launcher and every replacement of worker idx compute the
+// same seed, so a respawned worker replays the same synthesized fault
+// schedule the dead one was running.
+func WorkerSeed(root uint64, idx, lo, hi int) uint64 {
+	return DeriveSeed(root, fmt.Sprintf("worker-%d-ranks-%d-%d", idx, lo, hi))
+}
+
 // Table accumulates rows and renders them with fixed-width columns. Cells
 // are formatted with %v; numbers right-align, text left-aligns.
 type Table struct {

@@ -1,0 +1,393 @@
+package mp
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"sync"
+	"syscall"
+	"time"
+
+	"declpat/internal/harness"
+)
+
+// KillSpec schedules one seeded worker kill for a launch (attempt 0 only —
+// the respawned fleet runs undisturbed, which is what makes the
+// bit-identical comparison meaningful).
+type KillSpec struct {
+	// Worker is the target worker index.
+	Worker int
+	// Epoch is the epoch whose checkpoint-commit vote triggers the kill.
+	Epoch int64
+	// Mode selects the kill point:
+	//   - "entry": the coordinator withholds the commit vote's release and
+	//     the launcher SIGKILLs the target — the kill lands between the vote
+	//     and its ack, so recovery must fall back to the previous committed
+	//     epoch;
+	//   - "body": the target worker SIGKILLs itself right after the vote's
+	//     release — a mid-epoch crash recovered from the epoch just
+	//     committed;
+	//   - "term": the launcher SIGTERMs the target after the vote commits —
+	//     the graceful-departure drain (goodbye/ack) instead of the
+	//     heartbeat fault path.
+	Mode string
+}
+
+// LaunchSpec configures a multi-process fleet run.
+type LaunchSpec struct {
+	// Job is the algorithm workload every worker executes.
+	Job JobSpec
+	// Workers is the number of OS worker processes; global ranks are split
+	// contiguously over them.
+	Workers int
+	// RootSeed derives the fleet's RunID and every worker's fault seed.
+	RootSeed uint64
+	// Kill, when non-nil, schedules one seeded kill on attempt 0.
+	Kill *KillSpec
+	// MaxRestarts bounds fleet respawns (0 selects 3).
+	MaxRestarts int
+	// RoundTimeout bounds every control round; Liveness is the control-
+	// plane heartbeat deadline (0 selects 30s / 10s; tests shrink both).
+	RoundTimeout time.Duration
+	Liveness     time.Duration
+	// WorkerCommand is the worker process argv. Empty selects
+	// [os.Executable()] — the self-exec pattern, where the launched binary
+	// calls MaybeWorker early in main (or TestMain) and becomes a rank host
+	// when the mp environment variables are set.
+	WorkerCommand []string
+	// CheckpointDir holds the fleet's checkpoint slot files; "" creates a
+	// temporary directory removed after the launch. Must be on a filesystem
+	// shared by launcher and workers.
+	CheckpointDir string
+	// Log receives launcher diagnostics and worker stderr (nil discards).
+	Log io.Writer
+}
+
+// LaunchResult is a completed launch.
+type LaunchResult struct {
+	// Vectors is the algorithm output: [levels] for bfs, [distances] for
+	// sssp, [canonical components] for cc.
+	Vectors [][]int64
+	// Attempts counts fleet attempts (1 = no restart was needed);
+	// CleanDepartures counts attempts ended by a goodbye drain rather than
+	// a crash.
+	Attempts        int
+	CleanDepartures int
+	// RunID is the fleet identity (constant across attempts; checkpoint
+	// files are validated against it).
+	RunID uint64
+	// ExitCodes records every reaped worker's exit code per attempt,
+	// indexed [attempt][worker]. Killed-by-signal workers report -1.
+	ExitCodes [][]int
+}
+
+// Launch runs a multi-process SPMD fleet to completion: spawn N workers,
+// exchange data-plane addresses, run the job with all global control
+// operations on the wire, and — when a worker dies or departs — respawn the
+// fleet from the last committed checkpoint until the run completes or the
+// restart budget is exhausted. The final result is bit-identical to a
+// fault-free run: committed collective results replay from the coordinator's
+// gather log and checkpointed state reloads from the slot files.
+func Launch(spec LaunchSpec) (*LaunchResult, error) {
+	if spec.Workers <= 0 {
+		return nil, fmt.Errorf("mp: launch needs at least one worker, got %d", spec.Workers)
+	}
+	if err := spec.Job.Normalize(); err != nil {
+		return nil, err
+	}
+	if spec.Job.Ranks < spec.Workers {
+		return nil, fmt.Errorf("mp: %d workers need at least as many ranks, got %d", spec.Workers, spec.Job.Ranks)
+	}
+	if spec.Kill != nil {
+		switch spec.Kill.Mode {
+		case "entry", "body", "term":
+		default:
+			return nil, fmt.Errorf("mp: unknown kill mode %q (want entry, body, or term)", spec.Kill.Mode)
+		}
+		if spec.Kill.Worker < 0 || spec.Kill.Worker >= spec.Workers {
+			return nil, fmt.Errorf("mp: kill targets worker %d of %d", spec.Kill.Worker, spec.Workers)
+		}
+	}
+	if spec.MaxRestarts <= 0 {
+		spec.MaxRestarts = 3
+	}
+	if spec.Log == nil {
+		spec.Log = io.Discard
+	}
+	// Worker stderr arrives via exec's pipe-copy goroutines concurrently
+	// with launcher diagnostics; serialize every write to the shared sink.
+	sink := &syncWriter{w: spec.Log}
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(sink, format+"\n", args...)
+	}
+	if len(spec.WorkerCommand) == 0 {
+		exe, err := os.Executable()
+		if err != nil {
+			return nil, fmt.Errorf("mp: resolving worker executable: %w", err)
+		}
+		spec.WorkerCommand = []string{exe}
+	}
+	ckptDir := spec.CheckpointDir
+	if ckptDir == "" {
+		dir, err := os.MkdirTemp("", "declpat-mp-*")
+		if err != nil {
+			return nil, fmt.Errorf("mp: checkpoint dir: %w", err)
+		}
+		defer os.RemoveAll(dir)
+		ckptDir = dir
+	}
+	jobJSON, err := spec.Job.marshal()
+	if err != nil {
+		return nil, fmt.Errorf("mp: encoding job: %w", err)
+	}
+
+	res := &LaunchResult{RunID: harness.DeriveSeed(spec.RootSeed, "mp-run-id")}
+	committed := int64(-1)
+	var log [][]int64
+
+	for attempt := 0; ; attempt++ {
+		if attempt > spec.MaxRestarts {
+			return nil, fmt.Errorf("mp: fleet still failing after %d restarts", spec.MaxRestarts)
+		}
+		res.Attempts++
+		procs := make([]*workerProc, spec.Workers)
+		coord, err := newCoordinator(coordSpec{
+			Workers:   spec.Workers,
+			Ranks:     spec.Job.Ranks,
+			RunID:     res.RunID,
+			JobJSON:   jobJSON,
+			CkptDir:   ckptDir,
+			RootSeed:  spec.RootSeed,
+			Committed: committed,
+			Log:       log,
+			Kill:      spec.Kill,
+			ArmKill:   attempt == 0,
+			OnKill: func(worker int, mode string) {
+				p := procs[worker]
+				if p == nil {
+					return
+				}
+				switch mode {
+				case "entry":
+					p.cmd.Process.Kill()
+				case "term":
+					p.cmd.Process.Signal(syscall.SIGTERM)
+				}
+			},
+			RoundTimeout: spec.RoundTimeout,
+			Liveness:     spec.Liveness,
+			Logf:         logf,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if attempt > 0 {
+			logf("mp: attempt %d: respawning %d workers from committed epoch %d (%d logged collectives)",
+				attempt+1, spec.Workers, committed, len(log))
+		}
+		spawnErr := error(nil)
+		for w := 0; w < spec.Workers; w++ {
+			p, err := spawnWorker(spec.WorkerCommand, coord.addr(), w, sink)
+			if err != nil {
+				spawnErr = fmt.Errorf("mp: spawning worker %d: %w", w, err)
+				break
+			}
+			procs[w] = p
+			logf("mp: worker %d: pid %d (ranks [%d,%d))", w, p.cmd.Process.Pid,
+				w*spec.Job.Ranks/spec.Workers, (w+1)*spec.Job.Ranks/spec.Workers)
+		}
+		var out attemptOutcome
+		if spawnErr != nil {
+			coord.ln.Close()
+			out = attemptOutcome{err: spawnErr, committed: committed, log: log}
+		} else {
+			out = coord.run()
+		}
+		codes := reapWorkers(procs, logf)
+		res.ExitCodes = append(res.ExitCodes, codes)
+		if spawnErr != nil {
+			return nil, spawnErr
+		}
+		if out.ok {
+			vectors, err := assemble(spec.Job, out.results)
+			if err != nil {
+				return nil, err
+			}
+			res.Vectors = vectors
+			return res, nil
+		}
+		if out.clean {
+			res.CleanDepartures++
+		}
+		logf("mp: attempt %d failed: %v", attempt+1, out.err)
+		committed, log = out.committed, out.log
+	}
+}
+
+// syncWriter serializes writes to the launch log sink.
+type syncWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (s *syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
+}
+
+// workerProc is one spawned worker process plus its asynchronous wait.
+type workerProc struct {
+	cmd    *exec.Cmd
+	waitCh chan int
+}
+
+func spawnWorker(argv []string, addr string, worker int, log io.Writer) (*workerProc, error) {
+	cmd := exec.Command(argv[0], argv[1:]...)
+	cmd.Env = append(os.Environ(),
+		"DECLPAT_MP_ADDR="+addr,
+		fmt.Sprintf("DECLPAT_MP_WORKER=%d", worker),
+	)
+	cmd.Stdout = log
+	cmd.Stderr = log
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	p := &workerProc{cmd: cmd, waitCh: make(chan int, 1)}
+	go func() {
+		err := cmd.Wait()
+		code := 0
+		if err != nil {
+			if ee, ok := err.(*exec.ExitError); ok {
+				code = ee.ExitCode() // -1 when killed by a signal
+			} else {
+				code = -1
+			}
+		}
+		p.waitCh <- code
+	}()
+	return p, nil
+}
+
+// reapGrace bounds how long a worker gets to exit on its own after the
+// attempt ended before the launcher SIGKILLs it.
+const reapGrace = 5 * time.Second
+
+// reapWorkers joins every worker process, escalating to SIGKILL after the
+// grace period, and logs each exit code with its meaning — the launcher's
+// record of *why* it is respawning (satellite: exit-code classification).
+func reapWorkers(procs []*workerProc, logf func(string, ...any)) []int {
+	codes := make([]int, len(procs))
+	for w, p := range procs {
+		if p == nil {
+			codes[w] = -1
+			continue
+		}
+		select {
+		case code := <-p.waitCh:
+			codes[w] = code
+		case <-time.After(reapGrace):
+			p.cmd.Process.Kill()
+			codes[w] = <-p.waitCh
+		}
+		logf("mp: worker %d exited: %s", w, describeExit(codes[w]))
+	}
+	return codes
+}
+
+// Worker process exit codes (RunWorker and cmd/declpat-worker).
+const (
+	// ExitClean: the run completed (or the worker departed gracefully after
+	// a SIGTERM drain).
+	ExitClean = 0
+	// ExitFatal: an unclassified fatal error (bad job, dial failure).
+	ExitFatal = 1
+	// ExitUsage: bad command line / missing environment.
+	ExitUsage = 2
+	// ExitRestart: the fleet aborted (a peer died or a fault was reported);
+	// the worker exited so the launcher can respawn it.
+	ExitRestart = 3
+	// ExitPeerClosed: the control (or relay) peer closed the connection.
+	ExitPeerClosed = 4
+	// ExitDecode: a control (or relay) frame failed to decode — protocol
+	// damage, distinct from a dead peer.
+	ExitDecode = 5
+)
+
+func describeExit(code int) string {
+	switch code {
+	case ExitClean:
+		return "code 0 (clean)"
+	case ExitFatal:
+		return "code 1 (fatal error)"
+	case ExitUsage:
+		return "code 2 (usage)"
+	case ExitRestart:
+		return "code 3 (restart requested: fleet aborted)"
+	case ExitPeerClosed:
+		return "code 4 (control peer closed)"
+	case ExitDecode:
+		return "code 5 (control frame decode failure)"
+	case -1:
+		return "killed by signal"
+	}
+	return fmt.Sprintf("code %d", code)
+}
+
+// assemble turns the coordinator's collected result vectors into the
+// algorithm's output. For cc the two gathered vectors (pnt, chg) are
+// resolved into component labels here — the paper's final rewrite is "not a
+// graph computation" (§II-B), so the launcher performs it from the full
+// label tables — and canonicalized (CC's raw root labels are race-dependent;
+// the induced partition is the deterministic output).
+func assemble(job JobSpec, results map[int][]int64) ([][]int64, error) {
+	idxs := vecIndices(results)
+	want := 1
+	if job.Algo == "cc" {
+		want = 2
+	}
+	if len(idxs) != want {
+		return nil, fmt.Errorf("mp: collected %d result vectors for %s, want %d", len(idxs), job.Algo, want)
+	}
+	if job.Algo != "cc" {
+		return [][]int64{results[idxs[0]]}, nil
+	}
+	pnt, chg := results[0], results[1]
+	if len(pnt) != len(chg) {
+		return nil, fmt.Errorf("mp: cc result vectors disagree: %d pnt, %d chg entries", len(pnt), len(chg))
+	}
+	comp := make([]int64, len(pnt))
+	for v := range pnt {
+		lbl := pnt[v]
+		for i := 0; i < 64; i++ {
+			if lbl < 0 || int(lbl) >= len(chg) {
+				return nil, fmt.Errorf("mp: cc rewrite escaped the label table at vertex %d (label %d)", v, lbl)
+			}
+			next := chg[lbl]
+			if next == lbl {
+				break
+			}
+			lbl = next
+		}
+		comp[v] = lbl
+	}
+	return [][]int64{canonicalize(comp)}, nil
+}
+
+// canonicalize relabels a component vector by smallest member (the same
+// normalization the chaos harness applies; duplicated because chaos imports
+// this package for its process-kill dimension).
+func canonicalize(comp []int64) []int64 {
+	min := make(map[int64]int64)
+	for v, c := range comp {
+		if m, ok := min[c]; !ok || int64(v) < m {
+			min[c] = int64(v)
+		}
+	}
+	out := make([]int64, len(comp))
+	for v, c := range comp {
+		out[v] = min[c]
+	}
+	return out
+}

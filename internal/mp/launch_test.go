@@ -1,0 +1,204 @@
+package mp_test
+
+// End-to-end multi-process SPMD tests: Launch spawns real OS worker
+// processes (this test binary re-execed; TestMain routes the children into
+// mp.MaybeWorker), runs BFS/SSSP/CC with all control traffic on the wire,
+// and compares results bit-for-bit with the in-process fault-free reference.
+// The kill tests are the tentpole acceptance: a seeded SIGKILL mid-run must
+// end in respawn + checkpoint/restart with an identical result.
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"declpat/internal/chaos"
+	"declpat/internal/harness"
+	"declpat/internal/mp"
+)
+
+func TestMain(m *testing.M) {
+	mp.MaybeWorker() // does not return in launcher-spawned children
+	os.Exit(m.Run())
+}
+
+// testJob is the shared fleet workload: small enough to keep the multi-
+// process matrix fast, large enough for multi-epoch SSSP/CC runs.
+func testJob(algo string) mp.JobSpec {
+	return mp.JobSpec{
+		Algo:       algo,
+		Scale:      6,
+		EdgeFactor: 8,
+		Seed:       7,
+		Ranks:      4,
+		Threads:    2,
+		Source:     1,
+		Delta:      8,
+	}
+}
+
+// launch runs a fleet attached to the test log and fails the test on error.
+func launch(t *testing.T, spec mp.LaunchSpec) *mp.LaunchResult {
+	t.Helper()
+	var log bytes.Buffer
+	spec.Log = &log
+	res, err := mp.Launch(spec)
+	if err != nil {
+		t.Fatalf("launch failed: %v\nlauncher log:\n%s", err, log.String())
+	}
+	t.Logf("launcher log:\n%s", log.String())
+	return res
+}
+
+// checkIdentical compares fleet output with the single-process reference.
+func checkIdentical(t *testing.T, job mp.JobSpec, got [][]int64) {
+	t.Helper()
+	want, err := chaos.ReferenceProc(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("fleet produced %d vectors, reference %d", len(got), len(want))
+	}
+	for i := range want {
+		if !chaos.Equal(got[i], want[i]) {
+			d := chaos.Diff(got[i], want[i], 8)
+			t.Fatalf("vector %d differs from the single-process reference at %d+ indices %v (len %d vs %d)",
+				i, len(d), d, len(got[i]), len(want[i]))
+		}
+	}
+}
+
+func TestLaunchBitIdenticalToSingleProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	for _, algo := range []string{"bfs", "sssp", "cc"} {
+		t.Run(algo, func(t *testing.T) {
+			job := testJob(algo)
+			res := launch(t, mp.LaunchSpec{Job: job, Workers: 2, RootSeed: 11})
+			if res.Attempts != 1 {
+				t.Fatalf("fault-free launch took %d attempts", res.Attempts)
+			}
+			checkIdentical(t, job, res.Vectors)
+		})
+	}
+}
+
+func TestLaunchFourWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	job := testJob("bfs")
+	job.Ranks = 8
+	res := launch(t, mp.LaunchSpec{Job: job, Workers: 4, RootSeed: 13})
+	if res.Attempts != 1 {
+		t.Fatalf("fault-free launch took %d attempts", res.Attempts)
+	}
+	checkIdentical(t, job, res.Vectors)
+}
+
+// TestLaunchKillBody is the acceptance drill: a worker SIGKILLs itself right
+// after a mid-run checkpoint-commit vote releases. The launcher must notice
+// the death, respawn the fleet, restore from the committed checkpoint, and
+// still produce the bit-identical result.
+func TestLaunchKillBody(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	job := testJob("sssp") // multi-epoch: the kill lands mid-run
+	res := launch(t, mp.LaunchSpec{
+		Job: job, Workers: 2, RootSeed: 17,
+		Kill: &mp.KillSpec{Worker: 1, Epoch: 2, Mode: "body"},
+	})
+	if res.Attempts != 2 {
+		t.Fatalf("kill-body launch took %d attempts, want 2 (kill + respawn)", res.Attempts)
+	}
+	if code := res.ExitCodes[0][1]; code != -1 {
+		t.Fatalf("killed worker exit code %d, want -1 (signal)", code)
+	}
+	checkIdentical(t, job, res.Vectors)
+}
+
+// TestLaunchKillEntry kills between the checkpoint-commit vote and its ack:
+// every worker voted epoch 2 committed, but no release ever arrived, so the
+// restart must fall back to the previously committed epoch.
+func TestLaunchKillEntry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	job := testJob("sssp")
+	res := launch(t, mp.LaunchSpec{
+		Job: job, Workers: 2, RootSeed: 19,
+		Kill: &mp.KillSpec{Worker: 0, Epoch: 2, Mode: "entry"},
+	})
+	if res.Attempts != 2 {
+		t.Fatalf("kill-entry launch took %d attempts, want 2", res.Attempts)
+	}
+	checkIdentical(t, job, res.Vectors)
+}
+
+// TestLaunchKillTerm SIGTERMs a worker mid-run: it must drain via the
+// goodbye/ack handshake (a clean departure, exit code 0), after which the
+// fleet respawns and completes.
+func TestLaunchKillTerm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	job := testJob("sssp")
+	res := launch(t, mp.LaunchSpec{
+		Job: job, Workers: 2, RootSeed: 23,
+		Kill: &mp.KillSpec{Worker: 1, Epoch: 1, Mode: "term"},
+	})
+	if res.Attempts != 2 {
+		t.Fatalf("kill-term launch took %d attempts, want 2", res.Attempts)
+	}
+	if res.CleanDepartures != 1 {
+		t.Fatalf("clean departures = %d, want 1", res.CleanDepartures)
+	}
+	if code := res.ExitCodes[0][1]; code != 0 {
+		t.Fatalf("SIGTERMed worker exit code %d, want 0 (graceful goodbye)", code)
+	}
+	checkIdentical(t, job, res.Vectors)
+}
+
+// TestLaunchWorkerSeedsDiffer pins satellite determinism: per-worker fault
+// seeds derive from the root seed and rank range, distinct across workers
+// and stable across respawns (same inputs, same seed).
+func TestLaunchWorkerSeedsDiffer(t *testing.T) {
+	s0 := harness.WorkerSeed(42, 0, 0, 2)
+	s1 := harness.WorkerSeed(42, 1, 2, 4)
+	if s0 == s1 {
+		t.Fatal("workers 0 and 1 derived the same fault seed")
+	}
+	if s0 != harness.WorkerSeed(42, 0, 0, 2) {
+		t.Fatal("worker seed not stable across respawns")
+	}
+	if s0 == harness.WorkerSeed(43, 0, 0, 2) {
+		t.Fatal("worker seed ignores the root seed")
+	}
+}
+
+// TestLaunchValidation pins the launcher's argument checking.
+func TestLaunchValidation(t *testing.T) {
+	if _, err := mp.Launch(mp.LaunchSpec{Job: testJob("bfs"), Workers: 0}); err == nil {
+		t.Fatal("zero workers accepted")
+	}
+	if _, err := mp.Launch(mp.LaunchSpec{Job: testJob("nope"), Workers: 1}); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	bad := testJob("bfs")
+	bad.Ranks = 1
+	if _, err := mp.Launch(mp.LaunchSpec{Job: bad, Workers: 2}); err == nil {
+		t.Fatal("fewer ranks than workers accepted")
+	}
+	spec := mp.LaunchSpec{Job: testJob("bfs"), Workers: 2,
+		Kill: &mp.KillSpec{Worker: 5, Epoch: 1, Mode: "body"}}
+	if _, err := mp.Launch(spec); err == nil {
+		t.Fatal("out-of-range kill target accepted")
+	}
+	spec.Kill = &mp.KillSpec{Worker: 0, Epoch: 1, Mode: "maim"}
+	if _, err := mp.Launch(spec); err == nil {
+		t.Fatal("unknown kill mode accepted")
+	}
+}

@@ -1,0 +1,141 @@
+package mp
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"declpat/internal/am"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	bodies := map[byte][]byte{
+		fHello:      hello{Worker: 3}.encode(),
+		fBarrier:    encodeTag(-1),
+		fGather:     gatherMsg{Seq: 7, Vals: []int64{1, -2, 3}}.encode(),
+		fWaveStart:  encodeWave(am.WaveSample{Sent: 10, Recv: 9, Active: 1}),
+		fAbort:      abortMsg{Clean: true, Reason: "worker 1 departed cleanly"}.encode(),
+		fResult:     resultMsg{Vec: 1, VertexLo: 64, Vals: []int64{5, 6}}.encode(),
+		fResultDone: nil,
+	}
+	var buf bytes.Buffer
+	for kind, body := range bodies {
+		buf.Reset()
+		if err := writeFrame(&buf, kind, body); err != nil {
+			t.Fatalf("write %s: %v", kindName(kind), err)
+		}
+		gotKind, gotBody, err := readFrame(&buf)
+		if err != nil {
+			t.Fatalf("read %s: %v", kindName(kind), err)
+		}
+		if gotKind != kind || !bytes.Equal(gotBody, body) {
+			t.Fatalf("%s round trip: got kind %s body %v, want body %v", kindName(kind), kindName(gotKind), gotBody, body)
+		}
+	}
+}
+
+func TestFrameCorruptionIsDecodeError(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, fBarrier, encodeTag(4)); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[len(raw)-3] ^= 0x40 // damage the CRC seal
+	_, _, err := readFrame(bytes.NewReader(raw))
+	if !errors.Is(err, ErrDecode) {
+		t.Fatalf("corrupted frame: got %v, want ErrDecode", err)
+	}
+}
+
+func TestFrameTruncationIsPeerClosed(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, fGather, gatherMsg{Seq: 1, Vals: []int64{9}}.encode()); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	_, _, err := readFrame(bytes.NewReader(raw[:len(raw)-4]))
+	if !errors.Is(err, ErrPeerClosed) {
+		t.Fatalf("truncated frame: got %v, want ErrPeerClosed", err)
+	}
+	_, _, err = readFrame(bytes.NewReader(nil))
+	if !errors.Is(err, ErrPeerClosed) {
+		t.Fatalf("empty stream: got %v, want ErrPeerClosed", err)
+	}
+}
+
+func TestHelloValidation(t *testing.T) {
+	h := hello{Worker: 2}
+	got, err := decodeHello(h.encode())
+	if err != nil || got != h {
+		t.Fatalf("hello round trip: got %+v, %v", got, err)
+	}
+	bad := h.encode()
+	bad[len(bad)-5] = protoVersion + 1 // version byte precedes the worker u32
+	if _, err := decodeHello(bad); !errors.Is(err, ErrDecode) {
+		t.Fatalf("version mismatch: got %v, want ErrDecode", err)
+	}
+}
+
+func TestWelcomeRoundTrip(t *testing.T) {
+	w := welcome{
+		RunID: 0xdeadbeef, Workers: 4, Ranks: 8, Lo: 2, Hi: 4,
+		RestartEpoch: 3, HaveCkpt: true,
+		Log:        [][]int64{{1, 2}, {3}},
+		CkptDir:    "/tmp/ckpt",
+		WorkerSeed: 99, KillEpoch: 2, KillMode: killBody,
+		JobJSON: []byte(`{"algo":"bfs"}`),
+	}
+	got, err := decodeWelcome(w.encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.RunID != w.RunID || got.Lo != w.Lo || got.Hi != w.Hi ||
+		got.RestartEpoch != w.RestartEpoch || !got.HaveCkpt ||
+		len(got.Log) != 2 || got.Log[0][1] != 2 ||
+		got.CkptDir != w.CkptDir || got.WorkerSeed != w.WorkerSeed ||
+		got.KillEpoch != 2 || got.KillMode != killBody ||
+		string(got.JobJSON) != string(w.JobJSON) {
+		t.Fatalf("welcome round trip: got %+v, want %+v", got, w)
+	}
+}
+
+func TestRankRange(t *testing.T) {
+	// 10 ranks over 4 workers: contiguous, covering, ascending.
+	prev := 0
+	total := 0
+	for w := 0; w < 4; w++ {
+		lo, hi := rankRange(10, 4, w)
+		if lo != prev {
+			t.Fatalf("worker %d: lo=%d, want %d", w, lo, prev)
+		}
+		if hi <= lo {
+			t.Fatalf("worker %d: empty range [%d,%d)", w, lo, hi)
+		}
+		prev = hi
+		total += hi - lo
+	}
+	if total != 10 {
+		t.Fatalf("ranges cover %d ranks, want 10", total)
+	}
+}
+
+func TestJobSpecValidation(t *testing.T) {
+	j := JobSpec{Algo: "bfs"}
+	if err := j.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if j.Ranks == 0 || j.Scale == 0 || j.Network != "tcp" {
+		t.Fatalf("defaults not applied: %+v", j)
+	}
+	bad := JobSpec{Algo: "pagerank"}
+	if err := bad.Normalize(); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	badNet := JobSpec{Algo: "bfs", Network: "sctp"}
+	if err := badNet.Normalize(); err == nil {
+		t.Fatal("unknown network accepted")
+	}
+	if _, err := unmarshalJob([]byte("{not json")); !errors.Is(err, ErrDecode) {
+		t.Fatalf("bad job JSON: got %v, want ErrDecode", err)
+	}
+}

@@ -1,0 +1,219 @@
+package mp
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strconv"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"declpat/internal/algorithms"
+	"declpat/internal/am"
+	"declpat/internal/distgraph"
+	"declpat/internal/gen"
+	"declpat/internal/pattern"
+	"declpat/internal/pmap"
+)
+
+// Environment variables the launcher sets on every spawned worker. A binary
+// that wants to host ranks calls MaybeWorker early in main (or TestMain);
+// when the variables are absent it is a no-op and the binary runs normally.
+const (
+	EnvAddr   = "DECLPAT_MP_ADDR"
+	EnvWorker = "DECLPAT_MP_WORKER"
+)
+
+// MaybeWorker turns the current process into a rank host when the launcher's
+// environment variables are set, and never returns in that case (it exits
+// with RunWorker's code). This is the self-exec pattern: the launcher's
+// default WorkerCommand is its own executable, so one binary is both
+// launcher and worker.
+func MaybeWorker() {
+	addr := os.Getenv(EnvAddr)
+	if addr == "" {
+		return
+	}
+	worker, err := strconv.Atoi(os.Getenv(EnvWorker))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mp worker: bad %s=%q: %v\n", EnvWorker, os.Getenv(EnvWorker), err)
+		os.Exit(ExitUsage)
+	}
+	os.Exit(RunWorker(addr, worker))
+}
+
+// RunWorker is one rank host: dial the coordinator, receive the job and rank
+// range in the welcome, build the workload and a universe whose global
+// control operations (barriers, gathers, termination waves, recovery fences)
+// ride the control connection, run the unmodified algorithm kernel, and ship
+// the local result shards back. The return value is the process exit code
+// (see the Exit* constants); in particular ErrPeerClosed and ErrDecode map
+// to distinct codes so the launcher can log *why* a worker died.
+func RunWorker(addr string, worker int) int {
+	cl, err := Dial(addr, worker)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mp worker %d: dial %s: %v\n", worker, addr, err)
+		return exitForErr(err, ExitFatal)
+	}
+	defer cl.Close()
+	w := cl.Welcome()
+	job, err := unmarshalJob(w.JobJSON)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mp worker %d: %v\n", worker, err)
+		return exitForErr(err, ExitFatal)
+	}
+
+	n, edges := gen.RMAT(job.Scale, job.EdgeFactor, gen.Weights{Min: job.WMin, Max: job.WMax}, job.Seed)
+	hb, live, rbase, rmax, tick := job.sockTimings()
+	opts := []am.Option{
+		am.WithThreads(job.Threads),
+		am.WithCoalesce(job.Coalesce),
+		am.WithDetector(am.DetectorFourCounter),
+		am.WithControlPlane(cl.MPConfig()),
+		am.WithTransport(am.SockTransport(am.SockOptions{
+			Network:       job.Network,
+			Heartbeat:     hb,
+			Liveness:      live,
+			ReconnectBase: rbase,
+			ReconnectMax:  rmax,
+			TickInterval:  tick,
+		})),
+	}
+	if job.Drop > 0 || job.Dup > 0 || job.Delay > 0 || job.Corrupt > 0 {
+		opts = append(opts, am.WithFaultPlan(&am.FaultPlan{
+			Seed:    w.WorkerSeed,
+			Drop:    job.Drop,
+			Dup:     job.Dup,
+			Delay:   job.Delay,
+			Corrupt: job.Corrupt,
+		}))
+	}
+	if job.TraceDir != "" {
+		opts = append(opts, am.WithTiming(), am.WithTraceCapacity(job.TraceCap))
+	}
+	u := am.New(job.Ranks, opts...)
+	hooks := u.ControlHooks()
+	cl.SetHooks(hooks)
+
+	d := distgraph.NewBlockDist(n, u.Ranks())
+	g := distgraph.Build(d, edges, distgraph.Options{Symmetrize: job.Algo == "cc"})
+	lm := pmap.NewLockMap(d, 1)
+	eng := pattern.NewEngine(u, g, lm, pattern.DefaultPlanOptions())
+	// The data plane crosses kernel sockets between co-hosted ranks too, so
+	// the engine's message type needs a wire codec; the zero-reflection
+	// fixed codec is its natural one.
+	eng.MsgType().WithWire()
+
+	// Graceful departure: SIGTERM drains via the goodbye/ack handshake
+	// instead of dying into the heartbeat fault path. The coordinator acks,
+	// counts a clean departure, and aborts the fleet (SPMD cannot continue
+	// short-handed); our own copy of that abort unblocks the parked ranks.
+	var departing atomic.Bool
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM)
+	defer signal.Stop(sigs)
+	go func() {
+		if _, ok := <-sigs; !ok {
+			return
+		}
+		departing.Store(true)
+		if err := cl.Goodbye(2 * time.Second); err != nil {
+			// No ack — the coordinator is gone too; unblock locally.
+			hooks.RemoteAbort(fmt.Errorf("mp: departing on SIGTERM: %w", err), true)
+		}
+	}()
+
+	var body func(r *am.Rank)
+	var vecs []*pmap.VertexWord
+	switch job.Algo {
+	case "bfs":
+		b := algorithms.NewBFS(eng)
+		body = func(r *am.Rank) { b.Run(r, distgraph.Vertex(job.Source)) }
+		vecs = []*pmap.VertexWord{b.Level}
+	case "sssp":
+		s := algorithms.NewSSSP(eng)
+		s.UseDelta(u, job.Delta)
+		body = func(r *am.Rank) { s.Run(r, distgraph.Vertex(job.Source)) }
+		vecs = []*pmap.VertexWord{s.Dist}
+	case "cc":
+		// RunResolve, not Run: the final pointer-chase rewrite is "not a
+		// graph computation" (§II-B) and local rewrites would bake
+		// worker-local views into the shipped labels. The launcher resolves
+		// components from the full gathered (pnt, chg) tables instead.
+		c := algorithms.NewCC(eng, lm)
+		body = func(r *am.Rank) { c.RunResolve(r) }
+		vecs = []*pmap.VertexWord{c.Pnt, c.Chg}
+	}
+
+	if err := u.Run(body); err != nil {
+		if departing.Load() {
+			return ExitClean
+		}
+		fmt.Fprintf(os.Stderr, "mp worker %d: run failed: %v\n", worker, err)
+		if cerr := cl.Err(); cerr != nil {
+			return exitForErr(cerr, ExitRestart)
+		}
+		return ExitRestart
+	}
+
+	if job.TraceDir != "" {
+		if err := writeTrace(u, job.TraceDir, worker); err != nil {
+			fmt.Fprintf(os.Stderr, "mp worker %d: trace: %v\n", worker, err)
+		}
+	}
+	if err := shipResults(cl, d, vecs, int(w.Lo), int(w.Hi)); err != nil {
+		fmt.Fprintf(os.Stderr, "mp worker %d: shipping results: %v\n", worker, err)
+		return exitForErr(err, ExitFatal)
+	}
+	return ExitClean
+}
+
+// exitForErr maps the classified control-plane sentinels onto their distinct
+// exit codes, falling back to def for everything else.
+func exitForErr(err error, def int) int {
+	switch {
+	case errors.Is(err, ErrPeerClosed):
+		return ExitPeerClosed
+	case errors.Is(err, ErrDecode):
+		return ExitDecode
+	}
+	return def
+}
+
+func writeTrace(u *am.Universe, dir string, worker int) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, fmt.Sprintf("worker-%d.trace.jsonl", worker)))
+	if err != nil {
+		return err
+	}
+	if err := u.WriteTraceJSONL(f, fmt.Sprintf("mp-worker-%d", worker)); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// shipResults sends every result vector's local shards to the coordinator,
+// one fResult frame per (vector, hosted rank), then fResultDone. Shard
+// placement is by global vertex id, so the coordinator reassembles the full
+// vector without knowing the distribution.
+func shipResults(cl *Client, d distgraph.BlockDist, vecs []*pmap.VertexWord, lo, hi int) error {
+	for vi, vec := range vecs {
+		for rank := lo; rank < hi; rank++ {
+			vals, _ := vec.SnapshotRank(rank).([]int64)
+			if len(vals) == 0 {
+				continue
+			}
+			body := resultMsg{Vec: vi, VertexLo: uint64(d.Global(rank, 0)), Vals: vals}.encode()
+			if err := cl.write(fResult, body); err != nil {
+				return err
+			}
+		}
+	}
+	return cl.write(fResultDone, nil)
+}

@@ -1,0 +1,45 @@
+package pattern
+
+import (
+	"fmt"
+
+	"declpat/internal/ckpt"
+)
+
+// Serialized checkpoint support (am.SerializedCheckpointer) for the engine's
+// per-rank modification flags, one presence byte per bound action.
+
+// EncodeSnapshot serializes an engine snapshot (am.SerializedCheckpointer).
+func (e *Engine) EncodeSnapshot(snap any) ([]byte, error) {
+	flags, ok := snap.([]bool)
+	if !ok {
+		return nil, fmt.Errorf("pattern: engine snapshot has type %T, want []bool", snap)
+	}
+	var enc ckpt.Enc
+	enc.U32(uint32(len(flags)))
+	for _, f := range flags {
+		if f {
+			enc.U8(1)
+		} else {
+			enc.U8(0)
+		}
+	}
+	return enc.B, nil
+}
+
+// DecodeSnapshot parses an engine snapshot (am.SerializedCheckpointer).
+func (e *Engine) DecodeSnapshot(data []byte) (any, error) {
+	d := ckpt.Dec{B: data}
+	n := int(d.U32())
+	if d.Err != nil {
+		return nil, fmt.Errorf("pattern: engine snapshot: %w", d.Err)
+	}
+	flags := make([]bool, n)
+	for i := 0; i < n && d.Err == nil; i++ {
+		flags[i] = d.U8() == 1
+	}
+	if err := d.Done(true); err != nil {
+		return nil, fmt.Errorf("pattern: engine snapshot: %w", err)
+	}
+	return flags, nil
+}

@@ -1,0 +1,121 @@
+package pmap
+
+import (
+	"fmt"
+	"sort"
+
+	"declpat/internal/ckpt"
+	"declpat/internal/distgraph"
+)
+
+// Serialized checkpoint support (am.SerializedCheckpointer): byte encodings
+// of the snapshots produced by checkpoint.go, so a property-map shard can be
+// written to disk and reloaded by a replacement process after a crash. Every
+// encoding is deterministic — set members are sorted — so identical state
+// yields identical checkpoint files, which is what makes the multi-process
+// bit-identity comparisons in the chaos harness meaningful.
+
+// EncodeSnapshot serializes a VertexWord snapshot
+// (am.SerializedCheckpointer).
+func (m *VertexWord) EncodeSnapshot(snap any) ([]byte, error) {
+	s, ok := snap.([]int64)
+	if !ok {
+		return nil, fmt.Errorf("pmap: VertexWord snapshot has type %T, want []int64", snap)
+	}
+	var e ckpt.Enc
+	e.I64Slice(s)
+	return e.B, nil
+}
+
+// DecodeSnapshot parses a VertexWord snapshot (am.SerializedCheckpointer).
+func (m *VertexWord) DecodeSnapshot(data []byte) (any, error) {
+	d := ckpt.Dec{B: data}
+	s := d.I64Slice()
+	if err := d.Done(true); err != nil {
+		return nil, fmt.Errorf("pmap: VertexWord snapshot: %w", err)
+	}
+	return s, nil
+}
+
+// EncodeSnapshot serializes a VertexSet snapshot: a u32 slot count, then per
+// slot a presence byte and (when present) the sorted member list
+// (am.SerializedCheckpointer). Nil and empty sets are distinct states — an
+// empty set allocates on first touch — and both survive the round trip.
+func (m *VertexSet) EncodeSnapshot(snap any) ([]byte, error) {
+	sets, ok := snap.([]map[distgraph.Vertex]struct{})
+	if !ok {
+		return nil, fmt.Errorf("pmap: VertexSet snapshot has type %T, want []map[Vertex]struct{}", snap)
+	}
+	var e ckpt.Enc
+	e.U32(uint32(len(sets)))
+	for _, set := range sets {
+		if set == nil {
+			e.U8(0)
+			continue
+		}
+		e.U8(1)
+		members := make([]int64, 0, len(set))
+		for v := range set {
+			members = append(members, int64(v))
+		}
+		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+		e.I64Slice(members)
+	}
+	return e.B, nil
+}
+
+// DecodeSnapshot parses a VertexSet snapshot (am.SerializedCheckpointer).
+func (m *VertexSet) DecodeSnapshot(data []byte) (any, error) {
+	d := ckpt.Dec{B: data}
+	n := int(d.U32())
+	if d.Err != nil {
+		return nil, fmt.Errorf("pmap: VertexSet snapshot: %w", d.Err)
+	}
+	sets := make([]map[distgraph.Vertex]struct{}, n)
+	for i := 0; i < n && d.Err == nil; i++ {
+		if d.U8() == 0 {
+			continue
+		}
+		members := d.I64Slice()
+		set := make(map[distgraph.Vertex]struct{}, len(members))
+		for _, v := range members {
+			set[distgraph.Vertex(v)] = struct{}{}
+		}
+		sets[i] = set
+	}
+	if err := d.Done(true); err != nil {
+		return nil, fmt.Errorf("pmap: VertexSet snapshot: %w", err)
+	}
+	return sets, nil
+}
+
+// EncodeSnapshot serializes an EdgeWord snapshot: the out-edge values plus a
+// presence byte for the in-edge mirror slice (am.SerializedCheckpointer).
+func (m *EdgeWord) EncodeSnapshot(snap any) ([]byte, error) {
+	s, ok := snap.(edgeWordSnap)
+	if !ok {
+		return nil, fmt.Errorf("pmap: EdgeWord snapshot has type %T, want edgeWordSnap", snap)
+	}
+	var e ckpt.Enc
+	e.I64Slice(s.out)
+	if s.in == nil {
+		e.U8(0)
+	} else {
+		e.U8(1)
+		e.I64Slice(s.in)
+	}
+	return e.B, nil
+}
+
+// DecodeSnapshot parses an EdgeWord snapshot (am.SerializedCheckpointer).
+func (m *EdgeWord) DecodeSnapshot(data []byte) (any, error) {
+	d := ckpt.Dec{B: data}
+	s := edgeWordSnap{out: d.I64Slice()}
+	if d.U8() == 1 {
+		s.in = d.I64Slice()
+	}
+	if err := d.Done(true); err != nil {
+		return nil, fmt.Errorf("pmap: EdgeWord snapshot: %w", err)
+	}
+	return s, nil
+}

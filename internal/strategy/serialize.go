@@ -1,0 +1,140 @@
+package strategy
+
+import (
+	"fmt"
+	"sort"
+
+	"declpat/internal/ckpt"
+	"declpat/internal/distgraph"
+)
+
+// Serialized checkpoint support (am.SerializedCheckpointer) for the
+// Δ-stepping bucket structures. A bucket snapshot is a map from bucket index
+// to vertex list; indices are encoded in sorted order so identical state
+// yields identical bytes. The nil snapshot (strategy not yet running) is a
+// zero-length encoding.
+
+func encodeBucketsSnap(e *ckpt.Enc, s *bucketsSnap) {
+	if s == nil {
+		e.U8(0)
+		return
+	}
+	e.U8(1)
+	idxs := make([]int, 0, len(s.items))
+	for idx := range s.items {
+		idxs = append(idxs, idx)
+	}
+	sort.Ints(idxs)
+	e.U32(uint32(len(idxs)))
+	for _, idx := range idxs {
+		e.I64(int64(idx))
+		vs := s.items[idx]
+		e.U32(uint32(len(vs)))
+		for _, v := range vs {
+			e.U32(uint32(v))
+		}
+	}
+}
+
+func decodeBucketsSnap(d *ckpt.Dec) *bucketsSnap {
+	if d.U8() == 0 {
+		return nil
+	}
+	n := int(d.U32())
+	items := make(map[int][]distgraph.Vertex, n)
+	for i := 0; i < n && d.Err == nil; i++ {
+		idx := int(d.I64())
+		cnt := int(d.U32())
+		if d.Err != nil {
+			break
+		}
+		vs := make([]distgraph.Vertex, 0, cnt)
+		for j := 0; j < cnt && d.Err == nil; j++ {
+			vs = append(vs, distgraph.Vertex(d.U32()))
+		}
+		items[idx] = vs
+	}
+	return &bucketsSnap{items: items}
+}
+
+func encodeSingleBuckets(snap any) ([]byte, error) {
+	var e ckpt.Enc
+	if snap == nil {
+		encodeBucketsSnap(&e, nil)
+		return e.B, nil
+	}
+	s, ok := snap.(*bucketsSnap)
+	if !ok {
+		return nil, fmt.Errorf("strategy: bucket snapshot has type %T, want *bucketsSnap", snap)
+	}
+	encodeBucketsSnap(&e, s)
+	return e.B, nil
+}
+
+func decodeSingleBuckets(data []byte) (any, error) {
+	d := ckpt.Dec{B: data}
+	s := decodeBucketsSnap(&d)
+	if err := d.Done(true); err != nil {
+		return nil, fmt.Errorf("strategy: bucket snapshot: %w", err)
+	}
+	if s == nil {
+		return nil, nil
+	}
+	return s, nil
+}
+
+// EncodeSnapshot serializes a Delta bucket snapshot
+// (am.SerializedCheckpointer).
+func (d *Delta) EncodeSnapshot(snap any) ([]byte, error) { return encodeSingleBuckets(snap) }
+
+// DecodeSnapshot parses a Delta bucket snapshot (am.SerializedCheckpointer).
+func (d *Delta) DecodeSnapshot(data []byte) (any, error) { return decodeSingleBuckets(data) }
+
+// EncodeSnapshot serializes a DeltaLightHeavy bucket snapshot
+// (am.SerializedCheckpointer).
+func (d *DeltaLightHeavy) EncodeSnapshot(snap any) ([]byte, error) { return encodeSingleBuckets(snap) }
+
+// DecodeSnapshot parses a DeltaLightHeavy bucket snapshot
+// (am.SerializedCheckpointer).
+func (d *DeltaLightHeavy) DecodeSnapshot(data []byte) (any, error) { return decodeSingleBuckets(data) }
+
+// EncodeSnapshot serializes a DeltaDistributed snapshot: a presence byte,
+// then one bucket snapshot per worker thread (am.SerializedCheckpointer).
+func (d *DeltaDistributed) EncodeSnapshot(snap any) ([]byte, error) {
+	var e ckpt.Enc
+	if snap == nil {
+		e.U8(0)
+		return e.B, nil
+	}
+	snaps, ok := snap.([]*bucketsSnap)
+	if !ok {
+		return nil, fmt.Errorf("strategy: distributed bucket snapshot has type %T, want []*bucketsSnap", snap)
+	}
+	e.U8(1)
+	e.U32(uint32(len(snaps)))
+	for _, s := range snaps {
+		encodeBucketsSnap(&e, s)
+	}
+	return e.B, nil
+}
+
+// DecodeSnapshot parses a DeltaDistributed snapshot
+// (am.SerializedCheckpointer).
+func (d *DeltaDistributed) DecodeSnapshot(data []byte) (any, error) {
+	dec := ckpt.Dec{B: data}
+	if dec.U8() == 0 {
+		if err := dec.Done(true); err != nil {
+			return nil, fmt.Errorf("strategy: distributed bucket snapshot: %w", err)
+		}
+		return nil, nil
+	}
+	n := int(dec.U32())
+	snaps := make([]*bucketsSnap, 0, n)
+	for i := 0; i < n && dec.Err == nil; i++ {
+		snaps = append(snaps, decodeBucketsSnap(&dec))
+	}
+	if err := dec.Done(true); err != nil {
+		return nil, fmt.Errorf("strategy: distributed bucket snapshot: %w", err)
+	}
+	return snaps, nil
+}

@@ -57,11 +57,23 @@ func (fp *FixedPoint) Run(r *am.Rank, seeds []distgraph.Vertex) {
 // modification changed a value anywhere in the system. It does not install a
 // work hook (dependencies are ignored by default, §III-C). Collective.
 func Once(r *am.Rank, a *pattern.BoundAction, vs []distgraph.Vertex) bool {
+	return OnceOver(r, a, func() []distgraph.Vertex { return vs })
+}
+
+// OnceOver is Once with the vertex set evaluated lazily, inside the epoch
+// body. The distinction matters for multi-process checkpoint/restart: a
+// replacement process re-executes the algorithm with pre-restart epoch
+// bodies skipped and its state restored at the restart epoch's entry, so a
+// vertex set derived from property-map state (CC's conflicting-roots list)
+// must be computed after that restore — i.e. inside the epoch — not in the
+// inter-epoch code that a fast-forwarding replay runs against unrestored
+// state. Collective.
+func OnceOver(r *am.Rank, a *pattern.BoundAction, rootsOf func() []distgraph.Vertex) bool {
 	a.ResetModified(r)
 	r.Barrier()
 	r.Epoch(func(ep *am.Epoch) {
 		ph := r.Phase(obs.PhaseCollect)
-		for _, v := range vs {
+		for _, v := range rootsOf() {
 			a.Invoke(r, v)
 		}
 		ph.End()
