@@ -14,15 +14,24 @@
 //
 // Or kill any worker yourself mid-run (kill -9 <pid>; pids are logged) — the
 // heartbeat watchdog notices, the fleet restarts from the last committed
-// checkpoint, and the run still completes.
+// checkpoint, and the run still completes. Every worker keeps an always-on
+// flight recorder; after a kill, declpat-trace -postmortem FLIGHT_DIR
+// reconstructs the dead worker's final moments. With -watch the launcher
+// prints a live per-epoch imbalance line as the workers' streamed phase data
+// completes each epoch, and -metrics ADDR serves the fleet's straggler
+// gauges and departure census as OpenMetrics at http://ADDR/metrics:
+//
+//	declpat-launch -algo sssp -workers 4 -trace-dir /tmp/trace -flight-dir /tmp/flight -watch
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
+	"declpat/internal/harness"
 	"declpat/internal/mp"
 )
 
@@ -45,7 +54,11 @@ func main() {
 	killEpoch := flag.Int64("kill-epoch", 1, "epoch whose commit vote triggers the kill")
 	killMode := flag.String("kill-mode", "body", "kill point: entry, body, or term")
 	restarts := flag.Int("restarts", 3, "max fleet respawns")
-	traceDir := flag.String("trace-dir", "", "write per-worker timed traces here (declpat-trace -phases)")
+	traceDir := flag.String("trace-dir", "", "write per-worker traces + the merged fleet timeline here (declpat-trace -fleet)")
+	flightDir := flag.String("flight-dir", "", "flight-recorder dump directory (default: the checkpoint dir; declpat-trace -postmortem)")
+	ckptDir := flag.String("ckpt-dir", "", "checkpoint slot directory (default: a temp dir removed after the run)")
+	watch := flag.Bool("watch", false, "print a live per-epoch straggler/imbalance line")
+	metricsAddr := flag.String("metrics", "", "serve fleet OpenMetrics (straggler gauges, departure census) on this address")
 	workerBin := flag.String("worker-bin", "", "worker executable (default: this binary, self-exec)")
 	timeout := flag.Duration("round-timeout", 30*time.Second, "control-round watchdog")
 	flag.Parse()
@@ -66,12 +79,14 @@ func main() {
 			Network:    *network,
 			Drop:       *drop,
 			TraceDir:   *traceDir,
+			FlightDir:  *flightDir,
 		},
-		Workers:      *workers,
-		RootSeed:     *seed,
-		MaxRestarts:  *restarts,
-		RoundTimeout: *timeout,
-		Log:          os.Stderr,
+		Workers:       *workers,
+		RootSeed:      *seed,
+		MaxRestarts:   *restarts,
+		RoundTimeout:  *timeout,
+		CheckpointDir: *ckptDir,
+		Log:           os.Stderr,
 	}
 	if *workerBin != "" {
 		spec.WorkerCommand = []string{*workerBin}
@@ -80,14 +95,46 @@ func main() {
 		spec.Kill = &mp.KillSpec{Worker: *killWorker, Epoch: *killEpoch, Mode: *killMode}
 	}
 
+	mon := mp.NewFleetMonitor()
+	spec.OnStraggler = func(st mp.StragglerStat) {
+		mon.Straggler(st)
+		if *watch {
+			fmt.Fprintln(os.Stderr, "declpat-launch: "+st.String())
+		}
+	}
+	if *metricsAddr != "" {
+		srv, err := harness.NewDebugServer(*metricsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "declpat-launch: metrics server:", err)
+			os.Exit(1)
+		}
+		srv.HandleMetrics(mon.WriteOpenMetrics)
+		fmt.Fprintf(os.Stderr, "declpat-launch: fleet metrics at http://%s/metrics\n", srv.Addr())
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			srv.Shutdown(ctx)
+		}()
+	}
+
 	start := time.Now()
 	res, err := mp.Launch(spec)
+	mon.Finish(res)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "declpat-launch:", err)
 		os.Exit(1)
 	}
 	fmt.Printf("declpat-launch: %s over %d workers done in %v (attempts=%d clean-departures=%d run-id=%x)\n",
 		*algo, *workers, time.Since(start).Round(time.Millisecond), res.Attempts, res.CleanDepartures, res.RunID)
+	if st, ok := mon.Latest(); ok {
+		fmt.Printf("declpat-launch: last %s\n", st.String())
+	}
+	if res.ClockErrNS > 0 {
+		fmt.Printf("declpat-launch: fleet timeline aligned within ±%.1fµs\n", float64(res.ClockErrNS)/1e3)
+	}
+	if *flightDir != "" {
+		fmt.Printf("declpat-launch: flight dumps in %s (declpat-trace -postmortem %s)\n", *flightDir, *flightDir)
+	}
 	for _, vec := range res.Vectors {
 		nz := 0
 		for _, v := range vec {

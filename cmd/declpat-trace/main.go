@@ -29,6 +29,24 @@
 //	declpat-trace -run sssp -phases
 //	declpat-trace -in run.jsonl -phases -json
 //
+// -in also accepts a *directory* of per-worker traces from a multi-process
+// launch (worker-*.trace.jsonl, or the coordinator's own fleet.trace.jsonl
+// when present): the files are merged onto the launcher timebase using each
+// worker's measured clock offset, and every analyzer — -phases, -chrome,
+// -critical-path — consumes the merged fleet timeline. -fleet DIR is the
+// same thing, spelled explicitly:
+//
+//	declpat-trace -fleet /tmp/trace -chrome fleet.chrome.json
+//	declpat-trace -in /tmp/trace -phases
+//
+// With -postmortem the tool reads the flight-recorder dumps
+// (flight-*.dpfr) a launched fleet leaves in its checkpoint/flight
+// directory and reconstructs each worker's final moments: the reason and
+// epoch of death, phases still open at the kill (a SIGKILLed worker is
+// dumped mid-phase), the last landmark events, and per-epoch counter deltas:
+//
+//	declpat-trace -postmortem /tmp/ckpt
+//
 // Supported -run workloads: bfs, sssp, cc.
 package main
 
@@ -45,7 +63,9 @@ import (
 )
 
 func main() {
-	in := flag.String("in", "", "JSONL trace to analyze (from Universe.WriteTraceJSONL)")
+	in := flag.String("in", "", "JSONL trace to analyze, or a directory of worker-*.trace.jsonl to merge")
+	fleet := flag.String("fleet", "", "directory of per-worker traces to merge onto the launcher timebase (same as -in DIR)")
+	postmortem := flag.String("postmortem", "", "directory of flight-recorder dumps (flight-*.dpfr) to reconstruct")
 	run := flag.String("run", "", "run a built-in traced workload instead: bfs | sssp | cc")
 	out := flag.String("out", "", "with -run: write the captured trace as JSONL to this file")
 	chrome := flag.String("chrome", "", "write Chrome trace-event JSON (Perfetto-loadable) to this file")
@@ -62,6 +82,17 @@ func main() {
 	phases := flag.Bool("phases", false, "report the per-epoch phase breakdown and per-rank phase load (needs Timing-on trace)")
 	asJSON := flag.Bool("json", false, "emit the analyzer tables as a JSON array instead of text")
 	flag.Parse()
+
+	if *postmortem != "" {
+		if err := postmortemReport(os.Stdout, *postmortem); err != nil {
+			fmt.Fprintln(os.Stderr, "declpat-trace:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *fleet != "" {
+		*in = *fleet
+	}
 
 	var meta obs.Meta
 	var recs []obs.Record
@@ -85,19 +116,26 @@ func main() {
 			fmt.Printf("wrote %d trace records to %s\n", len(recs), *out)
 		}
 	case *in != "":
-		f, err := os.Open(*in)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "declpat-trace:", err)
-			os.Exit(1)
+		var err error
+		if st, serr := os.Stat(*in); serr == nil && st.IsDir() {
+			meta, recs, err = obs.ReadTraceDir(*in)
+		} else {
+			err = func() error {
+				f, err := os.Open(*in)
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				meta, recs, err = obs.ReadJSONL(f)
+				return err
+			}()
 		}
-		meta, recs, err = obs.ReadJSONL(f)
-		f.Close()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "declpat-trace:", err)
 			os.Exit(1)
 		}
 	default:
-		fmt.Fprintln(os.Stderr, "declpat-trace: need -in FILE or -run bfs|sssp|cc (see -help)")
+		fmt.Fprintln(os.Stderr, "declpat-trace: need -in FILE|DIR, -fleet DIR, -postmortem DIR, or -run bfs|sssp|cc (see -help)")
 		os.Exit(2)
 	}
 
@@ -122,6 +160,9 @@ func main() {
 		banner = os.Stderr
 	}
 	fmt.Fprintf(banner, "trace: %s — %d records, %d ranks, %d message types", label, len(recs), meta.Ranks, len(meta.Types))
+	if meta.ClockErrNS > 0 {
+		fmt.Fprintf(banner, " (cross-process alignment ±%.1fµs)", float64(meta.ClockErrNS)/1e3)
+	}
 	if meta.Dropped > 0 {
 		fmt.Fprintf(banner, " (%d events overwritten by the ring — raise -cap or TraceCapacity)", meta.Dropped)
 	}

@@ -1,0 +1,132 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"declpat/internal/obs"
+)
+
+// postmortemEvents bounds how many trailing landmark events each worker's
+// report shows — the black box holds more; the report shows the final moments.
+const postmortemEvents = 16
+
+// postmortemReport renders every flight-recorder dump in dir: who died, when,
+// in which epoch and phase, what the last landmark events were, and how the
+// counters moved over the final epochs. Corrupt dumps are reported but do not
+// suppress the readable ones.
+func postmortemReport(w io.Writer, dir string) error {
+	dumps, errs := obs.LoadFlightDir(dir)
+	for _, err := range errs {
+		fmt.Fprintf(w, "warning: %v\n", err)
+	}
+	if len(dumps) == 0 {
+		return fmt.Errorf("no readable flight-*.dpfr dumps in %s", dir)
+	}
+	fmt.Fprintf(w, "postmortem: %d flight dump(s) in %s\n", len(dumps), dir)
+	for _, d := range dumps {
+		fmt.Fprintln(w)
+		writeDump(w, d)
+	}
+	return nil
+}
+
+func writeDump(w io.Writer, d *obs.FlightDump) {
+	fmt.Fprintf(w, "worker %d (ranks [%d,%d))", d.Worker, d.RankLo, d.RankHi)
+	if d.RunID != 0 {
+		fmt.Fprintf(w, " run %016x", d.RunID)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "  reason: %s\n", d.Reason)
+	fmt.Fprintf(w, "  epoch:  %d\n", d.Epoch)
+	if d.WallTime != "" {
+		fmt.Fprintf(w, "  dumped: %s (local t=%s)\n", d.WallTime, fmtNS(d.DumpedTS))
+	}
+	if d.ClockErrNS != 0 || d.ClockOffsetNS != 0 {
+		off := fmtNS(d.ClockOffsetNS)
+		if d.ClockOffsetNS >= 0 {
+			off = "+" + off
+		}
+		fmt.Fprintf(w, "  clock:  launcher = local %s (±%s)\n", off, fmtNS(d.ClockErrNS))
+	}
+	// Open phases are the heart of the postmortem: a rank listed here never
+	// reached its PhaseExit, so this is the phase it died in.
+	if len(d.OpenPhases) > 0 {
+		fmt.Fprintln(w, "  open phases at dump (the phase each rank died in):")
+		for _, p := range d.OpenPhases {
+			fmt.Fprintf(w, "    rank %d: %s (epoch %d), open for %s\n",
+				p.Rank, p.Phase, p.Epoch, fmtNS(d.DumpedTS-p.Since))
+		}
+	} else {
+		fmt.Fprintln(w, "  open phases at dump: none (between phases)")
+	}
+	if n := len(d.Events); n > 0 {
+		show := d.Events
+		if len(show) > postmortemEvents {
+			show = show[len(show)-postmortemEvents:]
+		}
+		fmt.Fprintf(w, "  last %d of %d landmark events:\n", len(show), n)
+		for _, ev := range show {
+			fmt.Fprintf(w, "    %12s  rank %-3d %-16s", fmtNS(ev.TS), ev.Rank, ev.Kind)
+			if ev.Dur > 0 {
+				fmt.Fprintf(w, " dur=%s", fmtNS(ev.Dur))
+			}
+			if ev.Arg != 0 || ev.Arg2 != 0 {
+				fmt.Fprintf(w, " arg=%d arg2=%d", ev.Arg, ev.Arg2)
+			}
+			if ev.Note != "" {
+				fmt.Fprintf(w, " %s", ev.Note)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	if len(d.Epochs) > 0 {
+		fmt.Fprintln(w, "  per-epoch counter deltas (committed epochs in the window):")
+		var prev map[string]int64
+		for _, ec := range d.Epochs {
+			fmt.Fprintf(w, "    epoch %d @ %s:%s\n", ec.Epoch, fmtNS(ec.TS), fmtCounterDelta(ec.Counters, prev))
+			prev = ec.Counters
+		}
+	}
+	for _, note := range d.Notes {
+		fmt.Fprintf(w, "  note: %s\n", note)
+	}
+}
+
+// fmtCounterDelta prints the counters that moved since the previous epoch's
+// snapshot (all of them for the first snapshot), sorted by name.
+func fmtCounterDelta(cur, prev map[string]int64) string {
+	names := make([]string, 0, len(cur))
+	for name := range cur {
+		if cur[name] != prev[name] {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		return " (no counter movement)"
+	}
+	sort.Strings(names)
+	out := ""
+	for _, name := range names {
+		out += fmt.Sprintf(" %s+%d", name, cur[name]-prev[name])
+	}
+	return out
+}
+
+// fmtNS renders a monotonic-ns value human-first (µs under a ms, ms above).
+func fmtNS(ns int64) string {
+	neg := ""
+	if ns < 0 {
+		neg, ns = "-", -ns
+	}
+	switch {
+	case ns < 1_000:
+		return fmt.Sprintf("%s%dns", neg, ns)
+	case ns < 1_000_000:
+		return fmt.Sprintf("%s%.1fµs", neg, float64(ns)/1e3)
+	case ns < 1_000_000_000:
+		return fmt.Sprintf("%s%.2fms", neg, float64(ns)/1e6)
+	}
+	return fmt.Sprintf("%s%.3fs", neg, float64(ns)/1e9)
+}

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"declpat/internal/ckpt"
+	"declpat/internal/obs"
 )
 
 // This file is the multi-process SPMD seam: when a universe hosts only a
@@ -271,6 +272,9 @@ func (u *Universe) remoteAbort(err error, clean bool) {
 	} else {
 		st.Inc(cCrashDepartures)
 	}
+	// The fleet is going down around this (still-healthy) worker; its black
+	// box is part of the postmortem too.
+	u.flightPersist("remote abort: " + err.Error())
 	u.mpFail(err)
 }
 
@@ -423,6 +427,13 @@ func (u *Universe) mpOpenLeader(epoch int64) error {
 	}
 	for _, lr := range u.localRanks() {
 		lr.st.Inc(cCheckpoints)
+	}
+	// Epoch commit is the periodic black-box persistence point: a later
+	// SIGKILL — which runs no cleanup — leaves a flight dump at most one
+	// epoch stale next to the checkpoint slots.
+	if u.flight != nil {
+		u.flight.EpochCommit(epoch, obs.Now())
+		u.flightPersist(fmt.Sprintf("epoch %d commit", epoch))
 	}
 	return nil
 }

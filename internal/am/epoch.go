@@ -67,10 +67,12 @@ func (r *Rank) EpochThreaded(nthreads int, body func(tid int, ep *Epoch)) {
 		r.mpSkipEpoch()
 		return
 	}
-	if u.tracer != nil {
+	if u.tracer != nil || u.flight != nil {
 		// Stamp the span open so TraceEpochEnd can close it with a
 		// duration (the rank's wall time inside the epoch, recovery
-		// attempts included).
+		// attempts included). Epoch boundaries are flight-recorder
+		// landmarks, so this fires for the black box even with the trace
+		// rings off.
 		r.epochBeginNs = obs.Now()
 		u.traceSpan(r.id, TraceEpochBegin, epochSeq, int64(nthreads), r.epochBeginNs, 0)
 	}
@@ -116,7 +118,7 @@ func (r *Rank) EpochThreaded(nthreads int, body func(tid int, ep *Epoch)) {
 		}
 		r.recoverEpoch() // unwinds via runAbort when the fault is unrecoverable
 	}
-	if u.tracer != nil {
+	if u.tracer != nil || u.flight != nil {
 		now := obs.Now()
 		u.traceSpan(r.id, TraceEpochEnd, epochSeq, 0, now, now-r.epochBeginNs)
 	}

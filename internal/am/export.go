@@ -2,6 +2,7 @@ package am
 
 import (
 	"io"
+	"sort"
 
 	"declpat/internal/obs"
 )
@@ -49,45 +50,86 @@ func (u *Universe) ExportTrace(label string) (obs.Meta, []obs.Record) {
 	events := u.Trace()
 	recs := make([]obs.Record, 0, len(events))
 	for _, ev := range events {
-		switch ev.Kind {
-		case TraceEpochBegin:
-			// The matching TraceEpochEnd carries the whole span; a
-			// begin whose end is not in the ring yet (mid-epoch
-			// capture) has no duration to report.
-			continue
-		case TraceEpochEnd:
-			recs = append(recs, obs.Record{
-				Kind: "epoch", TS: ev.TS - ev.Dur, Dur: ev.Dur,
-				Rank: int(ev.Rank), Arg: ev.Arg,
-			})
-		case TraceDeliver:
-			recs = append(recs, obs.Record{
-				Kind: "deliver", TS: ev.TS - ev.Dur, Dur: ev.Dur,
-				Rank: int(ev.Rank), Arg: ev.Arg, Arg2: ev.Arg2,
-				Type: u.typeNameOf(ev.Kind, ev.Arg),
-			})
-		case TracePhase:
-			recs = append(recs, obs.Record{
-				Kind: "phase", TS: ev.TS - ev.Dur, Dur: ev.Dur,
-				Rank: int(ev.Rank), Arg: ev.Arg, Arg2: ev.Arg2,
-				Type: obs.Phase(ev.Arg).String(),
-			})
-		case TraceHandler:
-			recs = append(recs, obs.Record{
-				Kind: "handler", TS: ev.TS - ev.Dur, Dur: ev.Dur,
-				Rank: int(ev.Rank), Arg: ev.Arg,
-				Type: u.typeNameOf(ev.Kind, ev.Arg),
-				ID:   ev.ID, Parent: ev.Parent,
-			})
-		default:
-			recs = append(recs, obs.Record{
-				Kind: ev.Kind.String(), TS: ev.TS,
-				Rank: int(ev.Rank), Arg: ev.Arg, Arg2: ev.Arg2,
-				Type: u.typeNameOf(ev.Kind, ev.Arg),
-			})
+		if rec, ok := u.convertEvent(ev); ok {
+			recs = append(recs, rec)
 		}
 	}
 	return meta, recs
+}
+
+// convertEvent converts one trace event to its interchange record; ok is
+// false for events that do not export (epoch begins — the matching end
+// carries the whole span; a begin whose end is not in the ring yet has no
+// duration to report).
+func (u *Universe) convertEvent(ev TraceEvent) (obs.Record, bool) {
+	switch ev.Kind {
+	case TraceEpochBegin:
+		return obs.Record{}, false
+	case TraceEpochEnd:
+		return obs.Record{
+			Kind: "epoch", TS: ev.TS - ev.Dur, Dur: ev.Dur,
+			Rank: int(ev.Rank), Arg: ev.Arg,
+		}, true
+	case TraceDeliver:
+		return obs.Record{
+			Kind: "deliver", TS: ev.TS - ev.Dur, Dur: ev.Dur,
+			Rank: int(ev.Rank), Arg: ev.Arg, Arg2: ev.Arg2,
+			Type: u.typeNameOf(ev.Kind, ev.Arg),
+		}, true
+	case TracePhase:
+		return obs.Record{
+			Kind: "phase", TS: ev.TS - ev.Dur, Dur: ev.Dur,
+			Rank: int(ev.Rank), Arg: ev.Arg, Arg2: ev.Arg2,
+			Type: obs.Phase(ev.Arg).String(),
+		}, true
+	case TraceHandler:
+		return obs.Record{
+			Kind: "handler", TS: ev.TS - ev.Dur, Dur: ev.Dur,
+			Rank: int(ev.Rank), Arg: ev.Arg,
+			Type: u.typeNameOf(ev.Kind, ev.Arg),
+			ID:   ev.ID, Parent: ev.Parent,
+		}, true
+	default:
+		return obs.Record{
+			Kind: ev.Kind.String(), TS: ev.TS,
+			Rank: int(ev.Rank), Arg: ev.Arg, Arg2: ev.Arg2,
+			Type: u.typeNameOf(ev.Kind, ev.Arg),
+		}, true
+	}
+}
+
+// ExportTraceSince drains trace events appended since the per-rank cursors
+// (nil = from the beginning; see obs.Rings.ShardSince) and converts them to
+// interchange records, returning the advanced cursors. This is the
+// incremental path behind fleet trace streaming: a flusher polls cheaply and
+// ships only the new tail, so the coordinator's merged timeline stays fresh
+// without re-serializing the whole ring. Records are sorted per call; the
+// receiver's merge handles cross-call ordering. Returns nil records when
+// tracing is disabled.
+func (u *Universe) ExportTraceSince(cursors []int64) ([]obs.Record, []int64) {
+	if u.tracer == nil {
+		return nil, cursors
+	}
+	shards := u.tracer.rings.Shards()
+	if len(cursors) != shards {
+		cursors = make([]int64, shards)
+	}
+	var recs []obs.Record
+	for shard := 0; shard < shards; shard++ {
+		evs, next := u.tracer.rings.ShardSince(shard, cursors[shard])
+		cursors[shard] = next
+		for _, ev := range evs {
+			if rec, ok := u.convertEvent(ev); ok {
+				recs = append(recs, rec)
+			}
+		}
+	}
+	sortRecords(recs)
+	return recs, cursors
+}
+
+func sortRecords(recs []obs.Record) {
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].TS < recs[j].TS })
 }
 
 // WriteTraceJSONL exports the recorded trace as JSONL (one meta header line

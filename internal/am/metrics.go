@@ -37,6 +37,11 @@ type Metrics struct {
 	// level: envelope decode failures plus the socket backends' link-state
 	// events (all zero on the in-process backend).
 	Wire WireHealth
+	// Departures surfaces the multi-process fleet-departure counters at the
+	// top level: peers that left gracefully (goodbye acknowledged) vs peers
+	// that died without one (heartbeat expiry, connection loss). Both zero
+	// in single-process runs.
+	Departures DepartureStats
 	// PerRank is the per-shard counter breakdown (one entry per rank, or a
 	// single entry under Config.UnshardedStats).
 	PerRank []Snapshot
@@ -77,6 +82,12 @@ type telemetrySource interface {
 	processTelemetry() []obs.ProcessTelemetry
 }
 
+// DepartureStats is the fleet-departure block of Metrics.
+type DepartureStats struct {
+	Clean int64
+	Crash int64
+}
+
 // WireHealth is the wire-facing health block of Metrics: what the link
 // layer detected (corruption, undecodable envelopes) and what the socket
 // backends did about connection failures (liveness expiries, reconnects,
@@ -106,6 +117,10 @@ func (u *Universe) Metrics() Metrics {
 		Reconnects:          m.Counters.Reconnects,
 		FramesRequeued:      m.Counters.FramesRequeued,
 		FramesDropped:       m.Counters.FramesDropped,
+	}
+	m.Departures = DepartureStats{
+		Clean: m.Counters.CleanDepartures,
+		Crash: m.Counters.CrashDepartures,
 	}
 	m.InboxDepth = make([]GaugeSnapshot, len(u.ranks))
 	m.CoalesceBuffered = make([]int64, len(u.ranks))
@@ -218,6 +233,11 @@ func (u *Universe) WriteOpenMetrics(w io.Writer) error {
 			names[k] = true
 		}
 	}
+	// The departure counters get dedicated always-emitted families below;
+	// emitting them here too (they appear once non-zero) would duplicate the
+	// family.
+	delete(names, "clean_departures")
+	delete(names, "crash_departures")
 	for _, name := range obs.SortedKeys(names) {
 		fam := "declpat_" + obs.MetricName(name) + "_total"
 		om.Family(fam, "counter", "Substrate counter "+name+".")
@@ -269,6 +289,14 @@ func (u *Universe) WriteOpenMetrics(w io.Writer) error {
 			}
 		}
 	}
+
+	// Departure counters are emitted unconditionally: their zero values are
+	// the signal ("no one has died") and the counter-union loop above only
+	// sees non-zero counters.
+	om.Family("declpat_clean_departures_total", "counter", "Fleet peers that departed gracefully (goodbye acknowledged).")
+	om.SampleInt("declpat_clean_departures_total", nil, m.Departures.Clean)
+	om.Family("declpat_crash_departures_total", "counter", "Fleet peers that died without a goodbye (heartbeat expiry or connection loss).")
+	om.SampleInt("declpat_crash_departures_total", nil, m.Departures.Crash)
 
 	om.Family("declpat_inbox_depth", "gauge", "Per-rank inbox queue depth.")
 	for i, g := range m.InboxDepth {

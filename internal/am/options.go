@@ -1,6 +1,10 @@
 package am
 
-import "time"
+import (
+	"time"
+
+	"declpat/internal/obs"
+)
 
 // Option configures a Universe at construction. Options are applied in order
 // over the defaults, so later options win; the zero behaviour of every knob
@@ -81,3 +85,13 @@ func WithTransport(t Transport) Option { return func(c *Config) { c.Transport = 
 // and is mutually exclusive with Config.Recovery — faults abort the fleet
 // and the launcher drives checkpoint/restart across processes instead.
 func WithControlPlane(mp MPConfig) Option { return func(c *Config) { c.MP = &mp } }
+
+// WithFlightRecorder attaches an always-on black-box flight recorder
+// (Config.Flight): landmark events — epoch boundaries, phase transitions,
+// faults, recovery, control-plane trouble — are mirrored into its bounded
+// rings even when full tracing is off, and the substrate persists it at
+// epoch commits and on every fault path so a killed process leaves a
+// postmortem dump at most one epoch stale.
+func WithFlightRecorder(f *obs.FlightRecorder) Option {
+	return func(c *Config) { c.Flight = f }
+}

@@ -25,18 +25,24 @@ type PhaseScope struct {
 }
 
 // Phase opens a phase scope on this rank. Gated like Config.Timing: with
-// timing and tracing both off the scope is inert and free.
+// timing, tracing, and the flight recorder all off the scope is inert and
+// free. With a flight recorder attached the scope also marks the rank's
+// open-phase cell, so a process killed mid-phase dumps with the phase named.
 func (r *Rank) Phase(p obs.Phase) PhaseScope {
 	u := r.u
-	if u.phases == nil && u.tracer == nil {
+	if u.phases == nil && u.tracer == nil && u.flight == nil {
 		return PhaseScope{}
 	}
-	return PhaseScope{r: r, phase: p, start: obs.Now()}
+	s := PhaseScope{r: r, phase: p, start: obs.Now()}
+	if u.flight != nil {
+		u.flight.PhaseEnter(r.id, p, s.start)
+	}
+	return s
 }
 
 // End closes the scope: the elapsed time lands in the rank's per-phase
-// histogram (Config.Timing) and, when tracing is on, in the trace ring as a
-// TracePhase span (Arg = phase id, Arg2 = epoch sequence at close).
+// histogram (Config.Timing) and, when tracing or the flight recorder is on,
+// as a TracePhase span (Arg = phase id, Arg2 = epoch sequence at close).
 func (s PhaseScope) End() {
 	if s.r == nil {
 		return
@@ -45,7 +51,10 @@ func (s PhaseScope) End() {
 	end := obs.Now()
 	dur := end - s.start
 	u.phases.Observe(s.phase, r.shard, dur)
-	if u.tracer != nil {
+	if u.flight != nil {
+		u.flight.PhaseExit(r.id)
+	}
+	if u.tracer != nil || u.flight != nil {
 		u.traceSpan(r.id, TracePhase, int64(s.phase), u.epochSeq.Load(), end, dur)
 	}
 }

@@ -195,6 +195,10 @@ func (u *Universe) raiseFault(f RankFault) bool {
 	u.faultMu.Unlock()
 	u.ranks[0].st.Inc(cEpochAborts)
 	u.trace(f.Rank, TraceEpochAbort, f.Epoch, int64(f.Kind))
+	// Every fault class converges here — injected crash, handler panic, dead
+	// link, watchdog fire, transport escalation — so this is the single
+	// black-box persistence point for the "worker died messily" cases.
+	u.flightPersist("fault: " + f.Error())
 	if u.mp != nil {
 		// No in-process rollback in multi-process mode: report the fault so
 		// the coordinator aborts the fleet, and take this process down the

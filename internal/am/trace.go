@@ -191,18 +191,33 @@ func (t *tracer) record(rank int, kind TraceKind, arg, arg2, ts, dur int64) {
 	})
 }
 
-// trace records a point event if tracing is enabled.
+// trace records a point event if tracing is enabled. Landmark kinds
+// (flightKinds) are additionally mirrored into the flight recorder, which is
+// on even when the trace rings are off — the gate stays two nil checks and a
+// bit test for the high-rate kinds (ship/deliver/ack), which never touch the
+// recorder.
 func (u *Universe) trace(rank int, kind TraceKind, arg, arg2 int64) {
+	landmark := u.flight != nil && flightKinds&(1<<kind) != 0
+	if u.tracer == nil && !landmark {
+		return
+	}
+	ts := obs.Now()
 	if u.tracer != nil {
-		u.tracer.record(rank, kind, arg, arg2, obs.Now(), 0)
+		u.tracer.record(rank, kind, arg, arg2, ts, 0)
+	}
+	if landmark {
+		u.flightEvent(rank, kind, arg, arg2, ts, 0)
 	}
 }
 
 // traceSpan records a span-closing event (timestamps supplied by the caller)
-// if tracing is enabled.
+// if tracing is enabled; landmark kinds also land in the flight recorder.
 func (u *Universe) traceSpan(rank int, kind TraceKind, arg, arg2, ts, dur int64) {
 	if u.tracer != nil {
 		u.tracer.record(rank, kind, arg, arg2, ts, dur)
+	}
+	if u.flight != nil && flightKinds&(1<<kind) != 0 {
+		u.flightEvent(rank, kind, arg, arg2, ts, dur)
 	}
 }
 

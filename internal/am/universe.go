@@ -158,6 +158,12 @@ type Config struct {
 	// control operation over MP.Plane. Forces the four-counter detector and
 	// is mutually exclusive with Recovery.
 	MP *MPConfig
+	// Flight, when non-nil, attaches a black-box flight recorder (see
+	// internal/obs and flight.go): low-rate landmark events — epoch
+	// boundaries, phase transitions, faults, recovery — are mirrored into
+	// its bounded rings regardless of whether tracing is on, and the
+	// substrate persists it at epoch commits and on every fault path.
+	Flight *obs.FlightRecorder
 }
 
 func (c Config) withDefaults() Config {
@@ -239,6 +245,10 @@ type Universe struct {
 	barrier *Barrier
 	coll    collectives
 	tracer  *tracer
+	// flight is the always-on black box (nil unless Config.Flight): trace
+	// and phase paths mirror landmark events into it even when the trace
+	// rings are off. See flight.go.
+	flight *obs.FlightRecorder
 
 	// mp is the multi-process control-plane state (nil in single-process
 	// mode — the overwhelmingly common case, so every mp hook is a single
@@ -368,6 +378,7 @@ func NewUniverse(cfg Config) *Universe {
 	if per := cfg.perRankRing(); per > 0 {
 		u.tracer = newTracer(per, cfg.Ranks)
 	}
+	u.flight = cfg.Flight
 	u.lineage = cfg.Lineage == LineageOn || (cfg.Lineage == LineageAuto && u.tracer != nil)
 	u.c = obs.NewCounters(cfg.statShards(), counterNames[:]...)
 	u.Stats = Stats{c: u.c}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"declpat/internal/am"
+	"declpat/internal/obs"
 )
 
 // Client is the worker-side half of the control plane: it implements
@@ -58,6 +59,11 @@ type Client struct {
 	gatherSeq atomic.Uint64
 	stopHB    chan struct{}
 	killed    atomic.Bool
+
+	// clk estimates the coordinator-clock offset from ping/pong exchanges: a
+	// burst at Dial seeds it, and every idle-interval heartbeat doubles as a
+	// refinement probe.
+	clk *offsetEstimator
 }
 
 var _ am.ControlPlane = (*Client)(nil)
@@ -117,11 +123,39 @@ func Dial(addr string, worker int) (*Client, error) {
 		byeCh:     make(chan struct{}, 1),
 		down:      make(chan struct{}),
 		stopHB:    make(chan struct{}),
+		clk:       newOffsetEstimator(obs.Now),
 	}
 	c.lastWrite.Store(time.Now().UnixNano())
 	go c.readLoop()
 	go c.heartbeatLoop()
+	// Seed the clock-offset estimate with a small ping burst: pongs fold in
+	// asynchronously via readLoop, and the min-RTT sample wins. Heartbeats
+	// keep refining it for the rest of the run.
+	for i := 0; i < 4; i++ {
+		if c.sendPing() != nil {
+			break
+		}
+	}
 	return c, nil
+}
+
+// sendPing writes one clock probe stamped with the local monotonic clock.
+func (c *Client) sendPing() error {
+	return c.write(fClockPing, clockMsg{T1: obs.Now()}.encode())
+}
+
+// ClockEstimate returns the current coordinator-clock offset estimate
+// (coordinator ≈ worker + offset) and its error bound; ok is false before the
+// first pong.
+func (c *Client) ClockEstimate() (offset, errBound int64, ok bool) {
+	return c.clk.estimate()
+}
+
+// SendTrace ships one bounded batch of trace records to the coordinator for
+// the merged fleet timeline. Best-effort: a failed write means the connection
+// is down and the run is ending anyway.
+func (c *Client) SendTrace(m traceMsg) error {
+	return c.write(fTrace, m.encode())
 }
 
 // Welcome returns the coordinator's fleet configuration for this worker.
@@ -203,7 +237,10 @@ func (c *Client) heartbeatLoop() {
 		select {
 		case <-t.C:
 			if time.Now().UnixNano()-c.lastWrite.Load() >= int64(c.heartbeat) {
-				if c.write(fHeartbeat, nil) != nil {
+				// A clock ping serves double duty: it feeds the coordinator's
+				// liveness deadline like a plain heartbeat, and its pong
+				// refines the offset estimate across the run.
+				if c.sendPing() != nil {
 					return
 				}
 			}
@@ -228,6 +265,13 @@ func (c *Client) readLoop() {
 		}
 		switch kind {
 		case fHeartbeat:
+		case fClockPong:
+			m, err := decodeClock(body)
+			if err != nil {
+				c.protoFail(err)
+				return
+			}
+			c.clk.sample(m.T1, m.Remote, obs.Now())
 		case fAddrTable:
 			table, err := decodeStrings(body)
 			if err != nil {

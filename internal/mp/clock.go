@@ -1,0 +1,99 @@
+package mp
+
+import "sync"
+
+// Clock alignment. Every process stamps trace events with its own monotonic
+// clock (obs.Now: nanoseconds since process start), so spans from different
+// workers of one fleet are not directly comparable — each worker's zero is
+// its own spawn instant. The estimator below measures, per worker, the
+// offset that maps worker timestamps onto the coordinator's timebase, using
+// the classic midpoint-of-RTT exchange (Cristian's algorithm):
+//
+//	worker sends  T1 = obs.Now()            (fClockPing)
+//	coordinator replies (T1, Tc)            (fClockPong, Tc = its obs.Now())
+//	worker receives at T2 = obs.Now()
+//
+// Assuming the pong was generated halfway through the round trip,
+//
+//	offset = Tc - (T1+T2)/2        (coordinator ≈ worker + offset)
+//	error  ≤ (T2-T1)/2             (the request/reply asymmetry bound)
+//
+// A burst of pings runs at Dial (the hello/welcome exchange) and every
+// heartbeat interval thereafter doubles as a refinement ping, so the
+// estimate tightens over the run and tracks clock drift. Samples with
+// smaller RTT carry tighter bounds; older samples age (monotonic clocks of
+// distinct processes drift apart at up to ~drastically 200 ppm), so a fresh
+// slightly-wider sample eventually beats a stale tight one.
+type offsetEstimator struct {
+	mu sync.Mutex
+	// now returns the local monotonic clock (obs.Now in production;
+	// injectable for tests).
+	now func() int64
+
+	valid    bool
+	offset   int64 // remote ≈ local + offset
+	errBound int64 // half the RTT of the accepted sample
+	at       int64 // local time the accepted sample was taken
+	samples  int
+}
+
+// driftPPM is the assumed worst-case relative drift between two monotonic
+// clocks, in parts per million. The accepted sample's error bound inflates
+// at this rate, so a stale tight sample eventually loses to a fresh one.
+const driftPPM = 200
+
+func newOffsetEstimator(now func() int64) *offsetEstimator {
+	return &offsetEstimator{now: now}
+}
+
+// aged returns the accepted sample's error bound inflated by drift since it
+// was taken. Callers hold mu.
+func (e *offsetEstimator) aged(nowTS int64) int64 {
+	if !e.valid {
+		return 0
+	}
+	elapsed := nowTS - e.at
+	if elapsed < 0 {
+		elapsed = 0
+	}
+	return e.errBound + elapsed*driftPPM/1_000_000
+}
+
+// sample folds one ping/pong exchange into the estimate: t1 is the local
+// send time, tRemote the remote clock reading echoed in the pong, t2 the
+// local receive time. Exchanges observed out of order (t2 < t1) are
+// discarded.
+func (e *offsetEstimator) sample(t1, tRemote, t2 int64) {
+	if t2 < t1 {
+		return
+	}
+	off := tRemote - (t1+t2)/2
+	bound := (t2 - t1) / 2
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.samples++
+	if !e.valid || bound <= e.aged(t2) {
+		e.valid = true
+		e.offset = off
+		e.errBound = bound
+		e.at = t2
+	}
+}
+
+// estimate returns the current offset (remote ≈ local + offset) and its
+// drift-inflated error bound. ok is false before the first sample.
+func (e *offsetEstimator) estimate() (offset, errBound int64, ok bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.valid {
+		return 0, 0, false
+	}
+	return e.offset, e.aged(e.now()), true
+}
+
+// sampleCount returns how many exchanges have been folded in.
+func (e *offsetEstimator) sampleCount() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.samples
+}

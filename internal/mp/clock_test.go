@@ -1,0 +1,160 @@
+package mp
+
+// Clock-offset estimator tests: Cristian's midpoint-of-RTT estimate against
+// fake skewed clocks, asymmetric network legs, and drift-aged sample
+// replacement — all with an injected local clock, no real time involved.
+
+import "testing"
+
+// fakeClocks simulates one ping exchange: the local clock advances by the
+// request leg, the remote (offset by trueOffset) stamps its reply, the local
+// clock advances by the reply leg.
+type fakeClocks struct {
+	local      int64
+	trueOffset int64 // remote = local + trueOffset
+}
+
+func (f *fakeClocks) exchange(e *offsetEstimator, reqLeg, repLeg int64) {
+	t1 := f.local
+	f.local += reqLeg
+	remote := f.local + f.trueOffset
+	f.local += repLeg
+	e.sample(t1, remote, f.local)
+}
+
+func TestClockOffsetSymmetricExact(t *testing.T) {
+	fc := &fakeClocks{local: 1_000_000, trueOffset: 5_000_000}
+	e := newOffsetEstimator(func() int64 { return fc.local })
+	fc.exchange(e, 40_000, 40_000) // symmetric 80µs RTT
+	off, errB, ok := e.estimate()
+	if !ok {
+		t.Fatal("no estimate after a sample")
+	}
+	if off != fc.trueOffset {
+		t.Fatalf("symmetric exchange: offset %d, want exactly %d", off, fc.trueOffset)
+	}
+	if want := int64(40_000); errB != want {
+		t.Fatalf("error bound %d, want RTT/2 = %d", errB, want)
+	}
+}
+
+func TestClockOffsetNegative(t *testing.T) {
+	fc := &fakeClocks{local: 9_000_000, trueOffset: -3_000_000}
+	e := newOffsetEstimator(func() int64 { return fc.local })
+	fc.exchange(e, 10_000, 10_000)
+	off, _, ok := e.estimate()
+	if !ok || off != fc.trueOffset {
+		t.Fatalf("negative offset: got %d (ok=%v), want %d", off, ok, fc.trueOffset)
+	}
+}
+
+// TestClockOffsetAsymmetryBounded pins the estimator's error model: with
+// asymmetric legs the midpoint estimate is wrong by (reply-request)/2, which
+// is always within the reported RTT/2 bound.
+func TestClockOffsetAsymmetryBounded(t *testing.T) {
+	for _, legs := range [][2]int64{{10_000, 90_000}, {90_000, 10_000}, {1_000, 200_000}} {
+		fc := &fakeClocks{local: 1_000_000, trueOffset: 7_777_777}
+		e := newOffsetEstimator(func() int64 { return fc.local })
+		fc.exchange(e, legs[0], legs[1])
+		off, errB, ok := e.estimate()
+		if !ok {
+			t.Fatal("no estimate")
+		}
+		gotErr := off - fc.trueOffset
+		if gotErr < 0 {
+			gotErr = -gotErr
+		}
+		if gotErr > errB {
+			t.Fatalf("legs %v: estimate off by %dns, outside the reported ±%dns bound", legs, gotErr, errB)
+		}
+		if want := (legs[0] + legs[1]) / 2; errB != want {
+			t.Fatalf("legs %v: error bound %d, want RTT/2 = %d", legs, errB, want)
+		}
+	}
+}
+
+// TestClockOffsetKeepsTightestSample pins min-RTT retention: a later, slower
+// exchange must not displace an earlier tight one.
+func TestClockOffsetKeepsTightestSample(t *testing.T) {
+	fc := &fakeClocks{local: 1_000_000, trueOffset: 5_000_000}
+	e := newOffsetEstimator(func() int64 { return fc.local })
+	fc.exchange(e, 10_000, 10_000) // tight: ±10µs
+	tightOff, _, _ := e.estimate()
+	fc.exchange(e, 400_000, 100_000) // loose and asymmetric: ±250µs
+	off, errB, _ := e.estimate()
+	if off != tightOff {
+		t.Fatalf("loose sample displaced the tight offset: %d -> %d", tightOff, off)
+	}
+	// The retained bound is the tight sample's ±10µs plus 200 ppm of drift
+	// over the 500µs that elapsed during the loose exchange — nowhere near
+	// the loose sample's ±250µs.
+	if want := int64(10_000 + 500_000*driftPPM/1_000_000); errB != want {
+		t.Fatalf("retained bound %d, want %d", errB, want)
+	}
+	if n := e.sampleCount(); n != 2 {
+		t.Fatalf("sampleCount = %d, want 2", n)
+	}
+}
+
+// TestClockOffsetDriftAgingAdmitsFresh pins the NTP-style aging: a retained
+// bound inflates at driftPPM as it ages, so after enough elapsed time a
+// moderately loose — but fresh — sample replaces it. This is what keeps
+// heartbeat-refreshed estimates tracking real clock drift.
+func TestClockOffsetDriftAgingAdmitsFresh(t *testing.T) {
+	fc := &fakeClocks{local: 1_000_000, trueOffset: 5_000_000}
+	e := newOffsetEstimator(func() int64 { return fc.local })
+	fc.exchange(e, 10_000, 10_000) // ±10µs now
+
+	// Immediately after, a ±1ms sample loses to ±10µs (plus a few hundred ns
+	// of drift aging over the exchange itself).
+	fc.exchange(e, 1_000_000, 1_000_000)
+	_, errB, _ := e.estimate()
+	if errB >= 1_000_000 {
+		t.Fatalf("fresh loose sample accepted immediately: bound %d", errB)
+	}
+
+	// 100s later the old ±10µs has aged to ±(10µs + 100s·200ppm) = ±20.01ms;
+	// the clocks have also drifted apart. The same ±1ms exchange now wins and
+	// re-centers the estimate on the *current* offset.
+	fc.local += 100_000_000_000
+	fc.trueOffset += 2_000_000 // 2ms of accumulated drift
+	fc.exchange(e, 1_000_000, 1_000_000)
+	off, errB, _ := e.estimate()
+	if errB != 1_000_000 {
+		t.Fatalf("aged-out sample not replaced: bound %d, want 1000000", errB)
+	}
+	if off != fc.trueOffset {
+		t.Fatalf("post-drift offset %d, want %d", off, fc.trueOffset)
+	}
+}
+
+// TestClockOffsetAgedBoundReported pins that estimate() reflects aging even
+// without new samples: the caller sees the bound the estimate deserves now,
+// not the bound it had when measured.
+func TestClockOffsetAgedBoundReported(t *testing.T) {
+	fc := &fakeClocks{local: 1_000_000, trueOffset: 5_000_000}
+	e := newOffsetEstimator(func() int64 { return fc.local })
+	fc.exchange(e, 10_000, 10_000)
+	fc.local += 1_000_000_000 // 1s idle: +200ppm·1s = +200µs
+	_, errB, ok := e.estimate()
+	if !ok {
+		t.Fatal("no estimate")
+	}
+	if want := int64(10_000 + 200_000); errB != want {
+		t.Fatalf("aged bound %d, want %d", errB, want)
+	}
+}
+
+func TestClockOffsetRejectsGarbage(t *testing.T) {
+	e := newOffsetEstimator(func() int64 { return 0 })
+	if _, _, ok := e.estimate(); ok {
+		t.Fatal("estimate ok before any sample")
+	}
+	e.sample(100, 50, 90) // t2 < t1: non-monotonic garbage
+	if _, _, ok := e.estimate(); ok {
+		t.Fatal("non-monotonic sample accepted")
+	}
+	if n := e.sampleCount(); n != 0 {
+		t.Fatalf("sampleCount = %d after garbage, want 0", n)
+	}
+}

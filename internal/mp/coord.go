@@ -1,6 +1,7 @@
 package mp
 
 import (
+	"encoding/json"
 	"fmt"
 	"net"
 	"sort"
@@ -8,6 +9,7 @@ import (
 
 	"declpat/internal/am"
 	"declpat/internal/harness"
+	"declpat/internal/obs"
 )
 
 // Coordinator is the launcher-side control-plane server for one fleet
@@ -46,6 +48,13 @@ type coordinator struct {
 	resultsIn int
 	complete  []bool // workers that shipped all results (fResultDone)
 	departed  int    // worker that said goodbye, -1 otherwise
+
+	// Fleet timeline state: trace records streamed from workers, already
+	// aligned onto this process's timebase (TS += the batch's offset, W
+	// stamped), plus each worker's last clock estimate for the merged meta.
+	traceRecs []obs.Record
+	clockErr  []int64 // per worker; -1 = no estimate reported yet
+	straggler *stragglerTracker
 }
 
 // coordSpec configures one attempt.
@@ -67,6 +76,10 @@ type coordSpec struct {
 	// OnKill delivers entry/term kill triggers to the launcher (which owns
 	// the worker processes). Must not block.
 	OnKill func(worker int, mode string)
+	// OnStraggler delivers per-epoch imbalance summaries as the streamed
+	// phase data completes each epoch. Called from the event loop — must not
+	// block. Nil disables.
+	OnStraggler func(StragglerStat)
 	// RoundTimeout bounds every control round (and the join/addr phases): a
 	// round that cannot complete — a worker wedged, a one-way partition
 	// swallowing its frames — aborts the attempt instead of hanging the
@@ -115,6 +128,11 @@ type attemptOutcome struct {
 	committed int64
 	log       [][]int64
 	results   map[int][]int64
+	// trace is the attempt's merged, offset-corrected record stream (empty
+	// when the job streams no traces); clockErr the largest error bound any
+	// worker reported.
+	trace    []obs.Record
+	clockErr int64
 }
 
 func newCoordinator(spec coordSpec) (*coordinator, error) {
@@ -144,6 +162,11 @@ func newCoordinator(spec coordSpec) (*coordinator, error) {
 		results:   map[int][]int64{},
 		complete:  make([]bool, spec.Workers),
 		departed:  -1,
+		clockErr:  make([]int64, spec.Workers),
+		straggler: newStragglerTracker(spec.Ranks),
+	}
+	for i := range c.clockErr {
+		c.clockErr[i] = -1
 	}
 	go c.acceptLoop()
 	return c, nil
@@ -189,6 +212,17 @@ func (c *coordinator) readerLoop(worker int, conn net.Conn) {
 			return
 		}
 		if kind == fHeartbeat {
+			continue
+		}
+		if kind == fClockPing {
+			// Answer inline rather than through the event loop: the pong's
+			// usefulness is its tight RTT, and writeFrame issues exactly one
+			// conn.Write per frame, so this write cannot interleave with the
+			// event loop's (net.Conn serializes concurrent writes).
+			if m, err := decodeClock(body); err == nil {
+				conn.SetWriteDeadline(time.Now().Add(c.spec.Liveness))
+				writeFrame(conn, fClockPong, clockMsg{T1: m.T1, Remote: obs.Now()}.encode())
+			}
 			continue
 		}
 		c.events <- coordEvent{worker: worker, kind: kind, body: body}
@@ -289,6 +323,12 @@ func (c *coordinator) handle(ev coordEvent) (out attemptOutcome, done bool) {
 		c.departed = ev.worker
 		c.spec.Logf("mp: worker %d departed cleanly (goodbye)", ev.worker)
 		return c.abortFleet(true, fmt.Errorf("mp: worker %d departed cleanly", ev.worker)), true
+	case fTrace:
+		tm, err := decodeTrace(ev.body)
+		if err != nil {
+			return c.abortFleet(false, err), true
+		}
+		c.foldTrace(tm)
 	case fResult:
 		r, err := decodeResult(ev.body)
 		if err != nil {
@@ -303,6 +343,7 @@ func (c *coordinator) handle(ev coordEvent) (out attemptOutcome, done bool) {
 		if c.resultsIn == c.spec.Workers {
 			return attemptOutcome{
 				ok: true, committed: c.committed, log: c.log[:c.commitLen], results: c.results,
+				trace: c.traceRecs, clockErr: c.maxClockErr(),
 			}, true
 		}
 	default:
@@ -537,6 +578,45 @@ func (c *coordinator) finishWave() {
 	}
 }
 
+// foldTrace ingests one streamed trace batch: records are shifted onto this
+// process's timebase with the batch's offset, stamped with the worker index,
+// and accumulated for the merged fleet timeline; kernel-phase spans feed the
+// straggler tracker (durations, so offset-independent). A malformed JSON
+// body degrades to a logged skip — a damaged observability batch must never
+// take a healthy fleet down.
+func (c *coordinator) foldTrace(tm traceMsg) {
+	if tm.Worker < 0 || tm.Worker >= c.spec.Workers {
+		c.spec.Logf("mp: trace batch from out-of-range worker %d; dropped", tm.Worker)
+		return
+	}
+	var recs []obs.Record
+	if err := json.Unmarshal(tm.Records, &recs); err != nil {
+		c.spec.Logf("mp: trace batch from worker %d undecodable: %v", tm.Worker, err)
+		return
+	}
+	c.clockErr[tm.Worker] = tm.ErrBound
+	if c.spec.OnStraggler != nil {
+		for _, st := range c.straggler.fold(recs) {
+			c.spec.OnStraggler(st)
+		}
+	} else {
+		c.straggler.fold(recs)
+	}
+	c.traceRecs = append(c.traceRecs, obs.AlignRecords(recs, tm.Worker, tm.Offset)...)
+}
+
+// maxClockErr returns the largest error bound any worker reported (0 when no
+// worker streamed traces).
+func (c *coordinator) maxClockErr() int64 {
+	var worst int64
+	for _, e := range c.clockErr {
+		if e > worst {
+			worst = e
+		}
+	}
+	return worst
+}
+
 func (c *coordinator) placeResult(r resultMsg) {
 	v := c.results[r.Vec]
 	need := int(r.VertexLo) + len(r.Vals)
@@ -570,9 +650,24 @@ func (c *coordinator) workerDown(ev coordEvent) (attemptOutcome, bool) {
 // prefix, and returns the attempt's outcome.
 func (c *coordinator) abortFleet(clean bool, err error) attemptOutcome {
 	c.broadcast(fAbort, abortMsg{Clean: clean, Reason: err.Error()}.encode())
-	return attemptOutcome{
-		ok: false, err: err, clean: clean,
-		committed: c.committed, log: c.log[:c.commitLen],
+	// Drain trace batches already queued behind this event before the reply
+	// channels close: aborted attempts are exactly the ones whose timeline
+	// matters most. Bounded — only what is in the channel right now.
+	for {
+		select {
+		case ev := <-c.events:
+			if !ev.down && ev.kind == fTrace {
+				if tm, err := decodeTrace(ev.body); err == nil {
+					c.foldTrace(tm)
+				}
+			}
+		default:
+			return attemptOutcome{
+				ok: false, err: err, clean: clean,
+				committed: c.committed, log: c.log[:c.commitLen],
+				trace: c.traceRecs, clockErr: c.maxClockErr(),
+			}
+		}
 	}
 }
 

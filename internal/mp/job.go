@@ -55,6 +55,11 @@ type JobSpec struct {
 	TraceDir string `json:"trace_dir,omitempty"`
 	// TraceCap bounds the trace ring (total events; 0 = 1<<18).
 	TraceCap int `json:"trace_cap,omitempty"`
+	// FlightDir, when set, points each worker's always-on flight recorder at
+	// FlightDir/flight-<idx>.dpfr — the crash-surviving black box that
+	// declpat-trace -postmortem renders. Launch defaults it to the checkpoint
+	// directory, so every launched fleet leaves dumps without opting in.
+	FlightDir string `json:"flight_dir,omitempty"`
 }
 
 // Normalize fills defaults and validates the spec.

@@ -5,11 +5,15 @@ import (
 	"io"
 	"os"
 	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
 
 	"declpat/internal/harness"
+	"declpat/internal/obs"
 )
 
 // KillSpec schedules one seeded worker kill for a launch (attempt 0 only —
@@ -60,6 +64,11 @@ type LaunchSpec struct {
 	// temporary directory removed after the launch. Must be on a filesystem
 	// shared by launcher and workers.
 	CheckpointDir string
+	// OnStraggler, when non-nil, receives one per-epoch imbalance summary as
+	// the workers' streamed phase data completes each epoch — the live
+	// straggler feed behind declpat-launch -watch. Called from the
+	// coordinator event loop; must not block.
+	OnStraggler func(StragglerStat)
 	// Log receives launcher diagnostics and worker stderr (nil discards).
 	Log io.Writer
 }
@@ -80,6 +89,26 @@ type LaunchResult struct {
 	// ExitCodes records every reaped worker's exit code per attempt,
 	// indexed [attempt][worker]. Killed-by-signal workers report -1.
 	ExitCodes [][]int
+	// Stragglers collects every per-epoch imbalance summary emitted across
+	// the launch (all attempts, in emission order).
+	Stragglers []StragglerStat
+	// ClockErrNS is the largest clock-offset error bound any worker reported
+	// — the fleet timeline's alignment uncertainty. Zero when no worker
+	// streamed traces.
+	ClockErrNS int64
+}
+
+// ExitTally tallies reaped worker exit codes across all attempts, keyed by
+// their classification (describeExit) — the launcher's departure census,
+// exported through the fleet /metrics endpoint.
+func (r *LaunchResult) ExitTally() map[string]int {
+	tally := map[string]int{}
+	for _, attempt := range r.ExitCodes {
+		for _, code := range attempt {
+			tally[describeExit(code)]++
+		}
+	}
+	return tally
 }
 
 // Launch runs a multi-process SPMD fleet to completion: spawn N workers,
@@ -137,6 +166,12 @@ func Launch(spec LaunchSpec) (*LaunchResult, error) {
 		defer os.RemoveAll(dir)
 		ckptDir = dir
 	}
+	// Flight recorders are always on: default the dump directory to the
+	// checkpoint directory (already required to be launcher/worker-shared),
+	// so every launched fleet leaves a postmortem black box per worker.
+	if spec.Job.FlightDir == "" {
+		spec.Job.FlightDir = ckptDir
+	}
 	jobJSON, err := spec.Job.marshal()
 	if err != nil {
 		return nil, fmt.Errorf("mp: encoding job: %w", err)
@@ -145,9 +180,17 @@ func Launch(spec LaunchSpec) (*LaunchResult, error) {
 	res := &LaunchResult{RunID: harness.DeriveSeed(spec.RootSeed, "mp-run-id")}
 	committed := int64(-1)
 	var log [][]int64
+	// Fleet timeline: every attempt's streamed records accumulate here. The
+	// coordinator already aligned them onto the launcher's timebase, which is
+	// stable across attempts (same process), so records from a killed attempt
+	// and its respawn interleave correctly in one merged trace.
+	var fleetRecs []obs.Record
 
 	for attempt := 0; ; attempt++ {
 		if attempt > spec.MaxRestarts {
+			// The merged timeline of a fleet that never finished is exactly
+			// what the operator wants to look at — write it anyway.
+			writeFleetTrace(spec, fleetRecs, res.ClockErrNS, logf)
 			return nil, fmt.Errorf("mp: fleet still failing after %d restarts", spec.MaxRestarts)
 		}
 		res.Attempts++
@@ -173,6 +216,14 @@ func Launch(spec LaunchSpec) (*LaunchResult, error) {
 					p.cmd.Process.Kill()
 				case "term":
 					p.cmd.Process.Signal(syscall.SIGTERM)
+				}
+			},
+			OnStraggler: func(st StragglerStat) {
+				// coord.run() blocks the loop below until the attempt ends,
+				// so appending from the event loop cannot race Launch.
+				res.Stragglers = append(res.Stragglers, st)
+				if spec.OnStraggler != nil {
+					spec.OnStraggler(st)
 				}
 			},
 			RoundTimeout: spec.RoundTimeout,
@@ -209,7 +260,12 @@ func Launch(spec LaunchSpec) (*LaunchResult, error) {
 		if spawnErr != nil {
 			return nil, spawnErr
 		}
+		fleetRecs = append(fleetRecs, out.trace...)
+		if out.clockErr > res.ClockErrNS {
+			res.ClockErrNS = out.clockErr
+		}
 		if out.ok {
+			writeFleetTrace(spec, fleetRecs, res.ClockErrNS, logf)
 			vectors, err := assemble(spec.Job, out.results)
 			if err != nil {
 				return nil, err
@@ -221,8 +277,80 @@ func Launch(spec LaunchSpec) (*LaunchResult, error) {
 			res.CleanDepartures++
 		}
 		logf("mp: attempt %d failed: %v", attempt+1, out.err)
+		// Preserve the evidence: the respawned fleet's recorders would
+		// otherwise overwrite the dead attempt's dumps at their first epoch
+		// commit — exactly the dumps a postmortem is about.
+		archiveFlightDumps(spec.Job.FlightDir, attempt, logf)
 		committed, log = out.committed, out.log
 	}
+}
+
+// archiveFlightDumps renames an ended attempt's flight-<w>.dpfr dumps to
+// flight-<w>.attempt<k>.dpfr. The archived names still match the
+// flight-*.dpfr pattern, so declpat-trace -postmortem shows the killed
+// attempt's black boxes alongside the final attempt's.
+func archiveFlightDumps(dir string, attempt int, logf func(string, ...any)) {
+	paths, _ := filepath.Glob(filepath.Join(dir, "flight-*.dpfr"))
+	for _, p := range paths {
+		base := filepath.Base(p)
+		if strings.Contains(base, ".attempt") {
+			continue // already archived by an earlier attempt
+		}
+		dst := strings.TrimSuffix(p, ".dpfr") + fmt.Sprintf(".attempt%d.dpfr", attempt)
+		if err := os.Rename(p, dst); err != nil {
+			logf("mp: archiving flight dump %s: %v", base, err)
+		}
+	}
+	// A worker killed (or exiting) mid-Persist leaves the unrenamed temp
+	// behind; every reaped worker is dead by now, so any temp is garbage.
+	tmps, _ := filepath.Glob(filepath.Join(dir, "flight-*.dpfr.tmp-*"))
+	for _, p := range tmps {
+		os.Remove(p)
+	}
+}
+
+// writeFleetTrace writes the coordinator's merged, offset-corrected record
+// stream as TraceDir/fleet.trace.jsonl — the unified fleet timeline. Unlike
+// the per-worker files (written by each worker on exit), this merge includes
+// every batch a killed worker streamed before dying. Best-effort: a launch
+// never fails over its trace artifact.
+func writeFleetTrace(spec LaunchSpec, recs []obs.Record, clockErr int64, logf func(string, ...any)) {
+	if spec.Job.TraceDir == "" || len(recs) == 0 {
+		return
+	}
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].TS < recs[j].TS })
+	types := map[string]bool{}
+	meta := obs.Meta{
+		Label:      "mp-fleet",
+		Ranks:      spec.Job.Ranks,
+		ClockErrNS: clockErr,
+	}
+	for _, r := range recs {
+		if r.Type != "" && !types[r.Type] {
+			types[r.Type] = true
+			meta.Types = append(meta.Types, r.Type)
+		}
+	}
+	if err := os.MkdirAll(spec.Job.TraceDir, 0o755); err != nil {
+		logf("mp: fleet trace: %v", err)
+		return
+	}
+	path := filepath.Join(spec.Job.TraceDir, "fleet.trace.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		logf("mp: fleet trace: %v", err)
+		return
+	}
+	if err := obs.WriteJSONL(f, meta, recs); err != nil {
+		f.Close()
+		logf("mp: fleet trace: %v", err)
+		return
+	}
+	if err := f.Close(); err != nil {
+		logf("mp: fleet trace: %v", err)
+		return
+	}
+	logf("mp: fleet trace: %d records -> %s", len(recs), path)
 }
 
 // syncWriter serializes writes to the launch log sink.

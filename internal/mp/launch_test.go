@@ -9,12 +9,16 @@ package mp_test
 
 import (
 	"bytes"
+	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"declpat/internal/chaos"
 	"declpat/internal/harness"
 	"declpat/internal/mp"
+	"declpat/internal/obs"
 )
 
 func TestMain(m *testing.M) {
@@ -200,5 +204,149 @@ func TestLaunchValidation(t *testing.T) {
 	spec.Kill = &mp.KillSpec{Worker: 0, Epoch: 1, Mode: "maim"}
 	if _, err := mp.Launch(spec); err == nil {
 		t.Fatal("unknown kill mode accepted")
+	}
+}
+
+// TestLaunchFleetObservability is the observability acceptance drill: a
+// seeded 4-process run with a mid-epoch SIGKILL must produce (a) a merged,
+// clock-aligned fleet timeline whose barrier spans from all ranks overlap
+// within the measured alignment bound, (b) live straggler summaries covering
+// every rank, and (c) a sealed flight dump for the killed worker — archived
+// past the respawn — naming the epoch and phase state at its last commit.
+func TestLaunchFleetObservability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	job := testJob("sssp")
+	job.Ranks = 8
+	dir := t.TempDir()
+	job.TraceDir = filepath.Join(dir, "trace")
+	job.FlightDir = filepath.Join(dir, "flight")
+	res := launch(t, mp.LaunchSpec{
+		Job: job, Workers: 4, RootSeed: 29,
+		Kill: &mp.KillSpec{Worker: 2, Epoch: 2, Mode: "body"},
+	})
+	if res.Attempts != 2 {
+		t.Fatalf("kill-body launch took %d attempts, want 2", res.Attempts)
+	}
+	checkIdentical(t, job, res.Vectors)
+
+	// Live straggler detection: the coordinator summarized at least one epoch
+	// with every rank's kernel span accounted for.
+	if len(res.Stragglers) == 0 {
+		t.Fatal("no straggler summaries emitted")
+	}
+	for _, st := range res.Stragglers {
+		if st.Ranks != job.Ranks {
+			t.Fatalf("summary covers %d ranks, want %d: %+v", st.Ranks, job.Ranks, st)
+		}
+		if st.Imbalance < 1 {
+			t.Fatalf("imbalance below 1 (max < mean is impossible): %+v", st)
+		}
+	}
+
+	// The merged fleet timeline: fleet.trace.jsonl written by the launcher,
+	// with offset-corrected records from every worker process.
+	if res.ClockErrNS <= 0 {
+		t.Fatal("launch reported no clock-alignment bound")
+	}
+	meta, recs, err := obs.ReadTraceDir(job.TraceDir)
+	if err != nil {
+		t.Fatalf("fleet trace: %v", err)
+	}
+	if meta.Label != "mp-fleet" {
+		t.Fatalf("trace dir did not prefer the coordinator merge: label %q", meta.Label)
+	}
+	workers := map[int]bool{}
+	for _, r := range recs {
+		workers[r.W] = true
+	}
+	if len(workers) != 4 {
+		t.Fatalf("fleet timeline has records from %d workers, want 4: %v", len(workers), workers)
+	}
+
+	// Barrier spans from all ranks must mutually overlap once aligned: every
+	// rank's span contains the release instant, so max(start) <= min(end) up
+	// to the clock-alignment error on each side plus release-propagation
+	// slack. The check runs on the highest epoch every rank reported: only
+	// the final (completing) attempt reached it, so each rank's last barrier
+	// span there is the same collective instance — epochs touched by the
+	// killed attempt mix spans from both attempts, ~100ms of restart latency
+	// apart, and cannot be paired up by epoch number alone.
+	type span struct{ start, end int64 }
+	barriers := map[int64]map[int]span{}
+	for _, r := range recs {
+		if r.Kind != "phase" || r.Type != obs.PhaseBarrier.String() {
+			continue
+		}
+		m := barriers[r.Arg2]
+		if m == nil {
+			m = map[int]span{}
+			barriers[r.Arg2] = m
+		}
+		if s, ok := m[r.Rank]; !ok || r.TS > s.start {
+			m[r.Rank] = span{r.TS, r.TS + r.Dur}
+		}
+	}
+	bound := 2*res.ClockErrNS + 2_000_000 // per-side alignment error + 2ms propagation slack
+	target := int64(-1)
+	for epoch, m := range barriers {
+		if len(m) == job.Ranks && epoch > target {
+			target = epoch
+		}
+	}
+	if target < 0 {
+		t.Fatal("no epoch had barrier spans from all ranks")
+	}
+	maxStart, minEnd := int64(0), int64(1<<62)
+	for _, s := range barriers[target] {
+		if s.start > maxStart {
+			maxStart = s.start
+		}
+		if s.end < minEnd {
+			minEnd = s.end
+		}
+	}
+	if maxStart > minEnd+bound {
+		t.Fatalf("epoch %d: aligned barrier spans do not overlap (gap %dns > bound %dns)",
+			target, maxStart-minEnd, bound)
+	}
+	t.Logf("epoch %d barrier spans from all %d ranks overlap within ±%dns", target, job.Ranks, bound)
+
+	// The black box: the killed worker's dump from attempt 0 was archived
+	// before the respawn and names the epoch it last committed (the kill
+	// lands in epoch 2's body, so the dump is at most one epoch stale).
+	d, err := obs.LoadFlightDump(filepath.Join(job.FlightDir, "flight-2.attempt0.dpfr"))
+	if err != nil {
+		t.Fatalf("killed worker's archived flight dump: %v", err)
+	}
+	if d.Worker != 2 {
+		t.Fatalf("dump identifies worker %d, want 2", d.Worker)
+	}
+	if !strings.Contains(d.Reason, "commit") {
+		t.Fatalf("dump reason %q does not name a commit point", d.Reason)
+	}
+	if d.Epoch < 1 || d.Epoch > 2 {
+		t.Fatalf("dump epoch %d, want the kill epoch or one before (1..2)", d.Epoch)
+	}
+	phases := 0
+	for _, ev := range d.Events {
+		if ev.Kind == "phase" {
+			phases++
+		}
+	}
+	if phases == 0 {
+		t.Fatalf("killed worker's dump has no phase landmarks among %d events", len(d.Events))
+	}
+
+	// The surviving attempt left a fresh sealed dump for every worker.
+	for w := 0; w < 4; w++ {
+		d, err := obs.LoadFlightDump(filepath.Join(job.FlightDir, fmt.Sprintf("flight-%d.dpfr", w)))
+		if err != nil {
+			t.Fatalf("worker %d final dump: %v", w, err)
+		}
+		if d.Reason != "run complete" {
+			t.Fatalf("worker %d final dump reason %q, want the clean-completion persist", w, d.Reason)
+		}
 	}
 }

@@ -74,6 +74,9 @@ const (
 	fResult         byte = 18 // c→s: one result vector shard
 	fResultDone     byte = 19 // c→s: all result shards shipped
 	fHeartbeat      byte = 20 // both: liveness keep-alive, no body
+	fClockPing      byte = 21 // c→s: clock-offset probe (worker send time)
+	fClockPong      byte = 22 // s→c: probe echo + coordinator clock reading
+	fTrace          byte = 23 // c→s: bounded batch of trace records (JSON)
 )
 
 func kindName(k byte) string {
@@ -84,7 +87,8 @@ func kindName(k byte) string {
 		fWavePoll: "wave-poll", fWaveReply: "wave-reply", fWaveResult: "wave-result",
 		fFinish: "finish", fFault: "fault", fAbort: "abort", fGoodbye: "goodbye",
 		fGoodbyeAck: "goodbye-ack", fResult: "result", fResultDone: "result-done",
-		fHeartbeat: "heartbeat",
+		fHeartbeat: "heartbeat", fClockPing: "clock-ping", fClockPong: "clock-pong",
+		fTrace: "trace",
 	}
 	if n, ok := names[k]; ok {
 		return n
@@ -444,6 +448,78 @@ func decodeAbort(b []byte) (abortMsg, error) {
 		return a, fmt.Errorf("%w: abort: %v", ErrDecode, err)
 	}
 	return a, nil
+}
+
+// clockPing carries the worker's local monotonic send time; the pong echoes
+// it back together with the coordinator's clock reading so the worker can run
+// the midpoint-of-RTT offset estimate (see clock.go). Both directions share
+// one body shape — the pong simply fills Remote in.
+type clockMsg struct {
+	T1     int64 // worker's obs.Now() at ping send
+	Remote int64 // coordinator's obs.Now() at pong send (0 in the ping)
+}
+
+func (m clockMsg) encode() []byte {
+	var e ckpt.Enc
+	e.I64(m.T1)
+	e.I64(m.Remote)
+	return e.B
+}
+
+func decodeClock(b []byte) (clockMsg, error) {
+	d := ckpt.Dec{B: b}
+	m := clockMsg{T1: d.I64(), Remote: d.I64()}
+	if err := d.Done(true); err != nil {
+		return m, fmt.Errorf("%w: clock: %v", ErrDecode, err)
+	}
+	return m, nil
+}
+
+// traceMsg streams one bounded batch of trace records from a worker to the
+// coordinator for the merged fleet timeline. Records is the JSON encoding of
+// []obs.Record (worker-local timestamps; the coordinator applies the clock
+// offset when merging). Offset/ErrBound are the worker's current estimate at
+// flush time so the merge uses the tightest bound available.
+type traceMsg struct {
+	Worker   int
+	Lo, Hi   int
+	Offset   int64
+	ErrBound int64
+	Final    bool // last batch of this worker's run (drain flush)
+	Records  []byte
+}
+
+func (m traceMsg) encode() []byte {
+	var e ckpt.Enc
+	e.U32(uint32(m.Worker))
+	e.U32(uint32(m.Lo))
+	e.U32(uint32(m.Hi))
+	e.I64(m.Offset)
+	e.I64(m.ErrBound)
+	if m.Final {
+		e.U8(1)
+	} else {
+		e.U8(0)
+	}
+	e.Bytes(m.Records)
+	return e.B
+}
+
+func decodeTrace(b []byte) (traceMsg, error) {
+	d := ckpt.Dec{B: b}
+	m := traceMsg{
+		Worker: int(d.U32()),
+		Lo:     int(d.U32()),
+		Hi:     int(d.U32()),
+	}
+	m.Offset = d.I64()
+	m.ErrBound = d.I64()
+	m.Final = d.U8() == 1
+	m.Records = d.Bytes()
+	if err := d.Done(true); err != nil {
+		return m, fmt.Errorf("%w: trace batch: %v", ErrDecode, err)
+	}
+	return m, nil
 }
 
 // resultMsg ships one result-vector shard: the values of one local rank of

@@ -1,6 +1,7 @@
 package mp
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"os"
@@ -15,9 +16,16 @@ import (
 	"declpat/internal/am"
 	"declpat/internal/distgraph"
 	"declpat/internal/gen"
+	"declpat/internal/obs"
 	"declpat/internal/pattern"
 	"declpat/internal/pmap"
 )
+
+// traceFlushInterval paces the worker's incremental trace stream to the
+// coordinator. Small enough that the launcher's straggler view and the merged
+// fleet timeline stay near-live; large enough that a batch amortizes the
+// frame overhead.
+const traceFlushInterval = 25 * time.Millisecond
 
 // Environment variables the launcher sets on every spawned worker. A binary
 // that wants to host ranks calls MaybeWorker early in main (or TestMain);
@@ -94,9 +102,83 @@ func RunWorker(addr string, worker int) int {
 	if job.TraceDir != "" {
 		opts = append(opts, am.WithTiming(), am.WithTraceCapacity(job.TraceCap))
 	}
+	// The flight recorder is built before the universe (am.New wires it into
+	// the trace path), but its counter sampler needs the universe — close over
+	// a variable assigned right after construction. am.New happens before any
+	// rank goroutine starts, so EpochCommit always sees the assignment.
+	var flight *obs.FlightRecorder
+	var uRef *am.Universe
+	if job.FlightDir != "" {
+		if err := os.MkdirAll(job.FlightDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "mp worker %d: flight dir: %v\n", worker, err)
+		} else {
+			flight = obs.NewFlightRecorder(obs.FlightConfig{
+				Path:   filepath.Join(job.FlightDir, fmt.Sprintf("flight-%d.dpfr", worker)),
+				Label:  fmt.Sprintf("mp-worker-%d", worker),
+				Worker: worker,
+				RankLo: w.Lo,
+				RankHi: w.Hi,
+				RunID:  w.RunID,
+				Counters: func() map[string]int64 {
+					if uRef == nil {
+						return nil
+					}
+					return uRef.CounterSeries()
+				},
+			})
+			opts = append(opts, am.WithFlightRecorder(flight))
+		}
+	}
 	u := am.New(job.Ranks, opts...)
+	uRef = u
 	hooks := u.ControlHooks()
 	cl.SetHooks(hooks)
+
+	// Stream trace batches and clock estimates while the run is live: the
+	// coordinator merges the batches into the fleet timeline and feeds the
+	// straggler detector, and the flight recorder's header carries the latest
+	// offset so postmortem timestamps line up with the fleet trace. A worker
+	// killed mid-run has still shipped everything up to its last flush.
+	stopFlush := make(chan struct{})
+	flushDone := make(chan struct{})
+	var cursors []int64
+	flushTrace := func(final bool) {
+		off, errB, okClk := cl.ClockEstimate()
+		if flight != nil && okClk {
+			flight.SetClock(off, errB)
+		}
+		if job.TraceDir == "" {
+			return
+		}
+		var recs []obs.Record
+		recs, cursors = u.ExportTraceSince(cursors)
+		if len(recs) == 0 && !final {
+			return
+		}
+		js, err := json.Marshal(recs)
+		if err != nil {
+			return
+		}
+		cl.SendTrace(traceMsg{
+			Worker: worker, Lo: w.Lo, Hi: w.Hi,
+			Offset: off, ErrBound: errB, Final: final, Records: js,
+		})
+	}
+	go func() {
+		defer close(flushDone)
+		tick := time.NewTicker(traceFlushInterval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				flushTrace(false)
+			case <-stopFlush:
+				flushTrace(true)
+				return
+			}
+		}
+	}()
+	drainFlush := func() { close(stopFlush); <-flushDone }
 
 	d := distgraph.NewBlockDist(n, u.Ranks())
 	g := distgraph.Build(d, edges, distgraph.Options{Symmetrize: job.Algo == "cc"})
@@ -149,9 +231,15 @@ func RunWorker(addr string, worker int) int {
 	}
 
 	if err := u.Run(body); err != nil {
+		drainFlush()
 		if departing.Load() {
+			// A SIGTERM goodbye drain is a *clean* exit: it leaves the same
+			// trace artifact a completed run does (this path used to skip
+			// it), plus a flight dump naming the departure.
+			writeArtifacts(u, cl, job, worker, flight, "sigterm departure")
 			return ExitClean
 		}
+		writeArtifacts(u, cl, job, worker, flight, "run failed: "+err.Error())
 		fmt.Fprintf(os.Stderr, "mp worker %d: run failed: %v\n", worker, err)
 		if cerr := cl.Err(); cerr != nil {
 			return exitForErr(cerr, ExitRestart)
@@ -159,16 +247,39 @@ func RunWorker(addr string, worker int) int {
 		return ExitRestart
 	}
 
-	if job.TraceDir != "" {
-		if err := writeTrace(u, job.TraceDir, worker); err != nil {
-			fmt.Fprintf(os.Stderr, "mp worker %d: trace: %v\n", worker, err)
-		}
-	}
+	// Final drain before fResultDone: the coordinator snapshots the merged
+	// fleet trace into the attempt outcome when results complete.
+	drainFlush()
+	writeArtifacts(u, cl, job, worker, flight, "run complete")
 	if err := shipResults(cl, d, vecs, int(w.Lo), int(w.Hi)); err != nil {
 		fmt.Fprintf(os.Stderr, "mp worker %d: shipping results: %v\n", worker, err)
 		return exitForErr(err, ExitFatal)
 	}
 	return ExitClean
+}
+
+// writeArtifacts leaves the worker's on-disk observability record: the timed
+// trace (when tracing is on) and a flight dump stamped with the final clock
+// estimate. Called on every exit path — clean completion, SIGTERM departure,
+// run failure — so the artifacts do not depend on a happy ending.
+func writeArtifacts(u *am.Universe, cl *Client, job JobSpec, worker int, flight *obs.FlightRecorder, reason string) {
+	if job.TraceDir != "" {
+		if err := writeTrace(u, cl, job.TraceDir, worker); err != nil {
+			fmt.Fprintf(os.Stderr, "mp worker %d: trace: %v\n", worker, err)
+		}
+	}
+	if flight != nil {
+		if off, errB, ok := cl.ClockEstimate(); ok {
+			flight.SetClock(off, errB)
+		}
+		if err := flight.Persist(reason); err != nil {
+			fmt.Fprintf(os.Stderr, "mp worker %d: flight dump: %v\n", worker, err)
+		}
+		// The terminal dump is written; seal so the teardown race (the
+		// coordinator closing control connections reads as a fleet abort)
+		// cannot overwrite it with a bogus reason.
+		flight.Seal()
+	}
 }
 
 // exitForErr maps the classified control-plane sentinels onto their distinct
@@ -183,15 +294,25 @@ func exitForErr(err error, def int) int {
 	return def
 }
 
-func writeTrace(u *am.Universe, dir string, worker int) error {
+// writeTrace exports the worker's trace with the fleet meta fields stamped —
+// worker index, hosted rank range, and the clock estimate — so a directory of
+// per-worker files merges onto the launcher timebase offline
+// (obs.ReadTraceDir / declpat-trace -phases DIR).
+func writeTrace(u *am.Universe, cl *Client, dir string, worker int) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
+	}
+	meta, recs := u.ExportTrace(fmt.Sprintf("mp-worker-%d", worker))
+	meta.Worker = worker
+	meta.RankLo, meta.RankHi = cl.Welcome().Lo, cl.Welcome().Hi
+	if off, errB, ok := cl.ClockEstimate(); ok {
+		meta.ClockOffsetNS, meta.ClockErrNS = off, errB
 	}
 	f, err := os.Create(filepath.Join(dir, fmt.Sprintf("worker-%d.trace.jsonl", worker)))
 	if err != nil {
 		return err
 	}
-	if err := u.WriteTraceJSONL(f, fmt.Sprintf("mp-worker-%d", worker)); err != nil {
+	if err := obs.WriteJSONL(f, meta, recs); err != nil {
 		f.Close()
 		return err
 	}

@@ -15,6 +15,16 @@ type Meta struct {
 	Ranks   int      `json:"ranks"`
 	Types   []string `json:"types,omitempty"`
 	Dropped int64    `json:"dropped,omitempty"` // ring-overwritten events
+	// Fleet fields (multi-process runs). Worker is the hosting worker's index
+	// and RankLo/RankHi its contiguous global-rank slice. ClockOffsetNS maps
+	// this process's monotonic timestamps onto the launcher's timebase
+	// (launcher ≈ local + offset) with ClockErrNS as the estimate's error
+	// bound; both zero in single-process exports.
+	Worker        int   `json:"worker,omitempty"`
+	RankLo        int   `json:"rank_lo,omitempty"`
+	RankHi        int   `json:"rank_hi,omitempty"`
+	ClockOffsetNS int64 `json:"clock_offset_ns,omitempty"`
+	ClockErrNS    int64 `json:"clock_err_ns,omitempty"`
 }
 
 // Record is one exported trace event. TS and Dur are monotonic nanoseconds
@@ -34,6 +44,10 @@ type Record struct {
 	// triggered it. See lineage.go for the id scheme.
 	ID     uint64 `json:"id,omitempty"`
 	Parent uint64 `json:"parent,omitempty"`
+	// W is the worker-process index in a merged fleet trace (0 in
+	// single-process exports; worker 0's records also carry 0 — the meta
+	// header and rank ranges disambiguate).
+	W int `json:"w,omitempty"`
 }
 
 // WriteJSONL writes the meta header followed by one record per line.
@@ -120,42 +134,75 @@ type ChromeTrace struct {
 	DisplayTimeUnit string        `json:"displayTimeUnit,omitempty"`
 }
 
-// ToChrome converts a record stream into a Chrome trace: one process for the
-// universe, one thread row per rank. Records with a duration become complete
-// ("X") events; the rest become thread-scoped instants ("i"). Lineage-stamped
-// "handler" records additionally emit flow-event pairs ("s" on the producing
-// invocation's slice, "f" bound to the consuming one), which Perfetto renders
-// as causal arrows between ranks.
+// ToChrome converts a record stream into a Chrome trace: one process row per
+// worker (single-process exports collapse to one), one thread row per rank.
+// Records with a duration become complete ("X") events; the rest become
+// thread-scoped instants ("i"). Lineage-stamped "handler" records
+// additionally emit flow-event pairs ("s" on the producing invocation's
+// slice, "f" bound to the consuming one), which Perfetto renders as causal
+// arrows between ranks — and, in a merged fleet trace, across process rows.
 func ToChrome(meta Meta, recs []Record) ChromeTrace {
-	const pid = 1
 	evs := make([]ChromeEvent, 0, len(recs)+meta.Ranks+1)
 	// Handler index for flow-arrow sources (the producing invocation's
 	// slice). Root parents (epoch-body sends) have no slice to anchor on.
+	// Lineage ids are globally unique across workers (rank ranges are
+	// disjoint), so one index serves the merged fleet trace too.
 	handlers := map[uint64]Record{}
+	fleet := false
 	for _, rec := range recs {
 		if rec.Kind == "handler" && rec.ID != 0 {
 			handlers[rec.ID] = rec
+		}
+		if rec.W != 0 {
+			fleet = true
 		}
 	}
 	procName := "declpat substrate"
 	if meta.Label != "" {
 		procName += " — " + meta.Label
 	}
-	evs = append(evs, ChromeEvent{
-		Name: "process_name", Ph: "M", PID: pid, TID: 0,
-		Args: map[string]any{"name": procName},
-	})
-	for r := 0; r < meta.Ranks; r++ {
+	if !fleet {
+		// Single process: one row named for the universe, threads for every
+		// rank in the declared range (records or not).
 		evs = append(evs, ChromeEvent{
-			Name: "thread_name", Ph: "M", PID: pid, TID: r,
-			Args: map[string]any{"name": fmt.Sprintf("rank %d", r)},
+			Name: "process_name", Ph: "M", PID: 1, TID: 0,
+			Args: map[string]any{"name": procName},
 		})
+		for r := 0; r < meta.Ranks; r++ {
+			evs = append(evs, ChromeEvent{
+				Name: "thread_name", Ph: "M", PID: 1, TID: r,
+				Args: map[string]any{"name": fmt.Sprintf("rank %d", r)},
+			})
+		}
+	} else {
+		// Fleet: one process row per observed worker (pid = W+1 so worker 0
+		// keeps pid 1), thread rows for every observed (worker, rank) pair.
+		seenW := map[int]bool{}
+		seenT := map[[2]int]bool{}
+		for _, rec := range recs {
+			if !seenW[rec.W] {
+				seenW[rec.W] = true
+				evs = append(evs, ChromeEvent{
+					Name: "process_name", Ph: "M", PID: rec.W + 1, TID: 0,
+					Args: map[string]any{"name": fmt.Sprintf("%s — worker %d", procName, rec.W)},
+				})
+			}
+			key := [2]int{rec.W, rec.Rank}
+			if !seenT[key] {
+				seenT[key] = true
+				evs = append(evs, ChromeEvent{
+					Name: "thread_name", Ph: "M", PID: rec.W + 1, TID: rec.Rank,
+					Args: map[string]any{"name": fmt.Sprintf("rank %d", rec.Rank)},
+				})
+			}
+		}
 	}
 	for _, rec := range recs {
 		name := rec.Kind
 		if rec.Type != "" {
 			name += ":" + rec.Type
 		}
+		pid := rec.W + 1
 		ev := ChromeEvent{
 			Name: name,
 			Cat:  rec.Kind,
@@ -187,7 +234,7 @@ func ToChrome(meta Meta, recs []Record) ChromeTrace {
 				}
 				evs = append(evs,
 					ChromeEvent{Name: "lineage", Cat: "lineage", Ph: "s",
-						ID: rec.ID, TS: src, PID: pid, TID: p.Rank},
+						ID: rec.ID, TS: src, PID: p.W + 1, TID: p.Rank},
 					ChromeEvent{Name: "lineage", Cat: "lineage", Ph: "f", BP: "e",
 						ID: rec.ID, TS: float64(rec.TS) / 1e3, PID: pid, TID: rec.Rank})
 			}

@@ -67,6 +67,35 @@ func (r *Rings[T]) Shard(shard int) []T {
 	return append(out, s.buf[:start]...)
 }
 
+// ShardSince returns the shard's events appended at or after the cursor
+// (a total-appended count from a previous call; start with 0), oldest first,
+// plus the new cursor. Events that the ring overwrote before this call are
+// gone — the caller observes the gap as cursor jumps past returned length.
+// This is the incremental-export path: a flusher polls each shard with its
+// last cursor and ships only what is new.
+func (r *Rings[T]) ShardSince(shard int, cursor int64) ([]T, int64) {
+	s := r.shards[shard]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := int64(len(s.buf))
+	if cursor >= s.next || n == 0 {
+		return nil, s.next
+	}
+	oldest := s.next - n // total index of the oldest retained event
+	if cursor < oldest {
+		cursor = oldest
+	}
+	out := make([]T, 0, s.next-cursor)
+	for i := cursor; i < s.next; i++ {
+		if s.next <= n {
+			out = append(out, s.buf[i])
+		} else {
+			out = append(out, s.buf[i%n])
+		}
+	}
+	return out, s.next
+}
+
 // Merged returns all retained events across shards, stably sorted by less
 // (events comparing equal keep their per-shard recording order), with
 // finalize applied to each event and its merged index — the hook for
