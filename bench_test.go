@@ -498,7 +498,7 @@ func BenchmarkPatternCompile(b *testing.B) {
 func BenchmarkFacadeQuickstart(b *testing.B) {
 	n, edges := declpat.RMAT(9, 8, declpat.WeightSpec{Min: 1, Max: 10}, 3)
 	for i := 0; i < b.N; i++ {
-		u := declpat.NewUniverse(declpat.Config{Ranks: 2, ThreadsPerRank: 1})
+		u := declpat.New(2, declpat.WithThreads(1))
 		d := declpat.NewBlockDist(n, 2)
 		g := declpat.BuildGraph(d, edges, declpat.GraphOptions{})
 		eng := declpat.NewEngine(u, g, declpat.NewLockMap(d, 1), declpat.DefaultPlanOptions())

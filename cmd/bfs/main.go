@@ -28,7 +28,7 @@ func main() {
 	flag.Parse()
 
 	n, edges := declpat.RMAT(*scale, *ef, declpat.WeightSpec{}, *seed)
-	u := declpat.NewUniverse(declpat.Config{Ranks: *ranks, ThreadsPerRank: *threads})
+	u := declpat.New(*ranks, declpat.WithThreads(*threads))
 	dist := declpat.NewBlockDist(n, *ranks)
 	g := declpat.BuildGraph(dist, edges, declpat.GraphOptions{})
 	eng := declpat.NewEngine(u, g, declpat.NewLockMap(dist, 1), declpat.DefaultPlanOptions())

@@ -263,14 +263,11 @@ func writeFile(path string, write func(*os.File) error) error {
 
 // runWorkload executes one traced built-in workload and returns its universe.
 func runWorkload(name string, scale, ef int, seed uint64, ranks, threads, capacity, ring int) (*declpat.Universe, error) {
-	cfg := declpat.Config{
-		Ranks:          ranks,
-		ThreadsPerRank: threads,
-		TraceCapacity:  capacity,
-		TraceRingSize:  ring,
-		Timing:         true,
-	}
-	u := declpat.NewUniverse(cfg)
+	u := declpat.New(ranks,
+		declpat.WithThreads(threads),
+		declpat.WithTraceCapacity(capacity),
+		declpat.WithTraceRingSize(ring),
+		declpat.WithTiming())
 	dist := declpat.NewBlockDist(1<<scale, ranks)
 	var err error
 	switch name {

@@ -40,7 +40,7 @@ func main() {
 	n, edges := declpat.RMAT(*scale, *ef, declpat.WeightSpec{}, *seed)
 	genTime := time.Since(genStart)
 
-	u := declpat.NewUniverse(declpat.Config{Ranks: *ranks, ThreadsPerRank: *threads})
+	u := declpat.New(*ranks, declpat.WithThreads(*threads))
 	dist := declpat.NewBlockDist(n, *ranks)
 	k1 := time.Now()
 	g := declpat.BuildGraph(dist, edges, declpat.GraphOptions{})

@@ -69,7 +69,7 @@ func main() {
 
 // compile binds p against throwaway storage to obtain plans.
 func compile(p *pattern.Pattern, opts pattern.PlanOptions) []pattern.PlanInfo {
-	u := am.NewUniverse(am.Config{Ranks: 1})
+	u := am.New(1)
 	d := distgraph.NewBlockDist(2, 1)
 	g := distgraph.Build(d, []distgraph.Edge{{Src: 0, Dst: 1, W: 1}}, distgraph.Options{Bidirectional: true})
 	lm := pmap.NewLockMap(d, 1)

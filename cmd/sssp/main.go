@@ -32,7 +32,7 @@ func main() {
 	flag.Parse()
 
 	n, edges := declpat.RMAT(*scale, *ef, declpat.WeightSpec{Min: 1, Max: 100}, *seed)
-	u := declpat.NewUniverse(declpat.Config{Ranks: *ranks, ThreadsPerRank: *threads, TraceCapacity: *trace})
+	u := declpat.New(*ranks, declpat.WithThreads(*threads), declpat.WithTraceCapacity(*trace))
 	dist := declpat.NewBlockDist(n, *ranks)
 	g := declpat.BuildGraph(dist, edges, declpat.GraphOptions{})
 	eng := declpat.NewEngine(u, g, declpat.NewLockMap(dist, 1), declpat.DefaultPlanOptions())

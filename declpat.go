@@ -9,7 +9,7 @@
 // This package is the public facade: it re-exports the user-facing surface
 // of the internal packages. A minimal SSSP looks like:
 //
-//	u := declpat.NewUniverse(declpat.Config{Ranks: 4, ThreadsPerRank: 2})
+//	u := declpat.New(4, declpat.WithThreads(2))
 //	dist := declpat.NewBlockDist(n, 4)
 //	g := declpat.BuildGraph(dist, edges, declpat.GraphOptions{})
 //	eng := declpat.NewEngine(u, g, declpat.NewLockMap(dist, 1), declpat.DefaultPlanOptions())
@@ -31,6 +31,7 @@ import (
 	"declpat/internal/obs"
 	"declpat/internal/pattern"
 	"declpat/internal/pmap"
+	"declpat/internal/query"
 	"declpat/internal/strategy"
 )
 
@@ -230,8 +231,11 @@ func GobCodec[T any]() Codec[T] { return am.GobCodec[T]() }
 // HasFixedLayout reports whether FixedCodec[T] would succeed.
 func HasFixedLayout[T any]() bool { return am.HasFixedLayout[T]() }
 
-// NewUniverse creates a simulated machine from a Config literal. Prefer New
-// with functional options for new code.
+// NewUniverse creates a simulated machine from a Config literal.
+//
+// Deprecated: use New with functional options. NewUniverse remains only so
+// existing Config-literal callers keep compiling during the migration window;
+// it will be removed once the window closes (see README "API stability").
 func NewUniverse(cfg Config) *Universe { return am.NewUniverse(cfg) }
 
 // Distributed graph (internal/distgraph).
@@ -602,15 +606,6 @@ func NewSampler(size int, src func() map[string]int64) *Sampler { return obs.New
 //	d.HandleMetrics(u.WriteOpenMetrics)
 func NewDebugServer(addr string) (*DebugServer, error) { return harness.NewDebugServer(addr) }
 
-// Process-wide debug server (the ServeDebug compatibility surface):
-// ServeDebug starts it, HandleMetrics registers the /metrics payload on it,
-// StopDebug gracefully shuts it down and releases the listener.
-var (
-	ServeDebug    = harness.ServeDebug
-	HandleMetrics = harness.HandleMetrics
-	StopDebug     = harness.StopDebug
-)
-
 // MergeTelemetry folds src's counters, gauges, and phase histograms into
 // dst (how the coordinator builds Metrics.Merged from the per-process
 // entries). Histogram bound mismatches skip that phase and surface as the
@@ -650,12 +645,87 @@ func Launch(spec MPLaunchSpec) (*MPLaunchResult, error) { return mp.Launch(spec)
 // itself for the default self-exec pattern.
 func MaybeWorker() { mp.MaybeWorker() }
 
-// RunWorker is MaybeWorker's core: host a rank range against the control
-// plane at addr and return the process exit code (0 clean, 3 restart
-// requested, 4 control peer closed, 5 frame decode failure, …).
-func RunWorker(addr string, worker int) int { return mp.RunWorker(addr, worker) }
-
 // WorkerSeed derives the deterministic fault/chaos seed for worker idx
 // hosting ranks [lo, hi) from a launch root seed: stable across respawns of
 // the same worker, distinct across workers and across rank splits.
 func WorkerSeed(root uint64, idx, lo, hi int) uint64 { return harness.WorkerSeed(root, idx, lo, hi) }
+
+// Query plane (internal/query): a resident QueryService owns a long-lived
+// universe, a graph, and pre-bound algorithm slots, and multiplexes many
+// concurrent, independently-deadlined queries over them — admission control
+// with a bounded queue, same-algorithm fusion into single epoch sweeps, and
+// per-query context tagging of every epoch. cmd/declpat-serve is the HTTP
+// front end. See DESIGN.md "Query plane".
+type (
+	// QueryService is the resident query plane; construct with
+	// NewQueryService before Universe.Run, drive with Serve, submit from any
+	// goroutine.
+	QueryService = query.Service
+	// QueryRequest describes one query (algorithm, source, deadline).
+	QueryRequest = query.Request
+	// QueryResult is a completed query's answer: the per-vertex property
+	// vector plus lifecycle timestamps and fusion width.
+	QueryResult = query.Result
+	// QueryStatus is a point-in-time lifecycle snapshot of one query.
+	QueryStatus = query.Status
+	// QueryTicket is the submitter's handle: ID, Done, Wait, Cancel.
+	QueryTicket = query.Ticket
+	// QueryAlgo identifies a served algorithm (QueryBFS, QuerySSSP,
+	// QueryPageRank).
+	QueryAlgo = query.Algo
+	// QueryOption configures a QueryService at construction.
+	QueryOption = query.Option
+	// QueryStats is a plain-value snapshot of the query plane's metrics.
+	QueryStats = query.ServiceStats
+)
+
+// Served algorithms (QueryRequest.Algo).
+const (
+	QueryBFS      = query.BFS
+	QuerySSSP     = query.SSSP
+	QueryPageRank = query.PageRank
+)
+
+// Query lifecycle states (QueryStatus.State).
+const (
+	QueryStateQueued  = query.StateQueued
+	QueryStateRunning = query.StateRunning
+	QueryStateDone    = query.StateDone
+	QueryStateFailed  = query.StateFailed
+)
+
+// Query-plane errors: the first three are Submit-time rejections; the rest
+// surface as a failed ticket's error.
+var (
+	ErrQueryQueueFull = query.ErrQueueFull
+	ErrQueryBadSource = query.ErrBadSource
+	ErrQueryStopped   = query.ErrStopped
+	ErrQueryCanceled  = query.ErrCanceled
+	ErrQueryDeadline  = query.ErrDeadline
+	ErrQueryUnknown   = query.ErrUnknown
+	ErrQueryNotDone   = query.ErrNotDone
+)
+
+// QueryService construction options.
+var (
+	// WithMaxFusion bounds how many same-algorithm queries fuse into one
+	// epoch sweep (and sizes the pre-bound slot pools).
+	WithMaxFusion = query.WithMaxFusion
+	// WithQueueDepth bounds the admission queue.
+	WithQueueDepth = query.WithQueueDepth
+	// WithDefaultDeadline applies a deadline to requests without their own.
+	WithDefaultDeadline = query.WithDefaultDeadline
+	// WithRetain bounds how many finished results stay for point lookups.
+	WithRetain = query.WithRetain
+	// WithPageRank tunes the shared PageRank job (rounds cap, tolerance).
+	WithPageRank = query.WithPageRank
+)
+
+// NewQueryService builds a resident query service over eng's universe and
+// graph. Must be called before Universe.Run; then drive the universe with
+// QueryService.Serve and submit queries from any goroutine.
+func NewQueryService(eng *Engine, opts ...QueryOption) *QueryService { return query.New(eng, opts...) }
+
+// ParseQueryAlgo parses a wire name ("bfs", "sssp", "pagerank") produced by
+// QueryAlgo.String.
+func ParseQueryAlgo(s string) (QueryAlgo, error) { return query.ParseAlgo(s) }

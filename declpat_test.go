@@ -16,7 +16,7 @@ func TestPublicAPIQuickstart(t *testing.T) {
 	n, edges := declpat.RMAT(8, 8, declpat.WeightSpec{Min: 1, Max: 30}, 11)
 	want := seq.Dijkstra(n, edges, 0)
 
-	u := declpat.NewUniverse(declpat.Config{Ranks: 3, ThreadsPerRank: 2})
+	u := declpat.New(3, declpat.WithThreads(2))
 	dist := declpat.NewBlockDist(n, 3)
 	g := declpat.BuildGraph(dist, edges, declpat.GraphOptions{})
 	eng := declpat.NewEngine(u, g, declpat.NewLockMap(dist, 1), declpat.DefaultPlanOptions())
@@ -61,7 +61,7 @@ func TestPublicAPIQuickstart(t *testing.T) {
 func TestPublicAPIAlgorithms(t *testing.T) {
 	n, edges := declpat.Torus2D(6, 6, declpat.WeightSpec{Min: 1, Max: 5}, 1)
 	mk := func(gopts declpat.GraphOptions) (*declpat.Universe, *declpat.Engine, *declpat.LockMap, declpat.Distribution) {
-		u := declpat.NewUniverse(declpat.Config{Ranks: 2, ThreadsPerRank: 1})
+		u := declpat.New(2, declpat.WithThreads(1))
 		dist := declpat.NewCyclicDist(n, 2)
 		g := declpat.BuildGraphParallel(dist, edges, gopts)
 		lm := declpat.NewLockMap(dist, 1)

@@ -55,15 +55,41 @@ func NewBFS(eng *pattern.Engine) *BFS {
 // Run computes levels from src. Collective.
 func (b *BFS) Run(r *am.Rank, src distgraph.Vertex) {
 	ph := r.Phase(obs.PhaseCollect)
-	b.Level.ForEachLocal(r.ID(), func(v distgraph.Vertex, _ int64) {
-		b.Level.Set(r.ID(), v, pattern.Inf)
-	})
-	var seeds []distgraph.Vertex
-	if b.G.Owner(src) == r.ID() {
-		b.Level.Set(r.ID(), src, 0)
-		seeds = []distgraph.Vertex{src}
-	}
+	b.ResetLocal(r)
+	seeds := b.SeedLocal(r, nil, src)
 	ph.End()
 	r.Barrier()
 	b.fp.Run(r, seeds)
+}
+
+// ResetLocal resets this rank's slice of the level map to unvisited (∞).
+// Rank-local; callers sequence their own barrier before seeding messages can
+// arrive. The query plane uses it to recycle a bound BFS slot between fused
+// batches without re-binding the pattern.
+func (b *BFS) ResetLocal(r *am.Rank) {
+	b.Level.ForEachLocal(r.ID(), func(v distgraph.Vertex, _ int64) {
+		b.Level.Set(r.ID(), v, pattern.Inf)
+	})
+}
+
+// SeedLocal marks src as a level-0 root if this rank owns it, appending it to
+// seeds (unchanged otherwise). Splitting seeding from Run lets the query
+// plane fuse many sources — across this and sibling slots — into one epoch
+// sweep: every returned seed is later Invoked inside the same collective
+// epoch, and the fixed point of the min-relaxation is independent of how many
+// frontiers share the sweep.
+func (b *BFS) SeedLocal(r *am.Rank, seeds []distgraph.Vertex, src distgraph.Vertex) []distgraph.Vertex {
+	if b.G.Owner(src) == r.ID() {
+		b.Level.Set(r.ID(), src, 0)
+		seeds = append(seeds, src)
+	}
+	return seeds
+}
+
+// InvokeSeeds applies the bound visit action to each seed; the caller must be
+// inside a collective epoch (the query plane's fused sweep).
+func (b *BFS) InvokeSeeds(r *am.Rank, seeds []distgraph.Vertex) {
+	for _, v := range seeds {
+		b.Visit.Invoke(r, v)
+	}
 }

@@ -84,8 +84,15 @@ type PageRank struct {
 	// Tolerance stops iteration when the total absolute rank change per
 	// round falls below it (fixed-point; default PRScale/1e6).
 	Tolerance int64
-	// Rounds reports the rounds executed by the last Run.
+	// Rounds reports the rounds executed by the last Run (maintained on
+	// rank 0 only, the existing leader-only-mutation idiom for state updated
+	// between collectives).
 	Rounds int
+
+	// locals caches each rank's owned-vertex list across rounds (filled by
+	// Begin; indexed by rank id, so concurrent SPMD bodies never share an
+	// element).
+	locals [][]distgraph.Vertex
 }
 
 // NewPageRank binds the chosen PageRank pattern over eng's graph. Pull mode
@@ -115,15 +122,22 @@ func NewPageRank(eng *pattern.Engine, mode PageRankMode) *PageRank {
 		panic(fmt.Sprintf("algorithms: PageRank bind: %v", err))
 	}
 	pr.Action = bound.Action(actionName)
+	pr.locals = make([][]distgraph.Vertex, eng.Universe().Ranks())
 	return pr
 }
 
-// Run iterates PageRank to tolerance or MaxIters. Collective.
-func (pr *PageRank) Run(r *am.Rank) {
+// Begin initializes this rank's solver state for an iterated run: uniform
+// initial ranks, cached out-degrees and owned-vertex list, and (on rank 0)
+// the round counter. Rank-local — the caller barriers before the first
+// Round. Begin/Round is the stepwise decomposition the query plane drives:
+// one Round per scheduling turn, so a long PageRank job interleaves fairly
+// with other queries' epochs.
+func (pr *PageRank) Begin(r *am.Rank) {
 	g := pr.G
 	rid := r.ID()
 	n := int64(g.NumVertices())
 	locals := LocalVertices(g, r)
+	pr.locals[rid] = locals
 
 	ph := r.Phase(obs.PhaseBuildCSR)
 	for _, v := range locals {
@@ -131,57 +145,77 @@ func (pr *PageRank) Run(r *am.Rank) {
 		pr.outdeg.Set(rid, v, int64(g.OutDegree(rid, v)))
 	}
 	ph.End()
-	r.Barrier()
+	if rid == 0 {
+		pr.Rounds = 0
+	}
+}
 
+// Round executes one PageRank round under query context qid (0 for plain
+// runs): local contributions, the dangling-mass all-reduce, one collective
+// epoch of spreads/gathers, and the fold. It reports whether the run has
+// converged (total absolute rank change below Tolerance). Collective; Begin
+// (plus a barrier) must precede the first Round. Deterministic: ranks are
+// integer fixed-point and += is order-independent, so the result is
+// bit-identical however rounds interleave with other queries' epochs.
+func (pr *PageRank) Round(r *am.Rank, qid int64) bool {
+	rid := r.ID()
+	n := int64(pr.G.NumVertices())
+	locals := pr.locals[rid]
 	base := (PRScale - pr.Damping) / n
-	rounds := 0
+
+	// Local pre-round: contributions and dangling mass.
+	pre := r.Phase(obs.PhaseCollect)
+	var dangling int64
+	for _, v := range locals {
+		rank := pr.Rank.GetRelaxed(rid, v)
+		deg := pr.outdeg.GetRelaxed(rid, v)
+		if deg == 0 {
+			dangling += rank
+			pr.contrib.SetRelaxed(rid, v, 0)
+		} else {
+			pr.contrib.SetRelaxed(rid, v, mulScale(pr.Damping, rank)/deg)
+		}
+		pr.next.SetRelaxed(rid, v, 0)
+	}
+	pre.End()
+	danglingAll := r.AllReduceSum(dangling)
+	danglingShare := mulScale(pr.Damping, danglingAll) / n
+
+	// The declarative part: one epoch of spreads/gathers.
+	r.EpochCtx(qid, func(ep *am.Epoch) {
+		for _, v := range locals {
+			pr.Action.Invoke(r, v)
+		}
+	})
+
+	// Local post-round: fold in base + dangling, measure change.
+	post := r.Phase(obs.PhaseEmit)
+	var delta int64
+	for _, v := range locals {
+		nv := base + danglingShare + pr.next.GetRelaxed(rid, v)
+		ov := pr.Rank.GetRelaxed(rid, v)
+		if nv > ov {
+			delta += nv - ov
+		} else {
+			delta += ov - nv
+		}
+		pr.Rank.SetRelaxed(rid, v, nv)
+	}
+	post.End()
+	if rid == 0 {
+		pr.Rounds++
+	}
+	return r.AllReduceSum(delta) < pr.Tolerance
+}
+
+// Run iterates PageRank to tolerance or MaxIters. Collective.
+func (pr *PageRank) Run(r *am.Rank) {
+	pr.Begin(r)
+	r.Barrier()
 	for iter := 0; iter < pr.MaxIters; iter++ {
-		rounds++
-		// Local pre-round: contributions and dangling mass.
-		pre := r.Phase(obs.PhaseCollect)
-		var dangling int64
-		for _, v := range locals {
-			rank := pr.Rank.GetRelaxed(rid, v)
-			deg := pr.outdeg.GetRelaxed(rid, v)
-			if deg == 0 {
-				dangling += rank
-				pr.contrib.SetRelaxed(rid, v, 0)
-			} else {
-				pr.contrib.SetRelaxed(rid, v, mulScale(pr.Damping, rank)/deg)
-			}
-			pr.next.SetRelaxed(rid, v, 0)
-		}
-		pre.End()
-		danglingAll := r.AllReduceSum(dangling)
-		danglingShare := mulScale(pr.Damping, danglingAll) / n
-
-		// The declarative part: one epoch of spreads/gathers.
-		r.Epoch(func(ep *am.Epoch) {
-			for _, v := range locals {
-				pr.Action.Invoke(r, v)
-			}
-		})
-
-		// Local post-round: fold in base + dangling, measure change.
-		post := r.Phase(obs.PhaseEmit)
-		var delta int64
-		for _, v := range locals {
-			nv := base + danglingShare + pr.next.GetRelaxed(rid, v)
-			ov := pr.Rank.GetRelaxed(rid, v)
-			if nv > ov {
-				delta += nv - ov
-			} else {
-				delta += ov - nv
-			}
-			pr.Rank.SetRelaxed(rid, v, nv)
-		}
-		post.End()
-		if r.AllReduceSum(delta) < pr.Tolerance {
+		if pr.Round(r, 0) {
 			break
 		}
-	}
-	if rid == 0 {
-		pr.Rounds = rounds
 	}
 	r.Barrier()
 }

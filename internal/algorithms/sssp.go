@@ -182,18 +182,42 @@ func (s *SSSP) RunBellmanFordRounds(r *am.Rank, src distgraph.Vertex) int {
 	return rounds + 1
 }
 
+// ResetLocal resets this rank's slice of the distance map to unreached (∞).
+// Rank-local; callers sequence their own barrier before relaxations can
+// arrive. The query plane uses it to recycle a bound SSSP slot between fused
+// batches without re-binding the pattern.
+func (s *SSSP) ResetLocal(r *am.Rank) {
+	s.Dist.ForEachLocal(r.ID(), func(v distgraph.Vertex, _ int64) {
+		s.Dist.Set(r.ID(), v, pattern.Inf)
+	})
+}
+
+// SeedLocal zeroes src's distance if this rank owns it, appending it to seeds
+// (unchanged otherwise). Like BFS.SeedLocal, this is the fusion seam: the
+// query plane seeds many sources across sibling slots and relaxes them all in
+// one epoch sweep.
+func (s *SSSP) SeedLocal(r *am.Rank, seeds []distgraph.Vertex, src distgraph.Vertex) []distgraph.Vertex {
+	if s.G.Owner(src) == r.ID() {
+		s.Dist.Set(r.ID(), src, 0)
+		seeds = append(seeds, src)
+	}
+	return seeds
+}
+
+// InvokeSeeds applies the bound relax action to each seed; the caller must be
+// inside a collective epoch (the query plane's fused sweep).
+func (s *SSSP) InvokeSeeds(r *am.Rank, seeds []distgraph.Vertex) {
+	for _, v := range seeds {
+		s.Relax.Invoke(r, v)
+	}
+}
+
 // Run solves SSSP from src. Collective: call from every rank's body. The
 // distance map is reset (∞ everywhere, 0 at the source) on entry.
 func (s *SSSP) Run(r *am.Rank, src distgraph.Vertex) {
 	ph := r.Phase(obs.PhaseCollect)
-	s.Dist.ForEachLocal(r.ID(), func(v distgraph.Vertex, _ int64) {
-		s.Dist.Set(r.ID(), v, pattern.Inf)
-	})
-	var seeds []distgraph.Vertex
-	if s.G.Owner(src) == r.ID() {
-		s.Dist.Set(r.ID(), src, 0)
-		seeds = []distgraph.Vertex{src}
-	}
+	s.ResetLocal(r)
+	seeds := s.SeedLocal(r, nil, src)
 	ph.End()
 	r.Barrier()
 	switch s.mode {

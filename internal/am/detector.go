@@ -50,6 +50,11 @@ type ctrlProbe struct {
 }
 
 type ctrlReply struct {
+	// qid echoes the query context the replying rank observed (the current
+	// epoch's tag). The driver invalidates any wave whose replies disagree
+	// with its own context: counters sampled under another query must never
+	// terminate this query's epoch.
+	qid             int64
 	sent, recv, aux int64
 	// rel is the rank's count of unacknowledged + delayed envelopes
 	// (always 0 on the trusted transport). Requiring the global sum to be
@@ -95,15 +100,20 @@ func (d *fourCounterDriver) wave() bool {
 		return true
 	}
 	u.ranks[0].st.Inc(cTDWaves) // waves are driven from rank 0 only
+	want := u.curQuery.Load()
 	for _, r := range u.localRanks() {
 		r.ctrl <- ctrlProbe{reply: d.replyCh}
 	}
 	var sent, recv, aux, rel int64
 	var active int32
 	quiet := true
+	stale := false
 	var local WaveSample
 	for range u.localRanks() {
 		rep := <-d.replyCh
+		if rep.qid != want {
+			stale = true
+		}
 		local.Sent += rep.sent
 		local.Recv += rep.recv
 		local.Aux += rep.aux
@@ -111,6 +121,12 @@ func (d *fourCounterDriver) wave() bool {
 		local.Active += rep.active
 		local.Idle += rep.idle
 		local.Total += rep.total
+	}
+	if stale {
+		// A reply tagged with another query context is a sample of the wrong
+		// epoch; the whole wave (and any snapshot history) is void.
+		d.havePrev = false
+		return false
 	}
 	if mp := u.mp; mp != nil {
 		global, err := mp.plane.WireWave(local)

@@ -31,6 +31,31 @@ func (r *Rank) Epoch(body func(ep *Epoch)) {
 	r.EpochThreaded(1, func(_ int, ep *Epoch) { body(ep) })
 }
 
+// EpochCtx is Epoch tagged with a query context: every envelope the body (or
+// any transitively-triggered handler) sends carries qid, every trace event
+// recorded during the epoch attributes to qid, and deliveries validate the
+// stamp — an envelope from another query context is never handled. Like
+// Epoch, the call is collective: every rank must call EpochCtx with the same
+// qid (mixing EpochCtx and Epoch, or disagreeing on qid, across ranks of one
+// collective call is a bug and trips the cross-talk check). qid 0 is the
+// untagged context and makes EpochCtx identical to Epoch.
+//
+// This is the primitive the query plane (internal/query) multiplexes on: a
+// resident universe interleaves epochs of many independent queries, and the
+// tag is what keeps BFS-from-A and SSSP-from-B apart in the message plane,
+// the detector waves, and the exported timelines.
+func (r *Rank) EpochCtx(qid int64, body func(ep *Epoch)) {
+	r.EpochThreadedCtx(qid, 1, func(_ int, ep *Epoch) { body(ep) })
+}
+
+// EpochThreadedCtx is EpochThreaded tagged with a query context (see
+// EpochCtx).
+func (r *Rank) EpochThreadedCtx(qid int64, nthreads int, body func(tid int, ep *Epoch)) {
+	r.nextQID = qid
+	defer func() { r.nextQID = 0 }()
+	r.EpochThreaded(nthreads, body)
+}
+
 // EpochThreaded is Epoch with nthreads body participants per rank, used by
 // strategies that subdivide rank-local work across threads (the distributed
 // Δ-stepping of §III-D). Each participant may call Flush and TryFinish on
@@ -55,6 +80,12 @@ func (r *Rank) EpochThreaded(nthreads int, body func(tid int, ep *Epoch)) {
 	}
 	u := r.u
 	r.inEpoch.Store(true)
+	// Publish the epoch's query context. Every rank of the collective call
+	// stores the same value (a disagreement is caught by the delivery-side
+	// cross-talk check), and the previous epoch's closing barrier guarantees
+	// no envelope of the old context is still in flight, so the store cannot
+	// race a legitimate delivery.
+	u.curQuery.Store(r.nextQID)
 	// Capture the epoch sequence once: rank 0 advances epochSeq before the
 	// closing barrier, so a slower rank reading it at TraceEpochEnd would
 	// mislabel its span (and mis-attribute every event inside it).

@@ -14,7 +14,7 @@ func (u *Universe) typeNameOf(kind TraceKind, arg int64) string {
 	switch kind {
 	case TraceShip, TraceDeliver, TraceDrop, TraceDup, TraceDelay,
 		TraceRetransmit, TraceCorrupt, TraceDecodeError, TraceSuppress,
-		TraceAck, TracePanic, TraceLinkDead, TraceHandler:
+		TraceAck, TracePanic, TraceLinkDead, TraceHandler, TraceQueryCross:
 		if arg == int64(ackTypeID) {
 			return "ack"
 		}
@@ -68,31 +68,31 @@ func (u *Universe) convertEvent(ev TraceEvent) (obs.Record, bool) {
 	case TraceEpochEnd:
 		return obs.Record{
 			Kind: "epoch", TS: ev.TS - ev.Dur, Dur: ev.Dur,
-			Rank: int(ev.Rank), Arg: ev.Arg,
+			Rank: int(ev.Rank), Arg: ev.Arg, Q: ev.Q,
 		}, true
 	case TraceDeliver:
 		return obs.Record{
 			Kind: "deliver", TS: ev.TS - ev.Dur, Dur: ev.Dur,
-			Rank: int(ev.Rank), Arg: ev.Arg, Arg2: ev.Arg2,
+			Rank: int(ev.Rank), Arg: ev.Arg, Arg2: ev.Arg2, Q: ev.Q,
 			Type: u.typeNameOf(ev.Kind, ev.Arg),
 		}, true
 	case TracePhase:
 		return obs.Record{
 			Kind: "phase", TS: ev.TS - ev.Dur, Dur: ev.Dur,
-			Rank: int(ev.Rank), Arg: ev.Arg, Arg2: ev.Arg2,
+			Rank: int(ev.Rank), Arg: ev.Arg, Arg2: ev.Arg2, Q: ev.Q,
 			Type: obs.Phase(ev.Arg).String(),
 		}, true
 	case TraceHandler:
 		return obs.Record{
 			Kind: "handler", TS: ev.TS - ev.Dur, Dur: ev.Dur,
-			Rank: int(ev.Rank), Arg: ev.Arg,
+			Rank: int(ev.Rank), Arg: ev.Arg, Q: ev.Q,
 			Type: u.typeNameOf(ev.Kind, ev.Arg),
 			ID:   ev.ID, Parent: ev.Parent,
 		}, true
 	default:
 		return obs.Record{
 			Kind: ev.Kind.String(), TS: ev.TS,
-			Rank: int(ev.Rank), Arg: ev.Arg, Arg2: ev.Arg2,
+			Rank: int(ev.Rank), Arg: ev.Arg, Arg2: ev.Arg2, Q: ev.Q,
 			Type: u.typeNameOf(ev.Kind, ev.Arg),
 		}, true
 	}

@@ -464,7 +464,8 @@ func (t *MsgType[T]) ship(r *Rank, dest int, batch []T, lin []uint64) {
 			t.putBatch(batch)
 		}
 		u.push(r.id, dest, envelope{
-			typeID: t.id, src: int32(r.id), gen: u.epochGen.Load(), data: data, lin: lin,
+			typeID: t.id, src: int32(r.id), gen: u.epochGen.Load(),
+			qid: u.curQuery.Load(), data: data, lin: lin,
 		})
 		return
 	}
@@ -545,7 +546,8 @@ func (t *MsgType[T]) transmit(r *Rank, dest int, seq uint64, attempt int, batch 
 		}
 		data = wp
 	}
-	e := envelope{typeID: t.id, src: int32(r.id), seq: seq, gen: u.epochGen.Load(), data: data, lin: lin}
+	e := envelope{typeID: t.id, src: int32(r.id), seq: seq, gen: u.epochGen.Load(),
+		qid: u.curQuery.Load(), data: data, lin: lin}
 	if dup {
 		r.st.Inc(cEnvelopesDuplicated)
 		u.trace(r.id, TraceDup, int64(t.id), int64(seq))

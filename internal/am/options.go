@@ -27,6 +27,18 @@ func New(ranks int, opts ...Option) *Universe {
 	return NewUniverse(cfg)
 }
 
+// WithConfig applies a whole Config value, keeping the ranks passed to New.
+// It is the migration bridge for call sites (the experiment harness in
+// particular) that still assemble a Config programmatically before handing it
+// to the constructor; new code should name individual With* options instead.
+func WithConfig(cfg Config) Option {
+	return func(c *Config) {
+		ranks := c.Ranks
+		*c = cfg
+		c.Ranks = ranks
+	}
+}
+
 // WithThreads sets the number of message-handler threads per rank
 // (Config.ThreadsPerRank). 0 gives deterministic poll-driven handling.
 func WithThreads(n int) Option { return func(c *Config) { c.ThreadsPerRank = n } }

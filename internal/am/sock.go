@@ -625,15 +625,16 @@ func (t *sockTransport) deliverFrame(r *Rank, src int, body []byte) bool {
 		})
 		return true
 	case frameData:
-		if len(body) < 1+4+8+8+8+4 {
+		if len(body) < 1+4+8+8+8+8+4 {
 			return false
 		}
 		typ := int32(binary.LittleEndian.Uint32(body[1:]))
 		seq := binary.LittleEndian.Uint64(body[5:])
 		gen := binary.LittleEndian.Uint64(body[13:])
-		sum := binary.LittleEndian.Uint64(body[21:])
-		nlin := binary.LittleEndian.Uint32(body[29:])
-		b := body[33:]
+		qid := int64(binary.LittleEndian.Uint64(body[21:]))
+		sum := binary.LittleEndian.Uint64(body[29:])
+		nlin := binary.LittleEndian.Uint32(body[37:])
+		b := body[41:]
 		if typ < 0 || int(typ) >= len(u.types) || uint64(nlin)*8+4 > uint64(len(b)) {
 			return false
 		}
@@ -657,7 +658,7 @@ func (t *sockTransport) deliverFrame(r *Rank, src int, body []byte) bool {
 		eb.b = append(eb.b[:0], b[4:]...)
 		eb.refs.Store(1)
 		r.inbox.Push(envelope{
-			typeID: typ, src: int32(src), seq: seq, gen: gen,
+			typeID: typ, src: int32(src), seq: seq, gen: gen, qid: qid,
 			data: wirePayload{b: eb.b, sum: sum, eb: eb}, lin: lin,
 		})
 		return true
@@ -696,6 +697,7 @@ func (t *sockTransport) send(src, dest int, e envelope) {
 		frame = binary.LittleEndian.AppendUint32(frame, uint32(e.typeID))
 		frame = binary.LittleEndian.AppendUint64(frame, e.seq)
 		frame = binary.LittleEndian.AppendUint64(frame, e.gen)
+		frame = binary.LittleEndian.AppendUint64(frame, uint64(e.qid))
 		frame = binary.LittleEndian.AppendUint64(frame, data.sum)
 		frame = binary.LittleEndian.AppendUint32(frame, uint32(len(e.lin)))
 		for _, id := range e.lin {

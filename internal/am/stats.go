@@ -41,6 +41,7 @@ const (
 	cFramesDropped
 	cCleanDepartures
 	cCrashDepartures
+	cQueryMismatches
 	numCounters
 )
 
@@ -57,6 +58,7 @@ var counterNames = [numCounters]string{
 	"epoch_aborts", "recoveries", "checkpoints", "watchdog_fires",
 	"reconnects", "heartbeat_misses", "frames_requeued", "frames_dropped",
 	"clean_departures", "crash_departures",
+	"query_mismatches",
 }
 
 // Stats is the read-side view of the universe's message accounting. It used
@@ -189,6 +191,11 @@ func (s *Stats) CleanDepartures() int64 { return s.c.Total(cCleanDepartures) }
 // expiry or connection loss) in a multi-process run.
 func (s *Stats) CrashDepartures() int64 { return s.c.Total(cCrashDepartures) }
 
+// QueryMismatches counts deliveries discarded because their envelope's query
+// context did not match the running epoch's (cross-talk between multiplexed
+// queries; see Rank.EpochCtx). Always 0 on a correct substrate.
+func (s *Stats) QueryMismatches() int64 { return s.c.Total(cQueryMismatches) }
+
 // Snapshot is a plain-value copy of Stats, convenient for diffing across an
 // experiment phase.
 type Snapshot struct {
@@ -207,6 +214,7 @@ type Snapshot struct {
 	Reconnects, HeartbeatMisses            int64
 	FramesRequeued, FramesDropped          int64
 	CleanDepartures, CrashDepartures       int64
+	QueryMismatches                        int64
 }
 
 // snapshotOf builds a Snapshot from a per-counter read function.
@@ -249,6 +257,8 @@ func snapshotOf(get func(id int) int64) Snapshot {
 
 		CleanDepartures: get(cCleanDepartures),
 		CrashDepartures: get(cCrashDepartures),
+
+		QueryMismatches: get(cQueryMismatches),
 	}
 }
 
@@ -309,5 +319,7 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 
 		CleanDepartures: s.CleanDepartures - o.CleanDepartures,
 		CrashDepartures: s.CrashDepartures - o.CrashDepartures,
+
+		QueryMismatches: s.QueryMismatches - o.QueryMismatches,
 	}
 }

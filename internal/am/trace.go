@@ -87,10 +87,15 @@ const (
 	// sequence at close; Dur = the phase's duration, so the span covers
 	// [TS-Dur, TS]).
 	TracePhase
+	// TraceQueryCross: a delivery carried a query-context stamp different
+	// from the epoch's current query and was discarded (Arg = message type
+	// id, Arg2 = the envelope's query id). Never emitted on a correct
+	// substrate; see Rank.EpochCtx.
+	TraceQueryCross
 
 	// maxTraceKind is the highest valid TraceKind (tests use it to detect
 	// torn/garbage events).
-	maxTraceKind = TracePhase
+	maxTraceKind = TraceQueryCross
 )
 
 func (k TraceKind) String() string {
@@ -143,6 +148,8 @@ func (k TraceKind) String() string {
 		return "hb-miss"
 	case TracePhase:
 		return "phase"
+	case TraceQueryCross:
+		return "query-cross"
 	}
 	return fmt.Sprintf("TraceKind(%d)", uint8(k))
 }
@@ -158,6 +165,10 @@ type TraceEvent struct {
 	Kind TraceKind
 	Arg  int64
 	Arg2 int64
+	// Q is the query context the event was recorded under (0 outside any
+	// query epoch — see Rank.EpochCtx). It is what keeps interleaved queries
+	// apart in exported timelines and the phase/epoch tables.
+	Q int64
 	// Causal lineage (TraceHandler only, zero elsewhere): ID identifies
 	// this handler invocation, Parent the invocation or epoch-body root
 	// whose send triggered it. See internal/obs lineage helpers for the id
@@ -185,9 +196,9 @@ func newTracer(perRank, ranks int) *tracer {
 	return &tracer{rings: obs.NewRings[TraceEvent](ranks, perRank)}
 }
 
-func (t *tracer) record(rank int, kind TraceKind, arg, arg2, ts, dur int64) {
+func (t *tracer) record(rank int, kind TraceKind, arg, arg2, ts, dur, q int64) {
 	t.rings.Append(rank, TraceEvent{
-		TS: ts, Dur: dur, Rank: int32(rank), Kind: kind, Arg: arg, Arg2: arg2,
+		TS: ts, Dur: dur, Rank: int32(rank), Kind: kind, Arg: arg, Arg2: arg2, Q: q,
 	})
 }
 
@@ -203,7 +214,7 @@ func (u *Universe) trace(rank int, kind TraceKind, arg, arg2 int64) {
 	}
 	ts := obs.Now()
 	if u.tracer != nil {
-		u.tracer.record(rank, kind, arg, arg2, ts, 0)
+		u.tracer.record(rank, kind, arg, arg2, ts, 0, u.curQuery.Load())
 	}
 	if landmark {
 		u.flightEvent(rank, kind, arg, arg2, ts, 0)
@@ -214,7 +225,7 @@ func (u *Universe) trace(rank int, kind TraceKind, arg, arg2 int64) {
 // if tracing is enabled; landmark kinds also land in the flight recorder.
 func (u *Universe) traceSpan(rank int, kind TraceKind, arg, arg2, ts, dur int64) {
 	if u.tracer != nil {
-		u.tracer.record(rank, kind, arg, arg2, ts, dur)
+		u.tracer.record(rank, kind, arg, arg2, ts, dur, u.curQuery.Load())
 	}
 	if u.flight != nil && flightKinds&(1<<kind) != 0 {
 		u.flightEvent(rank, kind, arg, arg2, ts, dur)
@@ -226,7 +237,7 @@ func (u *Universe) traceSpan(rank int, kind TraceKind, arg, arg2, ts, dur int64)
 func (u *Universe) traceHandler(rank int, typeID int64, id, parent uint64, ts, dur int64) {
 	u.tracer.rings.Append(rank, TraceEvent{
 		TS: ts, Dur: dur, Rank: int32(rank), Kind: TraceHandler, Arg: typeID,
-		ID: id, Parent: parent,
+		Q: u.curQuery.Load(), ID: id, Parent: parent,
 	})
 }
 

@@ -207,6 +207,14 @@ type envelope struct {
 	seq    uint64 // per-(src, dest, type) sequence number (reliable mode)
 	gen    uint64 // epoch generation at creation; stale generations are discarded
 	data   any    // []T, wirePayload (codec-equipped wire types), or ackBody
+	// qid is the query context the envelope belongs to (0 outside any query
+	// epoch — see Rank.EpochCtx). The epoch guarantee means an envelope is
+	// always delivered inside the epoch that created it, so the receiver
+	// validates qid against the universe's current query: a mismatch is
+	// cross-talk between multiplexed queries and is never delivered. Acks are
+	// exempt (a redundant duplicate ack is the one legitimate straggler
+	// across an epoch boundary).
+	qid int64
 	// lin carries one causal-lineage id per message of the batch, aligned
 	// with data (nil when lineage is off). Read-only once shipped, so
 	// duplicates and retransmits share the slice safely.
@@ -241,6 +249,14 @@ type Universe struct {
 	epochState atomic.Int32
 	epochGen   atomic.Uint64
 	epochSeq   atomic.Int64
+
+	// curQuery is the query context of the epoch currently running (0 for
+	// plain untagged epochs). Every rank stores its nextQID here at epoch
+	// entry — a collective EpochCtx call stores the same value from every
+	// rank, and the opening barrier orders the stores before any send — so
+	// sends stamp envelopes with it, deliveries validate against it, trace
+	// events attribute to it, and detector-wave replies echo it.
+	curQuery atomic.Int64
 
 	barrier *Barrier
 	coll    collectives
@@ -475,6 +491,12 @@ type rankState struct {
 
 	inEpoch atomic.Bool
 
+	// nextQID is the query context the rank's next epoch will run under
+	// (EpochCtx sets it, EpochThreaded consumes it). Written and read only
+	// by the goroutine entering the epoch, between epochs, so it needs no
+	// synchronization.
+	nextQID int64
+
 	// epochBeginNs closes the rank's epoch span at TraceEpochEnd; written
 	// and read only by the rank main goroutine.
 	epochBeginNs int64
@@ -634,6 +656,7 @@ func (u *Universe) Run(body func(r *Rank)) error {
 			for p := range r.ctrl {
 				r.st.Add(cCtrlMsgs, 2) // probe + reply
 				p.reply <- ctrlReply{
+					qid:    u.curQuery.Load(),
 					sent:   r.sentC.Load(),
 					recv:   r.recvC.Load(),
 					aux:    r.auxWork.Load(),
@@ -740,6 +763,25 @@ func (r *Rank) deliverEnvelope(e envelope) {
 	}
 	if e.typeID == ackTypeID {
 		r.handleAck(e)
+		return
+	}
+	if e.qid != u.curQuery.Load() {
+		// Query cross-talk: the envelope was stamped for a different query
+		// context than the epoch now running. The epoch guarantee makes this
+		// impossible on a correct substrate (every user envelope is handled
+		// inside the epoch that created it), so on the trusted transport it
+		// is a routing bug and fails fast. In reliable mode it is discarded
+		// unacknowledged and counted — the same containment as corruption —
+		// so a misrouted envelope can never relax another query's state.
+		if wp, ok := e.data.(wirePayload); ok {
+			wp.release()
+		}
+		r.st.Inc(cQueryMismatches)
+		u.trace(r.id, TraceQueryCross, int64(e.typeID), e.qid)
+		if u.fp == nil {
+			panic(fmt.Sprintf("am: query cross-talk on trusted transport: envelope for query %d delivered under query %d (%s)",
+				e.qid, u.curQuery.Load(), u.types[e.typeID].name))
+		}
 		return
 	}
 	if u.hasCrashes && r.crashDue() {

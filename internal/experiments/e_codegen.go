@@ -31,7 +31,7 @@ func E14Codegen(sc Scale) []*harness.Table {
 	}
 	// Translator-generated.
 	{
-		u := am.NewUniverse(cfg)
+		u := am.New(cfg.Ranks, am.WithConfig(cfg))
 		benchTrack(u)
 		d := distgraph.NewBlockDist(n, cfg.Ranks)
 		g := distgraph.Build(d, edges, defaultGOpts())
@@ -56,7 +56,7 @@ func E14Codegen(sc Scale) []*harness.Table {
 	}
 	// Hand-written.
 	{
-		u := am.NewUniverse(cfg)
+		u := am.New(cfg.Ranks, am.WithConfig(cfg))
 		benchTrack(u)
 		g := buildGraph(u, n, edges, defaultGOpts())
 		h := algorithms.NewHandSSSP(u, g)

@@ -158,7 +158,7 @@ func E15Expressiveness(sc Scale) []*harness.Table {
 		bn, bedges := gen.Torus2D(6, 6, gen.Weights{}, sc.Seed)
 		sources := []distgraph.Vertex{0, 7, 19}
 		gopts := distgraph.Options{Bidirectional: true}
-		u := am.NewUniverse(cfg)
+		u := am.New(cfg.Ranks, am.WithConfig(cfg))
 		benchTrack(u)
 		d := distgraph.NewBlockDist(bn, cfg.Ranks)
 		g := distgraph.Build(d, bedges, gopts)

@@ -172,7 +172,7 @@ func E9Abstraction(sc Scale) []*harness.Table {
 			checkSSSP(s.Dist.Gather(), n, edges, 0))...)
 	}
 	{
-		u := am.NewUniverse(cfg)
+		u := am.New(cfg.Ranks, am.WithConfig(cfg))
 		benchTrack(u)
 		g := buildGraph(u, n, edges, defaultGOpts())
 		h := algorithms.NewHandSSSP(u, g)
@@ -188,7 +188,7 @@ func E9Abstraction(sc Scale) []*harness.Table {
 		t.Add(row([]any{"bfs", "pattern"}, statCells(e.u, "messages", "handlers"), d, "-")...)
 	}
 	{
-		u := am.NewUniverse(cfg)
+		u := am.New(cfg.Ranks, am.WithConfig(cfg))
 		benchTrack(u)
 		g := buildGraph(u, n, edges, defaultGOpts())
 		h := algorithms.NewHandBFS(u, g)

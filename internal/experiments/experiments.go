@@ -79,7 +79,7 @@ type env struct {
 }
 
 func newEnv(cfg am.Config, n int, edges []distgraph.Edge, gopts distgraph.Options, popts pattern.PlanOptions) *env {
-	u := am.NewUniverse(cfg)
+	u := am.New(cfg.Ranks, am.WithConfig(cfg))
 	benchTrack(u)
 	d := distgraph.NewBlockDist(n, cfg.Ranks)
 	g := distgraph.Build(d, edges, gopts)

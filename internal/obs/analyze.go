@@ -37,19 +37,32 @@ type phaseDist struct {
 
 func (d *phaseDist) add(ns int64) { d.ds = append(d.ds, ns); d.total += ns }
 
-func (d *phaseDist) row(t *harness.Table, first any, phase string) {
+func (d *phaseDist) row(t *harness.Table, phase string, first ...any) {
 	sort.Slice(d.ds, func(i, j int) bool { return d.ds[i] < d.ds[j] })
-	t.Add(first, phase, len(d.ds), time.Duration(d.total),
+	t.Add(append(first, phase, len(d.ds), time.Duration(d.total),
 		percentile(d.ds, 0.50), percentile(d.ds, 0.95),
-		time.Duration(d.ds[len(d.ds)-1]))
+		time.Duration(d.ds[len(d.ds)-1]))...)
 }
 
-// PhaseBreakdown reports, per epoch, the distribution of each phase's spans
-// across ranks: span count, total time, p50/p95/max. Phase spans carry the
-// epoch sequence observed at span close (Arg2), so pre-epoch phases (seed
-// collection, bucket builds) attribute to the epoch they feed.
+// queryLabel renders a query-context id for the tables: "-" for the untagged
+// context so single-query traces stay visually quiet.
+func queryLabel(q int64) any {
+	if q == 0 {
+		return "-"
+	}
+	return q
+}
+
+// PhaseBreakdown reports, per (query, epoch), the distribution of each
+// phase's spans across ranks: span count, total time, p50/p95/max. Phase
+// spans carry the epoch sequence observed at span close (Arg2), so pre-epoch
+// phases (seed collection, bucket builds) attribute to the epoch they feed.
+// Grouping by the query context (Record.Q) keeps interleaved queries on a
+// resident universe apart instead of silently merging their timelines; the
+// untagged context renders as "-".
 func PhaseBreakdown(meta Meta, recs []Record) *harness.Table {
 	type key struct {
+		q     int64
 		epoch int64
 		phase string
 	}
@@ -58,7 +71,7 @@ func PhaseBreakdown(meta Meta, recs []Record) *harness.Table {
 		if r.Kind != "phase" {
 			continue
 		}
-		k := key{epoch: r.Arg2, phase: r.Type}
+		k := key{q: r.Q, epoch: r.Arg2, phase: r.Type}
 		d := cells[k]
 		if d == nil {
 			d = &phaseDist{}
@@ -74,12 +87,15 @@ func PhaseBreakdown(meta Meta, recs []Record) *harness.Table {
 		if keys[i].epoch != keys[j].epoch {
 			return keys[i].epoch < keys[j].epoch
 		}
+		if keys[i].q != keys[j].q {
+			return keys[i].q < keys[j].q
+		}
 		return PhaseByName(keys[i].phase) < PhaseByName(keys[j].phase)
 	})
 	t := harness.NewTable("per-epoch phase breakdown",
-		"epoch", "phase", "spans", "total", "p50", "p95", "max")
+		"query", "epoch", "phase", "spans", "total", "p50", "p95", "max")
 	for _, k := range keys {
-		cells[k].row(t, k.epoch, k.phase)
+		cells[k].row(t, k.phase, queryLabel(k.q), k.epoch)
 	}
 	return t
 }
@@ -118,7 +134,7 @@ func RankPhaseLoad(meta Meta, recs []Record) *harness.Table {
 	t := harness.NewTable("per-rank phase load",
 		"rank", "phase", "spans", "total", "p50", "p95", "max")
 	for _, k := range keys {
-		cells[k].row(t, k.rank, k.phase)
+		cells[k].row(t, k.phase, k.rank)
 	}
 	return t
 }
@@ -160,6 +176,7 @@ func epochOf(idx [][]epochSpan, rank int, ts int64) int64 {
 
 // epochAgg accumulates one epoch's cross-rank totals.
 type epochAgg struct {
+	q                                 int64
 	seq                               int64
 	dur                               int64 // max over ranks
 	msgs, envelopes, delivered        int64
@@ -169,23 +186,28 @@ type epochAgg struct {
 	faults, aborts, recoveries        int64
 }
 
-// EpochSummary aggregates the trace into one row per epoch: message and
-// envelope volume, termination-detection waves, and fault-recovery traffic,
-// with the epoch duration taken as the slowest rank's span.
+// EpochSummary aggregates the trace into one row per (query, epoch): message
+// and envelope volume, termination-detection waves, and fault-recovery
+// traffic, with the epoch duration taken as the slowest rank's span. Epochs
+// on a resident universe are globally serialized but belong to interleaved
+// queries; grouping by the query context (Record.Q) keeps each query's
+// epochs on their own rows instead of silently merging the timelines.
 func EpochSummary(meta Meta, recs []Record) *harness.Table {
+	type key struct{ q, seq int64 }
 	idx := epochIndex(meta, recs)
-	bysSeq := map[int64]*epochAgg{}
-	get := func(seq int64) *epochAgg {
-		a := bysSeq[seq]
+	bysSeq := map[key]*epochAgg{}
+	get := func(q, seq int64) *epochAgg {
+		k := key{q, seq}
+		a := bysSeq[k]
 		if a == nil {
-			a = &epochAgg{seq: seq}
-			bysSeq[seq] = a
+			a = &epochAgg{q: q, seq: seq}
+			bysSeq[k] = a
 		}
 		return a
 	}
 	for _, r := range recs {
 		if r.Kind == "epoch" {
-			a := get(r.Arg)
+			a := get(r.Q, r.Arg)
 			if r.Dur > a.dur {
 				a.dur = r.Dur
 			}
@@ -196,21 +218,21 @@ func EpochSummary(meta Meta, recs []Record) *harness.Table {
 		// run has no enclosing epoch span to look up).
 		switch r.Kind {
 		case "crash", "watchdog":
-			a := get(r.Arg)
+			a := get(r.Q, r.Arg)
 			a.faults++
 			continue
 		case "abort":
-			get(r.Arg).aborts++
+			get(r.Q, r.Arg).aborts++
 			continue
 		case "recover":
-			get(r.Arg).recoveries++
+			get(r.Q, r.Arg).recoveries++
 			continue
 		}
 		seq := epochOf(idx, r.Rank, r.TS)
 		if seq < 0 {
 			continue
 		}
-		a := get(seq)
+		a := get(r.Q, seq)
 		switch r.Kind {
 		case "panic", "link-dead":
 			// These carry the message type in Arg; attribute by span. The
@@ -242,18 +264,23 @@ func EpochSummary(meta Meta, recs []Record) *harness.Table {
 			a.hbMiss++
 		}
 	}
-	seqs := make([]int64, 0, len(bysSeq))
-	for s := range bysSeq {
-		seqs = append(seqs, s)
+	keys := make([]key, 0, len(bysSeq))
+	for k := range bysSeq {
+		keys = append(keys, k)
 	}
-	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].seq != keys[j].seq {
+			return keys[i].seq < keys[j].seq
+		}
+		return keys[i].q < keys[j].q
+	})
 	t := harness.NewTable("per-epoch summary",
-		"epoch", "duration", "messages", "envelopes", "delivered", "td-waves", "flushes", "retransmits", "drops", "acks",
+		"query", "epoch", "duration", "messages", "envelopes", "delivered", "td-waves", "flushes", "retransmits", "drops", "acks",
 		"corrupt", "decode-err", "reconn", "hb-miss",
 		"faults", "aborts", "recoveries")
-	for _, s := range seqs {
-		a := bysSeq[s]
-		t.Add(a.seq, time.Duration(a.dur), a.msgs, a.envelopes, a.delivered,
+	for _, k := range keys {
+		a := bysSeq[k]
+		t.Add(queryLabel(a.q), a.seq, time.Duration(a.dur), a.msgs, a.envelopes, a.delivered,
 			a.tdWaves, a.flushes, a.retransmits, a.drops, a.acks,
 			a.corrupt, a.decodeErrs, a.reconnects, a.hbMiss,
 			a.faults, a.aborts, a.recoveries)

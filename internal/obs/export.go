@@ -39,6 +39,9 @@ type Record struct {
 	Arg  int64  `json:"arg,omitempty"`
 	Arg2 int64  `json:"arg2,omitempty"`
 	Type string `json:"type,omitempty"`
+	// Q is the query context the event was recorded under (0 outside any
+	// query epoch). The analyzers group interleaved-query timelines by it.
+	Q int64 `json:"q,omitempty"`
 	// Causal lineage ("handler" records only): ID identifies the handler
 	// invocation, Parent the invocation (or epoch-body root) whose send
 	// triggered it. See lineage.go for the id scheme.
@@ -210,6 +213,9 @@ func ToChrome(meta Meta, recs []Record) ChromeTrace {
 			PID:  pid,
 			TID:  rec.Rank,
 			Args: map[string]any{"arg": rec.Arg, "arg2": rec.Arg2},
+		}
+		if rec.Q != 0 {
+			ev.Args["q"] = rec.Q
 		}
 		if rec.Dur > 0 || rec.Kind == "handler" {
 			ev.Ph = "X"

@@ -81,6 +81,16 @@ func (o *OMWriter) Hist(name string, labels []string, s HistSnapshot, scale floa
 	o.SampleInt(name+"_count", labels, s.Count)
 }
 
+// Flush writes buffered output without the # EOF terminator — for composing
+// several exporters' families into one exposition, where only the final
+// writer Closes.
+func (o *OMWriter) Flush() error {
+	if o.err != nil {
+		return o.err
+	}
+	return o.bw.Flush()
+}
+
 // Close writes the # EOF terminator and flushes. The writer is unusable
 // afterwards.
 func (o *OMWriter) Close() error {
